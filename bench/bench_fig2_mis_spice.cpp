@@ -1,0 +1,105 @@
+// Reproduces paper Fig 2: analog (substrate) MIS delays of the NOR gate.
+//   Fig 2a/2c -- waveform CSV dumps (with --csv)
+//   Fig 2b    -- falling-output delay over input separation Delta
+//   Fig 2d    -- rising-output delay over Delta
+// Printed percentages correspond to the paper's -28.01/-28.43 % (falling)
+// and +2.08/+7.26 % (rising) annotations.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/math.hpp"
+#include "waveform/digital_trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace charlie;
+  util::Cli cli(argc, argv);
+  const int n_points = cli.get_int("--points", 25);
+  const double delta_max = cli.get_double("--delta-max-ps", 60.0) * 1e-12;
+  const bool csv = cli.has_flag("--csv");
+  cli.finish();
+
+  const auto tech = spice::Technology::freepdk15_like();
+  std::cout << "=== Fig 2b: falling output delay delta_fall(Delta) ===\n";
+  util::TextTable fall({"Delta [ps]", "delay [ps]"});
+  double fall_zero = 0.0;
+  double fall_minus = 0.0;
+  double fall_plus = 0.0;
+  std::unique_ptr<util::CsvWriter> fall_csv;
+  if (csv) {
+    fall_csv = std::make_unique<util::CsvWriter>(
+        "bench_out/fig2b_falling.csv",
+        std::vector<std::string>{"delta_ps", "delay_ps"});
+  }
+  for (double delta :
+       math::linspace(-delta_max, delta_max, n_points)) {
+    const double d = spice::measure_falling_delay(tech, delta).delay;
+    fall.add_row({bench::ps(delta), bench::ps(d)}, 2);
+    if (fall_csv) fall_csv->row({bench::ps(delta), bench::ps(d)});
+    if (delta == -delta_max) fall_minus = d;
+    if (delta == delta_max) fall_plus = d;
+    if (std::abs(delta) < 1e-15) fall_zero = d;
+  }
+  fall.print(std::cout);
+  std::cout << "speed-up at Delta=0: "
+            << util::fmt_percent(fall_zero / fall_minus - 1.0) << " / "
+            << util::fmt_percent(fall_zero / fall_plus - 1.0)
+            << "   (paper: -28.01 % / -28.43 %)\n\n";
+
+  std::cout << "=== Fig 2d: rising output delay delta_rise(Delta) ===\n";
+  util::TextTable rise({"Delta [ps]", "delay [ps]"});
+  double rise_zero = 0.0;
+  double rise_minus = 0.0;
+  double rise_plus = 0.0;
+  std::unique_ptr<util::CsvWriter> rise_csv;
+  if (csv) {
+    rise_csv = std::make_unique<util::CsvWriter>(
+        "bench_out/fig2d_rising.csv",
+        std::vector<std::string>{"delta_ps", "delay_ps"});
+  }
+  for (double delta :
+       math::linspace(-delta_max, delta_max, n_points)) {
+    const double d = spice::measure_rising_delay(
+                         tech, delta, spice::NorHistory::kInternalDrained)
+                         .delay;
+    rise.add_row({bench::ps(delta), bench::ps(d)}, 2);
+    if (rise_csv) rise_csv->row({bench::ps(delta), bench::ps(d)});
+    if (delta == -delta_max) rise_minus = d;
+    if (delta == delta_max) rise_plus = d;
+    if (std::abs(delta) < 1e-15) rise_zero = d;
+  }
+  rise.print(std::cout);
+  std::cout << "slow-down at Delta=0: "
+            << util::fmt_percent(rise_zero / rise_minus - 1.0) << " / "
+            << util::fmt_percent(rise_zero / rise_plus - 1.0)
+            << "   (paper: +2.08 % / +7.26 %)\n";
+
+  if (csv) {
+    // Fig 2a/2c-style waveforms: falling (both inputs rise, Delta=20ps)
+    // and rising (both fall) transitions.
+    const double t0 = 300e-12;
+    {
+      waveform::DigitalTrace a(false, {t0});
+      waveform::DigitalTrace b(false, {t0 + 20e-12});
+      const auto sim = spice::run_nor2(tech, a, b, t0 + 400e-12, {});
+      util::CsvWriter w("bench_out/fig2a_waveforms.csv",
+                        {"t_ps", "va", "vb", "vo", "vn"});
+      for (const auto& s : sim.vo.samples()) {
+        w.row({bench::ps(s.t), sim.va.value_at(s.t), sim.vb.value_at(s.t),
+               s.v, sim.vn.value_at(s.t)});
+      }
+    }
+    {
+      waveform::DigitalTrace a(false, {100e-12, t0 + 200e-12});
+      waveform::DigitalTrace b(false, {150e-12, t0 + 220e-12});
+      const auto sim = spice::run_nor2(tech, a, b, t0 + 600e-12, {});
+      util::CsvWriter w("bench_out/fig2c_waveforms.csv",
+                        {"t_ps", "va", "vb", "vo", "vn"});
+      for (const auto& s : sim.vo.samples()) {
+        w.row({bench::ps(s.t), sim.va.value_at(s.t), sim.vb.value_at(s.t),
+               s.v, sim.vn.value_at(s.t)});
+      }
+    }
+    std::cout << "\nCSV dumps written to bench_out/fig2*.csv\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces paper Fig 8: falling-delay matching of the hybrid model with
+// and without the pure delay delta_min, against the analog reference.
+// Without delta_min the whole curve sits ~delta_min too low (the paper's
+// explanation for the poor Fig 7 score of "HM without delta_min").
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/delay_model.hpp"
+#include "util/math.hpp"
+
+int main(int argc, char** argv) {
+  using namespace charlie;
+  util::Cli cli(argc, argv);
+  const int n_points = cli.get_int("--points", 25);
+  const double delta_max = cli.get_double("--delta-max-ps", 60.0) * 1e-12;
+  const bool csv = cli.has_flag("--csv");
+  cli.finish();
+
+  const auto cal = bench::calibrate();
+  const core::NorDelayModel with(cal.params);
+  const core::NorDelayModel without(cal.params_stripped);
+
+  std::cout << "=== Fig 8: falling delay -- analog vs HM with/without "
+               "delta_min ===\n";
+  util::TextTable t(
+      {"Delta [ps]", "analog [ps]", "HM w/ dmin [ps]", "HM w/o dmin [ps]"});
+  std::unique_ptr<util::CsvWriter> out;
+  if (csv) {
+    out = std::make_unique<util::CsvWriter>(
+        "bench_out/fig8_pure_delay.csv",
+        std::vector<std::string>{"delta_ps", "analog_ps", "hm_with_ps",
+                                 "hm_without_ps"});
+  }
+  double err_with = 0.0;
+  double err_without = 0.0;
+  for (double delta : math::linspace(-delta_max, delta_max, n_points)) {
+    const double s = spice::measure_falling_delay(cal.tech, delta).delay;
+    const double mw = with.falling_delay(delta).delay;
+    const double mo = without.falling_delay(delta).delay;
+    t.add_row({bench::ps(delta), bench::ps(s), bench::ps(mw), bench::ps(mo)},
+              2);
+    if (out) {
+      out->row({bench::ps(delta), bench::ps(s), bench::ps(mw),
+                bench::ps(mo)});
+    }
+    err_with += std::abs(mw - s);
+    err_without += std::abs(mo - s);
+  }
+  t.print(std::cout);
+  std::cout << "mean |error| with delta_min:    "
+            << units::format_time(err_with / n_points) << "\n"
+            << "mean |error| without delta_min: "
+            << units::format_time(err_without / n_points)
+            << "   (~delta_min = "
+            << units::format_time(cal.params.delta_min)
+            << " systematic shift, as in the paper)\n";
+  if (csv) std::cout << "CSV written to bench_out/fig8_pure_delay.csv\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces the paper's Section VI runtime claim: the hybrid channel adds
+// only a small overhead (paper: ~6 %) over inertial / Exp channels in
+// event-driven simulation. google-benchmark microbenches of the per-event
+// channel work, plus a whole-trace comparison.
+#include <benchmark/benchmark.h>
+
+#include "core/nor_params.hpp"
+#include "sim/hybrid_nor_channel.hpp"
+#include "sim/nor_models.hpp"
+#include "sim/run_channel.hpp"
+#include "util/rng.hpp"
+#include "waveform/generator.hpp"
+
+namespace {
+
+using namespace charlie;
+
+waveform::DigitalTrace make_trace(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  waveform::TraceConfig cfg;
+  cfg.mu = 150e-12;
+  cfg.sigma = 60e-12;
+  cfg.n_transitions = n;
+  return waveform::generate_traces(cfg, 1, rng)[0];
+}
+
+const waveform::DigitalTrace& trace_a() {
+  static const auto t = make_trace(1, 400);
+  return t;
+}
+const waveform::DigitalTrace& trace_b() {
+  static const auto t = make_trace(2, 400);
+  return t;
+}
+
+double t_end() {
+  return std::max(trace_a().transitions().back(),
+                  trace_b().transitions().back()) +
+         1e-9;
+}
+
+sim::SisNorDelays sis_delays() { return {51e-12, 46e-12}; }
+
+void BM_InertialNorTrace(benchmark::State& state) {
+  for (auto _ : state) {
+    auto gate = sim::make_inertial_nor(sis_delays());
+    const auto out =
+        sim::run_gate_channel(*gate, trace_a(), trace_b(), 0.0, t_end());
+    benchmark::DoNotOptimize(out.n_transitions());
+  }
+}
+BENCHMARK(BM_InertialNorTrace);
+
+void BM_ExpNorTrace(benchmark::State& state) {
+  for (auto _ : state) {
+    auto gate = sim::make_exp_nor(sis_delays(), 20e-12);
+    const auto out =
+        sim::run_gate_channel(*gate, trace_a(), trace_b(), 0.0, t_end());
+    benchmark::DoNotOptimize(out.n_transitions());
+  }
+}
+BENCHMARK(BM_ExpNorTrace);
+
+void BM_SumExpNorTrace(benchmark::State& state) {
+  for (auto _ : state) {
+    auto gate = sim::make_sumexp_nor(sis_delays(), 20e-12);
+    const auto out =
+        sim::run_gate_channel(*gate, trace_a(), trace_b(), 0.0, t_end());
+    benchmark::DoNotOptimize(out.n_transitions());
+  }
+}
+BENCHMARK(BM_SumExpNorTrace);
+
+void BM_HybridNorTrace(benchmark::State& state) {
+  const auto params = core::NorParams::paper_table1();
+  for (auto _ : state) {
+    sim::HybridNorChannel gate(params);
+    const auto out =
+        sim::run_gate_channel(gate, trace_a(), trace_b(), 0.0, t_end());
+    benchmark::DoNotOptimize(out.n_transitions());
+  }
+}
+BENCHMARK(BM_HybridNorTrace);
+
+// Per-event costs: one input transition + pending query.
+void BM_HybridSingleEvent(benchmark::State& state) {
+  const auto params = core::NorParams::paper_table1();
+  sim::HybridNorChannel gate(params);
+  gate.initialize(0.0, {false, false});
+  double t = 0.0;
+  bool v = true;
+  for (auto _ : state) {
+    t += 1e-9;
+    gate.on_input(t, 0, v);
+    v = !v;
+    benchmark::DoNotOptimize(gate.pending());
+  }
+}
+BENCHMARK(BM_HybridSingleEvent);
+
+void BM_ExpSingleEvent(benchmark::State& state) {
+  sim::ExpChannelParams p;
+  p.delta_inf_up = 51e-12;
+  p.delta_inf_down = 46e-12;
+  p.delta_min = 20e-12;
+  sim::ExpChannel ch(p);
+  ch.initialize(0.0, false);
+  double t = 0.0;
+  bool v = true;
+  for (auto _ : state) {
+    t += 1e-9;
+    ch.on_input(t, v);
+    v = !v;
+    benchmark::DoNotOptimize(ch.pending());
+  }
+}
+BENCHMARK(BM_ExpSingleEvent);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// MIS characterization sweep: measure a transistor-level NOR2 on the
+// analog substrate, fit the hybrid model to it, and print/export the
+// model-vs-analog delay curves (the Fig 5 / Fig 6 workflow as a library
+// use case).
+//
+//   $ ./examples/mis_sweep [--points N] [--csv]
+#include <iostream>
+
+#include "core/delay_model.hpp"
+#include "core/parametrize.hpp"
+#include "spice/characterize.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace charlie;
+  util::Cli cli(argc, argv);
+  const int n_points = cli.get_int("--points", 13);
+  const bool csv = cli.has_flag("--csv");
+  cli.finish();
+
+  // 1. The device under test: a Level-1 transistor netlist of the NOR2
+  //    with parasitics (stand-in for the paper's Spectre testbench).
+  const auto tech = spice::Technology::freepdk15_like();
+
+  // 2. Characterize: six characteristic Charlie delays from six transient
+  //    analyses.
+  std::cout << "Measuring characteristic delays on the analog substrate...\n";
+  const auto sub = spice::measure_characteristics(tech);
+
+  // 3. Fit the hybrid model (picks delta_min by the ratio rule, then
+  //    least-squares on R1..R4, C_N, C_O).
+  core::CharacteristicDelays targets;
+  targets.fall_minus_inf = sub.fall_minus_inf;
+  targets.fall_zero = sub.fall_zero;
+  targets.fall_plus_inf = sub.fall_plus_inf;
+  targets.rise_minus_inf = sub.rise_minus_inf;
+  targets.rise_zero = sub.rise_zero;
+  targets.rise_plus_inf = sub.rise_plus_inf;
+  core::FitOptions opts;
+  opts.vdd = tech.vdd;
+  const auto fit = core::fit_nor_params(targets, opts);
+  std::cout << "Fitted: " << fit.params.to_string() << "\n"
+            << "RMS error over targets: " << units::format_time(fit.rms_error)
+            << "\n\n";
+
+  // 4. Sweep Delta and compare.
+  const core::NorDelayModel model(fit.params);
+  util::TextTable table({"Delta [ps]", "fall model", "fall analog",
+                         "rise model", "rise analog"});
+  std::unique_ptr<util::CsvWriter> out;
+  if (csv) {
+    out = std::make_unique<util::CsvWriter>(
+        "example_out/mis_sweep.csv",
+        std::vector<std::string>{"delta_ps", "fall_model_ps",
+                                 "fall_analog_ps", "rise_model_ps",
+                                 "rise_analog_ps"});
+  }
+  for (double delta : math::linspace(-60e-12, 60e-12, n_points)) {
+    const double fm = model.falling_delay(delta).delay / units::ps;
+    const double fs =
+        spice::measure_falling_delay(tech, delta).delay / units::ps;
+    const double rm = model.rising_delay(delta, 0.0).delay / units::ps;
+    const double rs =
+        spice::measure_rising_delay(tech, delta,
+                                    spice::NorHistory::kInternalDrained)
+            .delay /
+        units::ps;
+    table.add_row({delta / units::ps, fm, fs, rm, rs}, 2);
+    if (out) out->row({delta / units::ps, fm, fs, rm, rs});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote the falling curve's tight match and the rising "
+               "curve's missing bump\nnear Delta = 0 -- the model "
+               "limitation the paper documents.\n";
+  if (csv) std::cout << "CSV written to example_out/mis_sweep.csv\n";
+  return 0;
+}

@@ -1,0 +1,207 @@
+#include "core/charlie_delays.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/delay_model.hpp"
+#include "util/error.hpp"
+
+namespace charlie::core {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+// Linearized threshold crossing: the trajectory
+//   V_O(t) = offset + k1 e^{l1 t} + k2 e^{l2 t}
+// is Taylor-expanded at t = w and the resulting linear equation solved for
+// V_O = vth. This is the common skeleton of eqs (10)-(12).
+double taylor_crossing_at(double vth, double offset, double k1, double l1,
+                          double k2, double l2, double w) {
+  const double e1 = std::exp(l1 * w);
+  const double e2 = std::exp(l2 * w);
+  const double numerator =
+      vth - offset - k1 * e1 * (1.0 - l1 * w) - k2 * e2 * (1.0 - l2 * w);
+  const double denominator = k1 * l1 * e1 + k2 * l2 * e2;
+  CHARLIE_ASSERT_MSG(denominator != 0.0,
+                     "taylor_crossing: zero slope at expansion point");
+  return numerator / denominator;
+}
+
+// Dispatch on the expansion-time convention: a caller-given w reproduces
+// the paper's printed one-step form; w = kAutoExpansion iterates the
+// expansion point (Newton's method) starting from `seed`.
+double taylor_crossing(double vth, double offset, double k1, double l1,
+                       double k2, double l2, double w, double seed,
+                       double t_floor) {
+  if (w != kAutoExpansion) {
+    return taylor_crossing_at(vth, offset, k1, l1, k2, l2, w);
+  }
+  const double tau_slow = 1.0 / std::fabs(l1);
+  double t = seed;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double next =
+        taylor_crossing_at(vth, offset, k1, l1, k2, l2, t);
+    // Keep the iterate in a sane range; Newton from a bad seed can
+    // overshoot into the flat tail.
+    const double clamped =
+        std::clamp(next, t_floor, seed + 50.0 * tau_slow);
+    if (std::fabs(clamped - t) < 1e-9 * tau_slow) return clamped;
+    t = clamped;
+  }
+  return t;
+}
+
+// Constants a, b, l of eqs (11)/(12), in terms of the (0,0) spectrum.
+struct RiseConstants {
+  double a = 0.0;
+  double b = 0.0;
+  double l = 0.0;  // equals VDD; asserted in tests
+};
+
+RiseConstants rise_constants(const NorParams& p, const ModeSpectrum& s00) {
+  RiseConstants k;
+  const double det = s00.gamma * s00.gamma - s00.beta * s00.beta;  // l1*l2
+  k.a = p.vdd * (s00.alpha + s00.gamma) * (s00.alpha + s00.beta) /
+        (p.cn * p.r1 * det);
+  k.b = p.vdd * (s00.beta * s00.beta - s00.alpha * s00.alpha) /
+        (p.cn * p.r1 * det);
+  k.l = p.vdd * (s00.beta * s00.beta - s00.alpha * s00.alpha) * p.r2 /
+        (p.r1 * det);
+  return k;
+}
+
+// Coefficients c1, c2 of the (0,0) segment written on absolute time, where
+// the switch into (0,0) happens at `ts` with state (vn_ts, vo_ts):
+//   V_O(t) = c1 (alpha+beta) e^{l1 t} + c2 (alpha-beta) e^{l2 t} + VDD.
+struct RiseCoefficients {
+  double c1 = 0.0;
+  double c2 = 0.0;
+};
+
+RiseCoefficients rise_coefficients(const NorParams& p,
+                                   const ModeSpectrum& s00,
+                                   const RiseConstants& k, double ts,
+                                   double vn_ts, double vo_ts) {
+  RiseCoefficients c;
+  const double apb = s00.alpha + s00.beta;
+  const double bracket2 = apb * vn_ts - vo_ts / (p.cn * p.r2) + k.a + k.b;
+  c.c2 = bracket2 * p.cn * p.r2 / (2.0 * s00.beta * std::exp(s00.lambda2 * ts));
+  const double bracket1 =
+      apb * vn_ts - c.c2 * apb / (p.cn * p.r2) * std::exp(s00.lambda2 * ts) +
+      k.a;
+  c.c1 = bracket1 * p.cn * p.r2 / (apb * std::exp(s00.lambda1 * ts));
+  return c;
+}
+
+}  // namespace
+
+CharacteristicDelays characteristic_delays_exact(const NorParams& params,
+                                                 double vn0) {
+  const NorDelayModel model(params);
+  CharacteristicDelays d;
+  d.fall_minus_inf = model.falling_sis_b_first();
+  d.fall_zero = model.falling_delay(0.0).delay;
+  d.fall_plus_inf = model.falling_sis_a_first();
+  d.rise_minus_inf = model.rising_sis_b_first(vn0);
+  d.rise_zero = model.rising_delay(0.0, vn0).delay;
+  d.rise_plus_inf = model.rising_sis_a_first(vn0);
+  return d;
+}
+
+ModeSpectrum spectrum_mode10(const NorParams& p) {
+  ModeSpectrum s;
+  const double denom = 2.0 * p.co * p.cn * p.r2 * p.r3;
+  const double sum = p.co * p.r3 + p.cn * (p.r2 + p.r3);
+  s.alpha = (p.co * p.r3 - p.cn * (p.r2 + p.r3)) / denom;
+  const double disc = sum * sum - 4.0 * p.co * p.cn * p.r2 * p.r3;
+  CHARLIE_ASSERT_MSG(disc >= 0.0, "mode (1,0): complex spectrum");
+  s.beta = std::sqrt(disc) / denom;
+  s.gamma = -sum / denom;
+  s.lambda1 = s.gamma + s.beta;
+  s.lambda2 = s.gamma - s.beta;
+  return s;
+}
+
+ModeSpectrum spectrum_mode00(const NorParams& p) {
+  ModeSpectrum s;
+  const double denom = 2.0 * p.co * p.cn * p.r1 * p.r2;
+  const double sum = p.cn * p.r1 + p.co * (p.r1 + p.r2);
+  s.alpha = (p.co * (p.r1 + p.r2) - p.cn * p.r1) / denom;
+  const double disc = sum * sum - 4.0 * p.co * p.cn * p.r1 * p.r2;
+  CHARLIE_ASSERT_MSG(disc >= 0.0, "mode (0,0): complex spectrum");
+  s.beta = std::sqrt(disc) / denom;
+  s.gamma = -sum / denom;
+  s.lambda1 = s.gamma + s.beta;
+  s.lambda2 = s.gamma - s.beta;
+  return s;
+}
+
+double paper_fall_zero(const NorParams& p) {
+  return kLn2 * p.co * (p.r3 * p.r4) / (p.r3 + p.r4);
+}
+
+double paper_fall_minus_inf(const NorParams& p) { return kLn2 * p.co * p.r4; }
+
+double paper_fall_plus_inf(const NorParams& p, double w) {
+  // Mode (1,0) from (VDD, VDD):
+  //   V_N = (c1 + c2)/(C_N R2) e^{...},  V_O = c1(a+b)e^{l1 t} + c2(a-b)e^{l2 t}
+  const ModeSpectrum s = spectrum_mode10(p);
+  const double vth = p.vth();
+  const double c2 = vth * ((s.alpha + s.beta) * p.cn * p.r2 - 1.0) / s.beta;
+  const double c1 = p.vdd * p.cn * p.r2 - c2;
+  const double tau_slow = 1.0 / std::fabs(s.lambda1);
+  return taylor_crossing(vth, 0.0, c1 * (s.alpha + s.beta), s.lambda1,
+                         c2 * (s.alpha - s.beta), s.lambda2, w,
+                         0.5 * tau_slow, 1e-3 * tau_slow);
+}
+
+double paper_rise_nonneg(const NorParams& p, double delta, double vn0,
+                         double w) {
+  CHARLIE_ASSERT_MSG(delta >= 0.0, "eq (11) covers Delta >= 0");
+  const ModeSpectrum s = spectrum_mode00(p);
+  const RiseConstants k = rise_constants(p, s);
+  // Intermediate mode (0,1): V_N charges toward VDD from X = vn0, V_O = 0.
+  const double vn_ts =
+      p.vdd + (vn0 - p.vdd) * std::exp(-delta / (p.cn * p.r1));
+  const RiseCoefficients c = rise_coefficients(p, s, k, delta, vn_ts, 0.0);
+  const double tau_slow = 1.0 / std::fabs(s.lambda1);
+  const double t_cross = taylor_crossing(
+      p.vth(), k.l, c.c1 * (s.alpha + s.beta), s.lambda1,
+      c.c2 * (s.alpha - s.beta), s.lambda2, w, delta + 0.7 * tau_slow,
+      delta + 1e-3 * tau_slow);
+  return t_cross - delta;
+}
+
+double paper_rise_neg(const NorParams& p, double delta, double vn0, double w) {
+  CHARLIE_ASSERT_MSG(delta < 0.0, "eq (12) covers Delta < 0");
+  const double ts = -delta;
+  // Intermediate mode (1,0) from (X, 0); spectrum (x, y, z) per eqs (1)-(3).
+  const ModeSpectrum m10 = spectrum_mode10(p);
+  const double x = m10.alpha;
+  const double y = m10.beta;
+  const double g2 = vn0 * p.cn * p.r2 * (x + y) / (2.0 * y);
+  const double g1 = (y - x) * g2 / (x + y);
+  const double e_slow = std::exp(m10.lambda1 * ts);  // z + y
+  const double e_fast = std::exp(m10.lambda2 * ts);  // z - y
+  const double vn_ts = (g1 * e_slow + g2 * e_fast) / (p.cn * p.r2);
+  const double vo_ts = g1 * (x + y) * e_slow + g2 * (x - y) * e_fast;
+
+  const ModeSpectrum s = spectrum_mode00(p);
+  const RiseConstants k = rise_constants(p, s);
+  const RiseCoefficients c = rise_coefficients(p, s, k, ts, vn_ts, vo_ts);
+  const double tau_slow = 1.0 / std::fabs(s.lambda1);
+  const double t_cross = taylor_crossing(
+      p.vth(), k.l, c.c1 * (s.alpha + s.beta), s.lambda1,
+      c.c2 * (s.alpha - s.beta), s.lambda2, w, ts + 0.7 * tau_slow,
+      ts + 1e-3 * tau_slow);
+  return t_cross - ts;
+}
+
+double delta_min_for_ratio(double measured_fall_minus_inf,
+                           double measured_fall_zero, double target_ratio) {
+  CHARLIE_ASSERT(target_ratio > 1.0);
+  return (target_ratio * measured_fall_zero - measured_fall_minus_inf) /
+         (target_ratio - 1.0);
+}
+
+}  // namespace charlie::core

@@ -1,0 +1,65 @@
+#include "core/crossing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fit/brent_root.hpp"
+#include "util/error.hpp"
+
+namespace charlie::core {
+namespace {
+
+double fastest_rate(const NorTrajectory& trajectory) {
+  double fastest = 0.0;
+  for (const auto& seg : trajectory.pieces().segments()) {
+    const auto& eig = seg.ode.eigen();
+    fastest = std::max({fastest, std::fabs(eig.lambda1),
+                        std::fabs(eig.lambda2)});
+  }
+  return fastest;
+}
+
+}  // namespace
+
+double crossing_scan_step(const NorTrajectory& trajectory, double window) {
+  CHARLIE_ASSERT(window > 0.0);
+  const double rate = fastest_rate(trajectory);
+  double step = rate > 0.0 ? 0.125 / rate : window / 64.0;
+  // Cap the evaluation count: a stiff V_N pole hardly bends V_O, and the
+  // bracket is refined by Brent afterwards anyway.
+  step = std::max(step, window / 8192.0);
+  return std::min(step, window / 4.0);
+}
+
+std::optional<double> first_vo_crossing(const NorTrajectory& trajectory,
+                                        const CrossingQuery& query) {
+  CHARLIE_ASSERT_MSG(query.t_end > query.t_start,
+                     "crossing query: empty window");
+  const double step =
+      crossing_scan_step(trajectory, query.t_end - query.t_start);
+  auto f = [&](double t) { return trajectory.vo_at(t) - query.threshold; };
+
+  const bool want_rising = query.direction != CrossDirection::kFalling;
+  const bool want_falling = query.direction != CrossDirection::kRising;
+
+  double a = query.t_start;
+  double fa = f(a);
+  while (a < query.t_end) {
+    const double b = std::min(a + step, query.t_end);
+    const double fb = f(b);
+    if ((fa < 0.0 && fb >= 0.0 && want_rising) ||
+        (fa > 0.0 && fb <= 0.0 && want_falling)) {
+      if (fb == 0.0) return b;
+      return fit::brent_root(f, a, b);
+    }
+    // Exactly-on-threshold start: move on until the sign is established.
+    if (fa == 0.0 && fb != 0.0) {
+      // Departing the threshold is not a crossing.
+    }
+    a = b;
+    fa = fb;
+  }
+  return std::nullopt;
+}
+
+}  // namespace charlie::core

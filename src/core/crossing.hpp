@@ -1,0 +1,37 @@
+// Output threshold-crossing search on hybrid trajectories.
+//
+// The gate delay is defined by the time V_O crosses V_th = VDD/2 (paper
+// Section II). Trajectories are sums of exponentials per segment, so
+// crossings are located by sign-change scanning at a fraction of the
+// fastest mode time constant, refined with Brent's method.
+#pragma once
+
+#include <optional>
+
+#include "core/trajectory.hpp"
+
+namespace charlie::core {
+
+enum class CrossDirection {
+  kEither,
+  kRising,   // V_O crosses the threshold upward
+  kFalling,  // downward
+};
+
+struct CrossingQuery {
+  double threshold = 0.0;
+  double t_start = 0.0;
+  double t_end = 0.0;  // search horizon (absolute time)
+  CrossDirection direction = CrossDirection::kEither;
+};
+
+/// First time in [t_start, t_end] where V_O crosses the threshold in the
+/// requested direction; nullopt if it never does within the horizon.
+std::optional<double> first_vo_crossing(const NorTrajectory& trajectory,
+                                        const CrossingQuery& query);
+
+/// Scan step heuristic: a fraction of the fastest time constant among the
+/// trajectory's modes (clamped so a search window never exceeds ~100k steps).
+double crossing_scan_step(const NorTrajectory& trajectory, double window);
+
+}  // namespace charlie::core

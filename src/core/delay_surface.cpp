@@ -1,0 +1,45 @@
+#include "core/delay_surface.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace charlie::core {
+
+DelaySurface DelaySurface::build(const NorParams& params, double delta_max,
+                                 std::size_t n_points, double vn0) {
+  CHARLIE_ASSERT(delta_max > 0.0);
+  CHARLIE_ASSERT(n_points >= 2);
+  DelaySurface s;
+  s.params_ = params;
+  s.delta_max_ = delta_max;
+  s.step_ = 2.0 * delta_max / static_cast<double>(n_points - 1);
+  const NorDelayModel model(params);
+  s.fall_.reserve(n_points);
+  s.rise_.reserve(n_points);
+  for (double delta : math::linspace(-delta_max, delta_max, n_points)) {
+    s.fall_.push_back(model.falling_delay(delta).delay);
+    s.rise_.push_back(model.rising_delay(delta, vn0).delay);
+  }
+  return s;
+}
+
+double DelaySurface::lookup(const std::vector<double>& table,
+                            double delta) const {
+  if (delta <= -delta_max_) return table.front();
+  if (delta >= delta_max_) return table.back();
+  const double pos = (delta + delta_max_) / step_;
+  const std::size_t idx = static_cast<std::size_t>(pos);
+  if (idx + 1 >= table.size()) return table.back();
+  const double frac = pos - static_cast<double>(idx);
+  return table[idx] * (1.0 - frac) + table[idx + 1] * frac;
+}
+
+double DelaySurface::falling(double delta) const {
+  return lookup(fall_, delta);
+}
+
+double DelaySurface::rising(double delta) const { return lookup(rise_, delta); }
+
+}  // namespace charlie::core

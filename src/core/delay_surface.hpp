@@ -1,0 +1,48 @@
+// Tabulated delta(Delta) delay curves with interpolation.
+//
+// Event-driven simulation queries gate delays once per input transition;
+// precomputing the MIS curves on a Delta grid turns each query into a
+// table lookup while keeping the exact SIS asymptotes outside the grid.
+#pragma once
+
+#include <vector>
+
+#include "core/delay_model.hpp"
+#include "core/nor_params.hpp"
+
+namespace charlie::core {
+
+class DelaySurface {
+ public:
+  /// Sample falling/rising MIS delays over Delta in [-delta_max, delta_max]
+  /// with `n_points` per curve (n >= 2). `vn0` is the (1,1) history value
+  /// used for the rising curve (paper: GND).
+  static DelaySurface build(const NorParams& params, double delta_max,
+                            std::size_t n_points, double vn0 = 0.0);
+
+  /// Interpolated falling-output delay; clamps to the SIS limits outside
+  /// the tabulated range.
+  double falling(double delta) const;
+
+  /// Interpolated rising-output delay.
+  double rising(double delta) const;
+
+  double delta_max() const { return delta_max_; }
+  const NorParams& params() const { return params_; }
+  double falling_sis_b_first() const { return fall_.front(); }
+  double falling_sis_a_first() const { return fall_.back(); }
+  double rising_sis_b_first() const { return rise_.front(); }
+  double rising_sis_a_first() const { return rise_.back(); }
+
+ private:
+  DelaySurface() = default;
+  double lookup(const std::vector<double>& table, double delta) const;
+
+  NorParams params_;
+  double delta_max_ = 0.0;
+  double step_ = 0.0;
+  std::vector<double> fall_;
+  std::vector<double> rise_;
+};
+
+}  // namespace charlie::core

@@ -1,0 +1,90 @@
+#include "core/modes.hpp"
+
+#include "util/error.hpp"
+
+namespace charlie::core {
+
+Mode mode_from_inputs(bool a, bool b) {
+  if (a) {
+    return b ? Mode::kS11 : Mode::kS10;
+  }
+  return b ? Mode::kS01 : Mode::kS00;
+}
+
+bool mode_input_a(Mode m) { return m == Mode::kS10 || m == Mode::kS11; }
+
+bool mode_input_b(Mode m) { return m == Mode::kS01 || m == Mode::kS11; }
+
+std::string mode_name(Mode m) {
+  switch (m) {
+    case Mode::kS00:
+      return "(0,0)";
+    case Mode::kS01:
+      return "(0,1)";
+    case Mode::kS10:
+      return "(1,0)";
+    case Mode::kS11:
+      return "(1,1)";
+  }
+  CHARLIE_ASSERT_MSG(false, "invalid mode");
+  return {};
+}
+
+ode::AffineOde2 mode_ode(Mode mode, const NorParams& p) {
+  p.validate();
+  switch (mode) {
+    case Mode::kS11: {
+      // CN dVN/dt = 0
+      // CO dVO/dt = -VO (1/R3 + 1/R4)
+      const ode::Mat2 m{0.0, 0.0,  //
+                        0.0, -(1.0 / (p.co * p.r3) + 1.0 / (p.co * p.r4))};
+      return ode::AffineOde2(m, {0.0, 0.0});
+    }
+    case Mode::kS10: {
+      // CN dVN/dt = -(VN - VO)/R2
+      // CO dVO/dt = -VO/R3 + (VN - VO)/R2
+      const ode::Mat2 m{
+          -1.0 / (p.cn * p.r2), 1.0 / (p.cn * p.r2),  //
+          1.0 / (p.co * p.r2),
+          -(1.0 / (p.co * p.r2) + 1.0 / (p.co * p.r3))};
+      return ode::AffineOde2(m, {0.0, 0.0});
+    }
+    case Mode::kS01: {
+      // CN dVN/dt = (VDD - VN)/R1
+      // CO dVO/dt = -VO/R4
+      const ode::Mat2 m{-1.0 / (p.cn * p.r1), 0.0,  //
+                        0.0, -1.0 / (p.co * p.r4)};
+      return ode::AffineOde2(m, {p.vdd / (p.cn * p.r1), 0.0});
+    }
+    case Mode::kS00: {
+      // CN dVN/dt = (VDD - VN)/R1 - (VN - VO)/R2
+      // CO dVO/dt = (VN - VO)/R2
+      const ode::Mat2 m{
+          -(1.0 / (p.cn * p.r1) + 1.0 / (p.cn * p.r2)),
+          1.0 / (p.cn * p.r2),  //
+          1.0 / (p.co * p.r2), -1.0 / (p.co * p.r2)};
+      return ode::AffineOde2(m, {p.vdd / (p.cn * p.r1), 0.0});
+    }
+  }
+  CHARLIE_ASSERT_MSG(false, "invalid mode");
+  return {};
+}
+
+ode::Vec2 mode_steady_state(Mode mode, const NorParams& p, double vn_hold) {
+  switch (mode) {
+    case Mode::kS00:
+      return {p.vdd, p.vdd};
+    case Mode::kS01:
+      return {p.vdd, 0.0};
+    case Mode::kS10:
+      return {0.0, 0.0};
+    case Mode::kS11:
+      return {vn_hold, 0.0};
+  }
+  CHARLIE_ASSERT_MSG(false, "invalid mode");
+  return {};
+}
+
+bool mode_output(Mode m) { return m == Mode::kS00; }
+
+}  // namespace charlie::core

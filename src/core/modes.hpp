@@ -1,0 +1,54 @@
+// The four operating modes of the hybrid NOR model and their ODE systems
+// (paper Section III B-E).
+//
+// State vector V = (V_N, V_O). For each input state (A,B), transistors are
+// ideal switches and the resulting RC network gives V' = M V + g:
+//
+//   (1,1): both nMOS conduct; O drains through R3 || R4; N is isolated.
+//   (1,0): T2 + T3 conduct; N discharges through R2 into O, O through R3.
+//   (0,1): T1 + T4 conduct; N charges to VDD through R1, O drains via R4.
+//   (0,0): T1 + T2 conduct; N and O charge toward VDD through R1 then R2.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/nor_params.hpp"
+#include "ode/linear_ode2.hpp"
+
+namespace charlie::core {
+
+enum class Mode {
+  kS00 = 0,  // (A,B) = (0,0)
+  kS01 = 1,  // (A,B) = (0,1)
+  kS10 = 2,  // (A,B) = (1,0)
+  kS11 = 3,  // (A,B) = (1,1)
+};
+
+/// All modes, for iteration in tests and benches.
+inline constexpr std::array<Mode, 4> kAllModes{Mode::kS00, Mode::kS01,
+                                               Mode::kS10, Mode::kS11};
+
+/// Mode for logic levels of inputs A and B.
+Mode mode_from_inputs(bool a, bool b);
+
+/// Input levels encoded by a mode.
+bool mode_input_a(Mode m);
+bool mode_input_b(Mode m);
+
+/// "(1,0)"-style name used in paper figures.
+std::string mode_name(Mode m);
+
+/// The affine ODE V' = M V + g for `mode` (paper Section III).
+ode::AffineOde2 mode_ode(Mode mode, const NorParams& params);
+
+/// Steady state the mode converges to. For (1,1) the V_N component is
+/// frozen at its initial value; `vn_hold` supplies that value.
+ode::Vec2 mode_steady_state(Mode mode, const NorParams& params,
+                            double vn_hold = 0.0);
+
+/// Boolean NOR output for the input levels of `mode` (the logic value the
+/// output eventually settles to).
+bool mode_output(Mode m);
+
+}  // namespace charlie::core

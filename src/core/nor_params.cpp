@@ -1,0 +1,55 @@
+#include "core/nor_params.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace charlie::core {
+
+NorParams NorParams::paper_table1() {
+  NorParams p;
+  p.r1 = 37.088e3;
+  p.r2 = 44.926e3;
+  p.r3 = 45.150e3;
+  p.r4 = 48.761e3;
+  p.cn = 59.486e-18;
+  p.co = 617.259e-18;
+  p.vdd = 0.8;
+  p.delta_min = 18e-12;
+  return p;
+}
+
+void NorParams::validate() const {
+  auto positive = [](double v, const char* name) {
+    if (!(v > 0.0)) {
+      throw ConfigError(std::string("NorParams: ") + name +
+                        " must be positive");
+    }
+  };
+  positive(r1, "r1");
+  positive(r2, "r2");
+  positive(r3, "r3");
+  positive(r4, "r4");
+  positive(cn, "cn");
+  positive(co, "co");
+  positive(vdd, "vdd");
+  if (delta_min < 0.0) {
+    throw ConfigError("NorParams: delta_min must be non-negative");
+  }
+}
+
+std::string NorParams::to_string() const {
+  std::ostringstream os;
+  os << "NorParams{R1=" << units::format_resistance(r1)
+     << ", R2=" << units::format_resistance(r2)
+     << ", R3=" << units::format_resistance(r3)
+     << ", R4=" << units::format_resistance(r4)
+     << ", CN=" << units::format_capacitance(cn)
+     << ", CO=" << units::format_capacitance(co)
+     << ", VDD=" << units::format_voltage(vdd)
+     << ", delta_min=" << units::format_time(delta_min) << "}";
+  return os.str();
+}
+
+}  // namespace charlie::core

@@ -1,0 +1,38 @@
+// Parameters of the hybrid NOR-gate model (paper Fig 1 / Table I).
+//
+// The gate is a 2-input CMOS NOR: pMOS T1 (input A, to VDD) in series with
+// pMOS T2 (input B), nMOS T3 (input A) and T4 (input B) in parallel to GND.
+// Replacing each transistor by an ideal switch + on-resistance yields one RC
+// network per input state, with state capacitances C_N (internal p-stack
+// node N) and C_O (output O).
+#pragma once
+
+#include <string>
+
+namespace charlie::core {
+
+struct NorParams {
+  double r1 = 0.0;  // on-resistance of pMOS T1 (input A) [ohm]
+  double r2 = 0.0;  // on-resistance of pMOS T2 (input B) [ohm]
+  double r3 = 0.0;  // on-resistance of nMOS T3 (input A) [ohm]
+  double r4 = 0.0;  // on-resistance of nMOS T4 (input B) [ohm]
+  double cn = 0.0;  // parasitic capacitance at internal node N [farad]
+  double co = 0.0;  // output load capacitance [farad]
+  double vdd = 0.8;        // supply voltage [volt]
+  double delta_min = 0.0;  // pure delay added to every gate delay [s]
+
+  /// Discretization threshold V_th = VDD/2 (paper convention).
+  double vth() const { return 0.5 * vdd; }
+
+  /// Paper Table I: values fitted against Spectre/FreePDK15 analog
+  /// simulations of the NOR gate, with delta_min = 18 ps and VDD = 0.8 V.
+  static NorParams paper_table1();
+
+  /// Throws ConfigError unless all R/C values and vdd are positive and
+  /// delta_min is non-negative.
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace charlie::core

@@ -1,0 +1,227 @@
+#include "core/parametrize.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "fit/brent_min.hpp"
+#include "fit/levenberg_marquardt.hpp"
+#include "fit/nelder_mead.hpp"
+#include "fit/param_transform.hpp"
+#include "util/error.hpp"
+
+namespace charlie::core {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+std::array<double, 6> to_array(const CharacteristicDelays& d) {
+  return {d.fall_minus_inf, d.fall_zero,      d.fall_plus_inf,
+          d.rise_minus_inf, d.rise_zero,      d.rise_plus_inf};
+}
+
+void check_targets(const CharacteristicDelays& d) {
+  for (double v : to_array(d)) {
+    if (!(v > 0.0)) {
+      throw ConfigError("fit_nor_params: characteristic delays must be > 0");
+    }
+  }
+  if (!(d.fall_minus_inf > d.fall_zero)) {
+    throw ConfigError(
+        "fit_nor_params: expected fall(-inf) > fall(0) (Charlie speed-up)");
+  }
+}
+
+NorParams params_from_vector(const std::vector<double>& v, double vdd,
+                             double delta_min) {
+  NorParams p;
+  p.r1 = v[0];
+  p.r2 = v[1];
+  p.r3 = v[2];
+  p.r4 = v[3];
+  p.cn = v[4];
+  p.co = v[5];
+  p.vdd = vdd;
+  p.delta_min = delta_min;
+  return p;
+}
+
+// Soft box penalty keeping the fit inside a physically plausible region
+// (transistor on-resistances of kOhms to a few hundred kOhms, node
+// capacitances of attofarads to femtofarads). Without it the delta_min = 0
+// fit drifts to MOhm/1-aF corners whose stiff spectra are numerically
+// hostile and physically meaningless.
+double box_penalty(const NorParams& p) {
+  auto outside = [](double v, double lo, double hi) {
+    if (v < lo) return std::log(lo / v);
+    if (v > hi) return std::log(v / hi);
+    return 0.0;
+  };
+  double acc = 0.0;
+  for (double r : {p.r1, p.r2, p.r3, p.r4}) {
+    acc += outside(r, 1e3, 400e3);
+  }
+  acc += outside(p.cn, 5e-18, 5e-15);
+  acc += outside(p.co, 50e-18, 50e-15);
+  return acc * acc;
+}
+
+// Weighted squared mismatch of the model's *raw* characteristic delays
+// (delta_min excluded on both sides) against the corrected targets,
+// normalized by the target magnitudes.
+double objective(const NorParams& params,
+                 const std::array<double, 6>& corrected_targets,
+                 const double* weights, double vn0) {
+  NorParams raw = params;
+  raw.delta_min = 0.0;
+  const auto achieved = to_array(characteristic_delays_exact(raw, vn0));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double rel =
+        (achieved[i] - corrected_targets[i]) / corrected_targets[i];
+    acc += weights[i] * rel * rel;
+  }
+  return acc + 0.1 * box_penalty(params);
+}
+
+}  // namespace
+
+NorParams seed_from_targets(const CharacteristicDelays& corrected,
+                            double vdd) {
+  NorParams p;
+  p.vdd = vdd;
+  p.delta_min = 0.0;
+  // C_O sets the overall impedance scale; any reasonable seed works since
+  // the fit explores log space. Start near the paper's magnitude.
+  p.co = 600e-18;
+  // eq (9): fall(-inf) = ln2 * C_O * R4.
+  p.r4 = corrected.fall_minus_inf / (kLn2 * p.co);
+  // eq (8): fall(0) = ln2 * C_O * (R3 || R4).
+  const double r_parallel = corrected.fall_zero / (kLn2 * p.co);
+  const double inv_r3 = 1.0 / r_parallel - 1.0 / p.r4;
+  p.r3 = inv_r3 > 0.0 ? 1.0 / inv_r3 : p.r4;
+  // Rising asymptote: roughly ln2 * C_O * (R1 + R2) once V_N has settled.
+  const double r12 = corrected.rise_plus_inf / (kLn2 * p.co);
+  p.r1 = 0.45 * r12;
+  p.r2 = 0.55 * r12;
+  p.cn = 0.1 * p.co;
+  return p;
+}
+
+FitResult fit_nor_params(const CharacteristicDelays& measured,
+                         const FitOptions& options) {
+  check_targets(measured);
+
+  const auto measured_arr = to_array(measured);
+  const double smallest_target =
+      *std::min_element(measured_arr.begin(), measured_arr.end());
+
+  // Inner fit for a given delta_min; returns (params, objective, evals).
+  auto fit_for_delta_min = [&](double delta_min) {
+    std::array<double, 6> corrected{};
+    const auto raw_targets = measured_arr;
+    for (std::size_t i = 0; i < 6; ++i) {
+      corrected[i] = std::max(raw_targets[i] - delta_min, 0.05 * raw_targets[i]);
+    }
+    CharacteristicDelays corr;
+    corr.fall_minus_inf = corrected[0];
+    corr.fall_zero = corrected[1];
+    corr.fall_plus_inf = corrected[2];
+    corr.rise_minus_inf = corrected[3];
+    corr.rise_zero = corrected[4];
+    corr.rise_plus_inf = corrected[5];
+
+    const NorParams seed = seed_from_targets(corr, options.vdd);
+    const std::vector<double> x0 = fit::to_log_space(
+        {seed.r1, seed.r2, seed.r3, seed.r4, seed.cn, seed.co});
+
+    auto obj = [&](const std::vector<double>& log_x) {
+      const auto x = fit::from_log_space(log_x);
+      const NorParams p = params_from_vector(x, options.vdd, delta_min);
+      try {
+        return objective(p, corrected, options.weights, options.vn0);
+      } catch (const std::exception&) {
+        return 1e6;  // infeasible corner of parameter space
+      }
+    };
+
+    fit::NelderMeadOptions nm;
+    nm.max_evaluations = options.nelder_mead_evaluations;
+    nm.initial_step = 0.25;
+    auto nm_result = fit::nelder_mead(obj, x0, nm);
+
+    if (options.refine_with_lm) {
+      auto residuals = [&](const std::vector<double>& log_x) {
+        const auto x = fit::from_log_space(log_x);
+        const NorParams p = params_from_vector(x, options.vdd, delta_min);
+        std::vector<double> r(6, 1e3);
+        try {
+          NorParams raw = p;
+          raw.delta_min = 0.0;
+          const auto achieved =
+              to_array(characteristic_delays_exact(raw, options.vn0));
+          for (std::size_t i = 0; i < 6; ++i) {
+            r[i] = std::sqrt(options.weights[i]) *
+                   (achieved[i] - corrected[i]) / corrected[i];
+          }
+        } catch (const std::exception&) {
+          // keep the large penalty residuals
+        }
+        return r;
+      };
+      fit::LmOptions lm;
+      lm.max_iterations = 60;
+      const auto lm_result = fit::levenberg_marquardt(residuals, nm_result.x, lm);
+      if (2.0 * lm_result.cost < nm_result.f) {
+        nm_result.x = lm_result.x;
+        nm_result.f = 2.0 * lm_result.cost;
+      }
+    }
+
+    struct Inner {
+      std::vector<double> log_x;
+      double f;
+      int evals;
+    };
+    return Inner{nm_result.x, nm_result.f, nm_result.evaluations};
+  };
+
+  double delta_min;
+  if (options.forced_delta_min >= 0.0) {
+    delta_min = std::min(options.forced_delta_min, 0.9 * smallest_target);
+  } else if (options.fit_delta_min) {
+    // Coarse-but-robust line search over delta_min (objective is expensive,
+    // so keep the evaluation budget small per probe).
+    auto outer = [&](double dm) { return fit_for_delta_min(dm).f; };
+    fit::MinimizeOptions mo;
+    mo.max_iterations = 24;
+    const auto best =
+        fit::brent_minimize(outer, 0.0, 0.9 * smallest_target, mo);
+    delta_min = best.x;
+  } else {
+    delta_min = delta_min_for_ratio(measured.fall_minus_inf,
+                                    measured.fall_zero, options.target_ratio);
+    delta_min = std::clamp(delta_min, 0.0, 0.9 * smallest_target);
+  }
+
+  const auto inner = fit_for_delta_min(delta_min);
+  FitResult result;
+  result.params = params_from_vector(fit::from_log_space(inner.log_x),
+                                     options.vdd, delta_min);
+  result.targets = measured;
+  result.achieved =
+      characteristic_delays_exact(result.params, options.vn0);
+  result.objective = inner.f;
+  result.evaluations = inner.evals;
+
+  const auto ach = to_array(result.achieved);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double e = ach[i] - measured_arr[i];
+    acc += e * e;
+  }
+  result.rms_error = std::sqrt(acc / 6.0);
+  return result;
+}
+
+}  // namespace charlie::core

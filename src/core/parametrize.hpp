@@ -1,0 +1,52 @@
+// Model parametrization (paper Section V).
+//
+// Given the six measured characteristic Charlie delays of a real gate, find
+// (R1..R4, C_N, C_O) and the pure delay delta_min such that the hybrid
+// model's characteristic delays match. Per the paper, a direct simultaneous
+// match of delta_fall(-inf) and delta_fall(0) is impossible whenever their
+// ratio exceeds (R3+R4)/R3 ~= 2, so delta_min is first chosen to restore a
+// fittable ratio (18 ps for the paper's gate), then the R/C values are
+// fitted by least squares on the delta_min-corrected targets.
+#pragma once
+
+#include "core/charlie_delays.hpp"
+#include "core/nor_params.hpp"
+
+namespace charlie::core {
+
+struct FitOptions {
+  double vdd = 0.8;
+  double vn0 = 0.0;          // (1,1) history value for the rising targets
+  bool fit_delta_min = false;  // true: line-search delta_min instead of the
+                               // closed-form ratio rule
+  double forced_delta_min = -1.0;  // >= 0: pin delta_min to this value
+                                   // (e.g. 0 for the paper's "HM without
+                                   // pure delay" variant)
+  double target_ratio = 2.0;   // achievable fall(-inf)/fall(0) ratio
+  // Per-target weights in the least-squares objective, ordered as
+  // CharacteristicDelays {fall -inf, 0, +inf, rise -inf, 0, +inf}.
+  double weights[6] = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  int nelder_mead_evaluations = 4000;
+  bool refine_with_lm = true;
+};
+
+struct FitResult {
+  NorParams params;               // includes the chosen delta_min
+  CharacteristicDelays targets;   // what was asked for
+  CharacteristicDelays achieved;  // what the fitted model produces
+  double rms_error = 0.0;         // RMS over the six targets [s]
+  double objective = 0.0;         // final weighted least-squares value
+  int evaluations = 0;
+};
+
+/// Fit the hybrid model to measured characteristic delays.
+/// Throws ConfigError when targets are non-positive or unorderable.
+FitResult fit_nor_params(const CharacteristicDelays& measured,
+                         const FitOptions& options = {});
+
+/// Heuristic seed derived from the closed-form relations: R4 from eq (9),
+/// R3 from eq (8), R1+R2 from the rising asymptote, nominal C_N/C_O split.
+NorParams seed_from_targets(const CharacteristicDelays& corrected,
+                            double vdd);
+
+}  // namespace charlie::core

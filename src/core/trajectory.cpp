@@ -1,0 +1,60 @@
+#include "core/trajectory.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace charlie::core {
+
+NorTrajectory::NorTrajectory(const NorParams& params, double t0, Mode mode,
+                             const ode::Vec2& x0)
+    : params_(params), mode_(mode), pieces_(t0, x0, mode_ode(mode, params)) {}
+
+NorTrajectory NorTrajectory::from_steady_state(const NorParams& params,
+                                               double t0, Mode mode,
+                                               double vn_hold) {
+  return NorTrajectory(params, t0, mode,
+                       mode_steady_state(mode, params, vn_hold));
+}
+
+void NorTrajectory::set_inputs(double t, bool a, bool b) {
+  const Mode next = mode_from_inputs(a, b);
+  if (next == mode_) return;
+  pieces_.switch_mode(t, mode_ode(next, params_));
+  mode_ = next;
+}
+
+waveform::Waveform NorTrajectory::sample_component(double t0, double t1,
+                                                   std::size_t n,
+                                                   bool output_component) const {
+  CHARLIE_ASSERT(t1 > t0);
+  CHARLIE_ASSERT(n >= 2);
+  // Merge the even grid with segment start times so corners are exact.
+  std::vector<double> grid = math::linspace(t0, t1, n);
+  for (const auto& seg : pieces_.segments()) {
+    if (seg.t_start > t0 && seg.t_start < t1) grid.push_back(seg.t_start);
+  }
+  std::sort(grid.begin(), grid.end());
+  waveform::Waveform w;
+  double last = -1e300;
+  for (double t : grid) {
+    if (t <= last) continue;
+    const ode::Vec2 s = pieces_.state_at(t);
+    w.append(t, output_component ? s.y : s.x);
+    last = t;
+  }
+  return w;
+}
+
+waveform::Waveform NorTrajectory::sample_vo(double t0, double t1,
+                                            std::size_t n) const {
+  return sample_component(t0, t1, n, true);
+}
+
+waveform::Waveform NorTrajectory::sample_vn(double t0, double t1,
+                                            std::size_t n) const {
+  return sample_component(t0, t1, n, false);
+}
+
+}  // namespace charlie::core

@@ -1,0 +1,52 @@
+// Hybrid trajectory of the NOR model: modes switched at input threshold
+// crossings, (V_N, V_O) continuous across switches.
+#pragma once
+
+#include <vector>
+
+#include "core/modes.hpp"
+#include "core/nor_params.hpp"
+#include "ode/piecewise.hpp"
+#include "waveform/waveform.hpp"
+
+namespace charlie::core {
+
+class NorTrajectory {
+ public:
+  /// Start at absolute time `t0` in `mode` with state `x0` = (V_N, V_O).
+  NorTrajectory(const NorParams& params, double t0, Mode mode,
+                const ode::Vec2& x0);
+
+  /// Start at `t0` in the steady state of `mode` (V_N of (1,1) frozen at
+  /// `vn_hold`).
+  static NorTrajectory from_steady_state(const NorParams& params, double t0,
+                                         Mode mode, double vn_hold = 0.0);
+
+  /// Input change at absolute time `t` (>= previous switch).
+  void set_inputs(double t, bool a, bool b);
+
+  double vn_at(double t) const { return pieces_.state_at(t).x; }
+  double vo_at(double t) const { return pieces_.state_at(t).y; }
+  ode::Vec2 state_at(double t) const { return pieces_.state_at(t); }
+  double vo_slope_at(double t) const { return pieces_.derivative_at(t).y; }
+
+  Mode current_mode() const { return mode_; }
+  double t_last_switch() const { return pieces_.t_last_switch(); }
+  const ode::PiecewiseTrajectory& pieces() const { return pieces_; }
+  const NorParams& params() const { return params_; }
+
+  /// Sample V_O (or V_N) into a waveform over [t0, t1]; `n` samples plus the
+  /// exact segment boundaries, so mode-switch corners are preserved.
+  waveform::Waveform sample_vo(double t0, double t1, std::size_t n) const;
+  waveform::Waveform sample_vn(double t0, double t1, std::size_t n) const;
+
+ private:
+  waveform::Waveform sample_component(double t0, double t1, std::size_t n,
+                                      bool output_component) const;
+
+  NorParams params_;
+  Mode mode_;
+  ode::PiecewiseTrajectory pieces_;
+};
+
+}  // namespace charlie::core

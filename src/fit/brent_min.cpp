@@ -1,0 +1,98 @@
+#include "fit/brent_min.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::fit {
+
+MinimizeResult brent_minimize(const std::function<double(double)>& f,
+                              double a, double b,
+                              const MinimizeOptions& opts) {
+  CHARLIE_ASSERT_MSG(b > a, "brent_minimize: empty interval");
+  constexpr double kGolden = 0.3819660112501051;  // 2 - phi
+
+  double x = a + kGolden * (b - a);
+  double w = x;
+  double v = x;
+  double fx = f(x);
+  double fw = fx;
+  double fv = fx;
+  double d = 0.0;
+  double e = 0.0;
+
+  MinimizeResult result;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    const double m = 0.5 * (a + b);
+    const double tol = opts.xtol * std::fabs(x) + 1e-25;
+    const double tol2 = 2.0 * tol;
+    if (std::fabs(x - m) <= tol2 - 0.5 * (b - a)) {
+      result.x = x;
+      result.f = fx;
+      result.iterations = iter;
+      return result;
+    }
+    bool use_golden = true;
+    if (std::fabs(e) > tol) {
+      // Parabolic fit through (v,fv), (w,fw), (x,fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_old = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) {
+          d = std::copysign(tol, m - x);
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < m) ? b - x : a - x;
+      d = kGolden * e;
+    }
+    const double u =
+        (std::fabs(d) >= tol) ? x + d : x + std::copysign(tol, d);
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u < x) {
+        b = x;
+      } else {
+        a = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  result.x = x;
+  result.f = fx;
+  result.iterations = opts.max_iterations;
+  return result;
+}
+
+}  // namespace charlie::fit

@@ -1,0 +1,151 @@
+#include "fit/levenberg_marquardt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::fit {
+namespace {
+
+double cost_of(const std::vector<double>& r) {
+  double acc = 0.0;
+  for (double v : r) acc += v * v;
+  return 0.5 * acc;
+}
+
+// Solve (JtJ + lambda*diag(JtJ)) dx = Jtr via Cholesky-free Gaussian
+// elimination with partial pivoting (systems here are tiny: <= ~8 params).
+std::vector<double> solve_damped(std::vector<std::vector<double>> a,
+                                 std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    if (diag == 0.0) {
+      throw charlie::ConvergenceError("LM: singular normal equations");
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i][k] * x[k];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const ResidualFn& residuals,
+                             const std::vector<double>& x0,
+                             const LmOptions& opts) {
+  const std::size_t n = x0.size();
+  CHARLIE_ASSERT_MSG(n >= 1, "LM: empty start point");
+
+  std::vector<double> x = x0;
+  std::vector<double> r = residuals(x);
+  const std::size_t m = r.size();
+  CHARLIE_ASSERT_MSG(m >= 1, "LM: empty residual vector");
+  double cost = cost_of(r);
+  double lambda = opts.initial_lambda;
+
+  LmResult result;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Forward-difference Jacobian J[i][j] = dr_i/dx_j. The step scale
+    // floors at O(1) so parameters sitting at zero still perturb enough to
+    // register against O(1) residuals.
+    std::vector<std::vector<double>> jac(m, std::vector<double>(n, 0.0));
+    for (std::size_t j = 0; j < n; ++j) {
+      const double step = opts.jacobian_step * (std::fabs(x[j]) + 1.0);
+      std::vector<double> xp = x;
+      xp[j] += step;
+      const std::vector<double> rp = residuals(xp);
+      CHARLIE_ASSERT(rp.size() == m);
+      for (std::size_t i = 0; i < m; ++i) {
+        jac[i][j] = (rp[i] - r[i]) / step;
+      }
+    }
+
+    // Normal equations JtJ and gradient Jtr.
+    std::vector<std::vector<double>> jtj(n, std::vector<double>(n, 0.0));
+    std::vector<double> jtr(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        jtr[j] += jac[i][j] * r[i];
+        for (std::size_t k = j; k < n; ++k) {
+          jtj[j][k] += jac[i][j] * jac[i][k];
+        }
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < j; ++k) jtj[j][k] = jtj[k][j];
+    }
+
+    double g_norm = 0.0;
+    for (double g : jtr) g_norm = std::max(g_norm, std::fabs(g));
+    if (g_norm < opts.g_tol) {
+      result.converged = true;
+      break;
+    }
+
+    // Try damped steps, growing lambda until the cost decreases.
+    bool accepted = false;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      std::vector<std::vector<double>> damped = jtj;
+      for (std::size_t j = 0; j < n; ++j) {
+        damped[j][j] += lambda * std::max(jtj[j][j], 1e-30);
+      }
+      std::vector<double> neg_g(n);
+      for (std::size_t j = 0; j < n; ++j) neg_g[j] = -jtr[j];
+      std::vector<double> dx;
+      try {
+        dx = solve_damped(std::move(damped), std::move(neg_g));
+      } catch (const charlie::ConvergenceError&) {
+        lambda *= 10.0;
+        continue;
+      }
+      std::vector<double> x_new = x;
+      for (std::size_t j = 0; j < n; ++j) x_new[j] += dx[j];
+      const std::vector<double> r_new = residuals(x_new);
+      const double cost_new = cost_of(r_new);
+      if (cost_new < cost) {
+        const double rel_drop = (cost - cost_new) / std::max(cost, 1e-300);
+        x = std::move(x_new);
+        r = r_new;
+        cost = cost_new;
+        lambda = std::max(lambda * 0.3, 1e-12);
+        accepted = true;
+        if (rel_drop < opts.f_tol) {
+          result.converged = true;
+        }
+        break;
+      }
+      lambda *= 10.0;
+      if (lambda > 1e12) break;
+    }
+    if (!accepted || result.converged) {
+      result.converged = result.converged || !accepted;
+      break;
+    }
+  }
+
+  result.x = std::move(x);
+  result.cost = cost;
+  return result;
+}
+
+}  // namespace charlie::fit

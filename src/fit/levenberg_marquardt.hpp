@@ -1,0 +1,39 @@
+// Small dense Levenberg-Marquardt least-squares solver with a numeric
+// (forward-difference) Jacobian.
+//
+// Used for the characteristic-delay parametrization as a refinement stage
+// after Nelder-Mead, and independently tested on standard curve-fit
+// problems.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace charlie::fit {
+
+/// Residual function: given parameters, returns the residual vector r(p)
+/// whose squared norm is minimized.
+using ResidualFn =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+struct LmOptions {
+  int max_iterations = 200;
+  double f_tol = 1e-14;        // stop on relative cost decrease below this
+  double g_tol = 1e-12;        // stop on gradient infinity norm below this
+  double initial_lambda = 1e-3;
+  double jacobian_step = 1e-7; // relative forward-difference step
+};
+
+struct LmResult {
+  std::vector<double> x;
+  double cost = 0.0;  // 0.5 * ||r||^2
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize 0.5*||r(p)||^2 starting from `x0`.
+LmResult levenberg_marquardt(const ResidualFn& residuals,
+                             const std::vector<double>& x0,
+                             const LmOptions& opts = {});
+
+}  // namespace charlie::fit

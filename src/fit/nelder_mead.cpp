@@ -1,0 +1,129 @@
+#include "fit/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace charlie::fit {
+
+NelderMeadResult nelder_mead(const VectorFn& f, const std::vector<double>& x0,
+                             const NelderMeadOptions& opts) {
+  const std::size_t n = x0.size();
+  CHARLIE_ASSERT_MSG(n >= 1, "nelder_mead: empty start point");
+
+  // Standard coefficients.
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  int evals = 0;
+  auto eval = [&](const std::vector<double>& x) {
+    ++evals;
+    return f(x);
+  };
+
+  // Build the initial simplex by perturbing each coordinate.
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  std::vector<double> fvals(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double& coord = simplex[i + 1][i];
+    const double step = (coord != 0.0) ? opts.initial_step * std::fabs(coord)
+                                       : opts.initial_step;
+    coord += step;
+  }
+  for (std::size_t i = 0; i <= n; ++i) fvals[i] = eval(simplex[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  NelderMeadResult result;
+  while (evals < opts.max_evaluations) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fvals[a] < fvals[b]; });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence: f-spread and simplex diameter.
+    const double f_spread = std::fabs(fvals[worst] - fvals[best]);
+    double diameter = 0.0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = simplex[i][j] - simplex[best][j];
+        dist += d * d;
+      }
+      diameter = std::max(diameter, std::sqrt(dist));
+    }
+    if (f_spread < opts.f_tol || diameter < opts.x_tol) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst point.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coeff) {
+      std::vector<double> x(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        x[j] = centroid[j] + coeff * (centroid[j] - simplex[worst][j]);
+      }
+      return x;
+    };
+
+    const std::vector<double> reflected = blend(kAlpha);
+    const double f_reflected = eval(reflected);
+    if (f_reflected < fvals[order[0]]) {
+      const std::vector<double> expanded = blend(kAlpha * kGamma);
+      const double f_expanded = eval(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        fvals[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        fvals[worst] = f_reflected;
+      }
+      continue;
+    }
+    if (f_reflected < fvals[second_worst]) {
+      simplex[worst] = reflected;
+      fvals[worst] = f_reflected;
+      continue;
+    }
+    // Contraction (outside if the reflected point improved on the worst).
+    const bool outside = f_reflected < fvals[worst];
+    const std::vector<double> contracted =
+        blend(outside ? kAlpha * kRho : -kRho);
+    const double f_contracted = eval(contracted);
+    if (f_contracted < std::min(f_reflected, fvals[worst])) {
+      simplex[worst] = contracted;
+      fvals[worst] = f_contracted;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        simplex[i][j] =
+            simplex[best][j] + kSigma * (simplex[i][j] - simplex[best][j]);
+      }
+      fvals[i] = eval(simplex[i]);
+    }
+  }
+
+  const std::size_t best = static_cast<std::size_t>(std::distance(
+      fvals.begin(), std::min_element(fvals.begin(), fvals.end())));
+  result.x = simplex[best];
+  result.f = fvals[best];
+  result.evaluations = evals;
+  return result;
+}
+
+}  // namespace charlie::fit

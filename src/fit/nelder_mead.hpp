@@ -1,0 +1,34 @@
+// Nelder-Mead downhill simplex for small, noisy, derivative-free problems.
+//
+// The model parametrization (paper Section V) minimizes squared mismatch of
+// the characteristic Charlie delays over (R1..R4, C_N, C_O); the objective
+// involves root finding, so gradients are awkward -- a simplex method is a
+// natural fit.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace charlie::fit {
+
+using VectorFn = std::function<double(const std::vector<double>&)>;
+
+struct NelderMeadOptions {
+  double f_tol = 1e-12;          // stop when the simplex f-spread drops below
+  double x_tol = 1e-12;          // ... or the simplex size does
+  int max_evaluations = 20'000;
+  double initial_step = 0.1;     // relative perturbation building the simplex
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double f = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimize `f` starting from `x0`.
+NelderMeadResult nelder_mead(const VectorFn& f, const std::vector<double>& x0,
+                             const NelderMeadOptions& opts = {});
+
+}  // namespace charlie::fit

@@ -1,0 +1,26 @@
+#include "fit/param_transform.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::fit {
+
+std::vector<double> to_log_space(const std::vector<double>& params) {
+  std::vector<double> out;
+  out.reserve(params.size());
+  for (double p : params) {
+    CHARLIE_ASSERT_MSG(p > 0.0, "to_log_space: parameter must be positive");
+    out.push_back(std::log(p));
+  }
+  return out;
+}
+
+std::vector<double> from_log_space(const std::vector<double>& log_params) {
+  std::vector<double> out;
+  out.reserve(log_params.size());
+  for (double lp : log_params) out.push_back(std::exp(lp));
+  return out;
+}
+
+}  // namespace charlie::fit

@@ -1,0 +1,19 @@
+// Log-space parameter transform for positivity-constrained fitting.
+//
+// Resistances and capacitances must stay strictly positive during
+// optimization; fitting log(p) instead of p enforces this without explicit
+// constraints and equalizes the scale between ~1e4-ohm resistors and
+// ~1e-16-farad capacitors.
+#pragma once
+
+#include <vector>
+
+namespace charlie::fit {
+
+/// Element-wise natural log; every entry must be > 0.
+std::vector<double> to_log_space(const std::vector<double>& params);
+
+/// Element-wise exp (inverse of to_log_space).
+std::vector<double> from_log_space(const std::vector<double>& log_params);
+
+}  // namespace charlie::fit

@@ -1,0 +1,95 @@
+#include "ode/eigen2.hpp"
+
+#include <cmath>
+
+namespace charlie::ode {
+namespace {
+
+// Eigenvector of `m` for eigenvalue `lambda`, from the null space of
+// (m - lambda I). Picks the numerically larger row.
+Vec2 eigenvector_for(const Mat2& m, double lambda) {
+  const double r1x = m.a - lambda;
+  const double r1y = m.b;
+  const double r2x = m.c;
+  const double r2y = m.d - lambda;
+  const double n1 = std::fabs(r1x) + std::fabs(r1y);
+  const double n2 = std::fabs(r2x) + std::fabs(r2y);
+  Vec2 v;
+  if (n1 >= n2) {
+    // Row 1 dominates: (r1x, r1y) . v = 0.
+    v = (n1 == 0.0) ? Vec2{1.0, 0.0} : Vec2{-r1y, r1x};
+  } else {
+    v = Vec2{-r2y, r2x};
+  }
+  if (v.norm() == 0.0) {
+    // (m - lambda I) vanished entirely: every vector is an eigenvector.
+    v = {1.0, 0.0};
+  }
+  // Normalize for conditioning; orientation is irrelevant to callers.
+  return v / v.norm();
+}
+
+}  // namespace
+
+Eigen2 eigen_decompose(const Mat2& m) {
+  Eigen2 e;
+  const double tr = m.trace();
+  const double det = m.det();
+  const double disc = tr * tr - 4.0 * det;
+  const double scale = m.norm_inf();
+  const double tol = 1e-12 * std::max(scale * scale, 1e-300);
+
+  if (disc > tol) {
+    e.kind = EigenKind::kRealDistinct;
+    const double root = std::sqrt(disc);
+    // Stable quadratic roots: compute the larger-magnitude one first.
+    const double q = -0.5 * (tr + std::copysign(root, tr));
+    double l1;
+    double l2;
+    if (q != 0.0) {
+      l1 = -q;        // = (tr + sign(tr)*root)/2
+      l2 = det / -q;  // product of roots = det
+    } else {
+      l1 = 0.5 * (tr + root);
+      l2 = 0.5 * (tr - root);
+    }
+    if (l1 > l2) std::swap(l1, l2);
+    e.lambda1 = l1;
+    e.lambda2 = l2;
+    e.v1 = eigenvector_for(m, l1);
+    e.v2 = eigenvector_for(m, l2);
+    return e;
+  }
+
+  if (disc < -tol) {
+    e.kind = EigenKind::kComplexPair;
+    e.re = 0.5 * tr;
+    e.im = 0.5 * std::sqrt(-disc);
+    e.lambda1 = e.re;
+    e.lambda2 = e.re;
+    return e;
+  }
+
+  // Repeated eigenvalue lambda = tr/2.
+  const double lambda = 0.5 * tr;
+  e.lambda1 = lambda;
+  e.lambda2 = lambda;
+  const Mat2 shifted{m.a - lambda, m.b, m.c, m.d - lambda};
+  if (shifted.norm_inf() <= 1e-12 * std::max(scale, 1e-300)) {
+    e.kind = EigenKind::kRealRepeated;  // A = lambda I
+    e.v1 = {1.0, 0.0};
+    e.v2 = {0.0, 1.0};
+  } else {
+    e.kind = EigenKind::kRealDefective;
+    e.v1 = eigenvector_for(m, lambda);
+    e.v2 = e.v1;
+  }
+  return e;
+}
+
+bool is_hurwitz(const Eigen2& e) {
+  if (e.kind == EigenKind::kComplexPair) return e.re < 0.0;
+  return e.lambda1 < 0.0 && e.lambda2 < 0.0;
+}
+
+}  // namespace charlie::ode

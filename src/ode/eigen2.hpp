@@ -1,0 +1,46 @@
+// Analytic eigendecomposition of a real 2x2 matrix.
+//
+// The per-mode system matrices of the hybrid NOR model (paper Section III)
+// are real with real, non-positive eigenvalues -- a property of passive RC
+// networks -- but the decomposition below handles the general real case
+// (distinct real, repeated, complex pair) so it can be reused and tested
+// independently.
+#pragma once
+
+#include <complex>
+
+#include "ode/mat2.hpp"
+
+namespace charlie::ode {
+
+enum class EigenKind {
+  kRealDistinct,   // two distinct real eigenvalues
+  kRealRepeated,   // repeated real eigenvalue, diagonalizable (A = lambda I)
+  kRealDefective,  // repeated real eigenvalue, one eigenvector
+  kComplexPair,    // complex-conjugate pair
+};
+
+struct Eigen2 {
+  EigenKind kind = EigenKind::kRealDistinct;
+  // For real kinds: lambda1 <= lambda2 are the eigenvalues and v1/v2 the
+  // corresponding (unnormalized) eigenvectors. For kComplexPair: the pair is
+  // re +/- i*im, and eigenvectors are not populated.
+  double lambda1 = 0.0;
+  double lambda2 = 0.0;
+  Vec2 v1{};
+  Vec2 v2{};
+  double re = 0.0;
+  double im = 0.0;
+
+  bool is_real() const { return kind != EigenKind::kComplexPair; }
+};
+
+/// Decompose `m`. Discriminant comparisons use a tolerance scaled by the
+/// matrix magnitude so nearly-repeated spectra are classified stably.
+Eigen2 eigen_decompose(const Mat2& m);
+
+/// Both eigenvalues (or the real part, for complex pairs) strictly negative:
+/// the ODE x' = Ax is asymptotically stable.
+bool is_hurwitz(const Eigen2& e);
+
+}  // namespace charlie::ode

@@ -1,0 +1,121 @@
+#include "ode/expm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::ode {
+namespace {
+
+// (e^{lambda t} - 1) / lambda, continuous at lambda = 0 (value t).
+double phi1(double lambda, double t) {
+  if (lambda == 0.0) return t;
+  const double x = lambda * t;
+  if (std::fabs(x) < 1e-4) {
+    // Series to keep full precision for tiny exponents.
+    return t * (1.0 + x / 2.0 + x * x / 6.0 + x * x * x / 24.0);
+  }
+  return std::expm1(x) / lambda;
+}
+
+// Divided difference (e^{l2 t} - e^{l1 t}) / (l2 - l1), stable form.
+double exp_divided_difference(double l1, double l2, double t) {
+  const double dl = l2 - l1;
+  if (dl == 0.0) return t * std::exp(l1 * t);
+  // Two regimes: for nearly equal eigenvalues the direct difference
+  // cancels, so use e^{l1 t} * phi1(dl, t); for well-separated ones that
+  // product can overflow (e^{l1 t} underflows to 0 while expm1(dl*t)
+  // overflows to inf => NaN), while the direct difference is safe.
+  if (std::fabs(dl * t) < 1.0) {
+    return std::exp(l1 * t) * phi1(dl, t);
+  }
+  return (std::exp(l2 * t) - std::exp(l1 * t)) / dl;
+}
+
+}  // namespace
+
+Mat2 expm(const Mat2& m, double t) { return expm(m, eigen_decompose(m), t); }
+
+Mat2 expm(const Mat2& m, const Eigen2& eig, double t) {
+  const Mat2 eye = Mat2::identity();
+  switch (eig.kind) {
+    case EigenKind::kRealDistinct: {
+      const double r1 = std::exp(eig.lambda1 * t);
+      const double r2 = exp_divided_difference(eig.lambda1, eig.lambda2, t);
+      const Mat2 shifted = m - eig.lambda1 * eye;
+      return r1 * eye + r2 * shifted;
+    }
+    case EigenKind::kRealRepeated: {
+      // m = lambda I exactly (within tolerance).
+      return std::exp(eig.lambda1 * t) * eye;
+    }
+    case EigenKind::kRealDefective: {
+      const double r1 = std::exp(eig.lambda1 * t);
+      const double r2 = t * r1;
+      const Mat2 shifted = m - eig.lambda1 * eye;
+      return r1 * eye + r2 * shifted;
+    }
+    case EigenKind::kComplexPair: {
+      const double a = eig.re;
+      const double b = eig.im;
+      CHARLIE_ASSERT(b > 0.0);
+      const double eat = std::exp(a * t);
+      const Mat2 shifted = m - a * eye;
+      return (eat * std::cos(b * t)) * eye +
+             (eat * std::sin(b * t) / b) * shifted;
+    }
+  }
+  CHARLIE_ASSERT_MSG(false, "unreachable eigen kind");
+  return eye;
+}
+
+Mat2 expm_integral(const Mat2& m, const Eigen2& eig, double t) {
+  const Mat2 eye = Mat2::identity();
+  switch (eig.kind) {
+    case EigenKind::kRealDistinct: {
+      const double l1 = eig.lambda1;
+      const double l2 = eig.lambda2;
+      const double cap_r1 = phi1(l1, t);
+      // R2(t) = (phi1(l2,t) - phi1(l1,t)) / (l2 - l1); separation is
+      // guaranteed by the decomposition's discriminant tolerance.
+      const double cap_r2 = (phi1(l2, t) - phi1(l1, t)) / (l2 - l1);
+      const Mat2 shifted = m - l1 * eye;
+      return cap_r1 * eye + cap_r2 * shifted;
+    }
+    case EigenKind::kRealRepeated: {
+      return phi1(eig.lambda1, t) * eye;
+    }
+    case EigenKind::kRealDefective: {
+      const double l = eig.lambda1;
+      double cap_r2;
+      if (l == 0.0) {
+        cap_r2 = 0.5 * t * t;
+      } else {
+        // int_0^t s e^{ls} ds = (t e^{lt})/l - (e^{lt}-1)/l^2
+        cap_r2 = (t * std::exp(l * t)) / l - phi1(l, t) / l;
+      }
+      const Mat2 shifted = m - l * eye;
+      return phi1(l, t) * eye + cap_r2 * shifted;
+    }
+    case EigenKind::kComplexPair: {
+      const double a = eig.re;
+      const double b = eig.im;
+      const double denom = a * a + b * b;
+      CHARLIE_ASSERT(denom > 0.0);
+      const double eat = std::exp(a * t);
+      const double cosbt = std::cos(b * t);
+      const double sinbt = std::sin(b * t);
+      // int e^{as} cos(bs) = [e^{as}(a cos + b sin)]/(a^2+b^2)
+      const double int_cos = (eat * (a * cosbt + b * sinbt) - a) / denom;
+      // int e^{as} sin(bs)/b = [e^{as}(a sin - b cos) + b]/(b (a^2+b^2))
+      const double int_sin_over_b =
+          (eat * (a * sinbt - b * cosbt) + b) / (b * denom);
+      const Mat2 shifted = m - a * eye;
+      return int_cos * eye + int_sin_over_b * shifted;
+    }
+  }
+  CHARLIE_ASSERT_MSG(false, "unreachable eigen kind");
+  return eye;
+}
+
+}  // namespace charlie::ode

@@ -1,0 +1,29 @@
+// Closed-form matrix exponential exp(A t) for real 2x2 matrices.
+//
+// Uses Putzer's algorithm, which is uniform over all spectral cases:
+//   exp(At) = r1(t) I + r2(t) (A - lambda1 I)
+// with
+//   r1(t) = e^{lambda1 t}
+//   r2(t) = (e^{lambda2 t} - e^{lambda1 t}) / (lambda2 - lambda1)   (distinct)
+//   r2(t) = t e^{lambda t}                                          (repeated)
+// and the standard sine/cosine form for complex pairs.
+#pragma once
+
+#include "ode/eigen2.hpp"
+#include "ode/mat2.hpp"
+
+namespace charlie::ode {
+
+/// exp(m * t).
+Mat2 expm(const Mat2& m, double t);
+
+/// exp(m * t) reusing a precomputed decomposition of `m` (hot path for
+/// trajectory evaluation, where the same mode matrix is reused many times).
+Mat2 expm(const Mat2& m, const Eigen2& eig, double t);
+
+/// Integral of the exponential: Phi(t) = \int_0^t exp(m s) ds.
+/// Needed for the variation-of-constants solution when `m` is singular
+/// (mode (1,1) of the NOR model has a zero row, so -A^{-1} g does not exist).
+Mat2 expm_integral(const Mat2& m, const Eigen2& eig, double t);
+
+}  // namespace charlie::ode

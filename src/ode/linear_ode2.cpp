@@ -1,0 +1,29 @@
+#include "ode/linear_ode2.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace charlie::ode {
+
+AffineOde2::AffineOde2(const Mat2& a, const Vec2& g)
+    : a_(a), g_(g), eig_(eigen_decompose(a)) {}
+
+Vec2 AffineOde2::state_at(double t, const Vec2& x0) const {
+  const Mat2 e = expm(a_, eig_, t);
+  const Mat2 phi = expm_integral(a_, eig_, t);
+  return e * x0 + phi * g_;
+}
+
+Vec2 AffineOde2::equilibrium() const {
+  CHARLIE_ASSERT_MSG(has_equilibrium(),
+                     "equilibrium() on a singular system matrix");
+  return a_.inverse() * (-g_);
+}
+
+double AffineOde2::slowest_rate() const {
+  if (eig_.kind == EigenKind::kComplexPair) return eig_.re;
+  return std::max(eig_.lambda1, eig_.lambda2);
+}
+
+}  // namespace charlie::ode

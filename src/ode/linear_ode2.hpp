@@ -1,0 +1,51 @@
+// Closed-form solution of the affine system  x'(t) = A x(t) + g.
+//
+// This is the workhorse of the hybrid NOR model: each input state
+// (A,B) in {0,1}^2 yields one such system over x = (V_N, V_O)
+// (paper Section III). The uniform variation-of-constants form
+//
+//   x(t) = exp(At) x0 + (int_0^t exp(As) ds) g
+//
+// is used because mode (1,1) has a singular A (V_N frozen), so the
+// equilibrium form -A^{-1} g does not always exist.
+#pragma once
+
+#include "ode/eigen2.hpp"
+#include "ode/expm.hpp"
+#include "ode/mat2.hpp"
+#include "ode/vec2.hpp"
+
+namespace charlie::ode {
+
+class AffineOde2 {
+ public:
+  AffineOde2() : AffineOde2(Mat2::zero(), Vec2{}) {}
+  AffineOde2(const Mat2& a, const Vec2& g);
+
+  /// Exact state at time `t` (t may be negative) starting from `x0` at t=0.
+  Vec2 state_at(double t, const Vec2& x0) const;
+
+  /// Right-hand side A x + g.
+  Vec2 derivative(const Vec2& x) const { return a_ * x + g_; }
+
+  /// True when A is nonsingular, i.e. a unique equilibrium exists.
+  bool has_equilibrium() const { return !a_.is_singular(); }
+
+  /// Equilibrium -A^{-1} g; requires has_equilibrium().
+  Vec2 equilibrium() const;
+
+  const Mat2& a() const { return a_; }
+  const Vec2& g() const { return g_; }
+  const Eigen2& eigen() const { return eig_; }
+
+  /// Slowest decay rate max(Re lambda); 0 for the frozen V_N direction of
+  /// mode (1,1). Useful for choosing search horizons in crossing solvers.
+  double slowest_rate() const;
+
+ private:
+  Mat2 a_;
+  Vec2 g_;
+  Eigen2 eig_;
+};
+
+}  // namespace charlie::ode

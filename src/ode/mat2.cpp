@@ -1,0 +1,26 @@
+#include "ode/mat2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::ode {
+
+Mat2 Mat2::inverse() const {
+  CHARLIE_ASSERT_MSG(!is_singular(), "Mat2::inverse: singular matrix");
+  const double inv_det = 1.0 / det();
+  return {d * inv_det, -b * inv_det, -c * inv_det, a * inv_det};
+}
+
+double Mat2::norm_inf() const {
+  return std::max(std::fabs(a) + std::fabs(b), std::fabs(c) + std::fabs(d));
+}
+
+bool Mat2::is_singular(double rtol) const {
+  const double scale = norm_inf();
+  if (scale == 0.0) return true;
+  return std::fabs(det()) <= rtol * scale * scale;
+}
+
+}  // namespace charlie::ode

@@ -1,0 +1,55 @@
+// 2x2 real matrix used for the per-mode ODE system matrices.
+#pragma once
+
+#include "ode/vec2.hpp"
+
+namespace charlie::ode {
+
+struct Mat2 {
+  // Row-major: [a b; c d].
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+  double d = 0.0;
+
+  constexpr Mat2() = default;
+  constexpr Mat2(double a_, double b_, double c_, double d_)
+      : a(a_), b(b_), c(c_), d(d_) {}
+
+  static constexpr Mat2 identity() { return {1.0, 0.0, 0.0, 1.0}; }
+  static constexpr Mat2 zero() { return {}; }
+
+  constexpr double trace() const { return a + d; }
+  constexpr double det() const { return a * d - b * c; }
+
+  constexpr Vec2 operator*(const Vec2& v) const {
+    return {a * v.x + b * v.y, c * v.x + d * v.y};
+  }
+  constexpr Mat2 operator*(const Mat2& m) const {
+    return {a * m.a + b * m.c, a * m.b + b * m.d, c * m.a + d * m.c,
+            c * m.b + d * m.d};
+  }
+  constexpr Mat2 operator+(const Mat2& m) const {
+    return {a + m.a, b + m.b, c + m.c, d + m.d};
+  }
+  constexpr Mat2 operator-(const Mat2& m) const {
+    return {a - m.a, b - m.b, c - m.c, d - m.d};
+  }
+  constexpr Mat2 operator*(double s) const {
+    return {a * s, b * s, c * s, d * s};
+  }
+
+  /// Inverse; throws AssertionError when singular (|det| below `eps` times
+  /// the matrix scale).
+  Mat2 inverse() const;
+
+  /// Infinity norm (max absolute row sum).
+  double norm_inf() const;
+
+  /// True when |det| is negligible relative to the matrix magnitude.
+  bool is_singular(double rtol = 1e-12) const;
+};
+
+constexpr Mat2 operator*(double s, const Mat2& m) { return m * s; }
+
+}  // namespace charlie::ode

@@ -1,0 +1,44 @@
+#include "ode/piecewise.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace charlie::ode {
+
+PiecewiseTrajectory::PiecewiseTrajectory(double t0, const Vec2& x0,
+                                         const AffineOde2& ode) {
+  segments_.push_back({t0, x0, ode});
+}
+
+void PiecewiseTrajectory::switch_mode(double t, const AffineOde2& ode) {
+  CHARLIE_ASSERT_MSG(t >= segments_.back().t_start,
+                     "mode switches must be time-ordered");
+  const Vec2 x = state_at(t);
+  segments_.push_back({t, x, ode});
+}
+
+const PiecewiseTrajectory::Segment& PiecewiseTrajectory::segment_for(
+    double t) const {
+  CHARLIE_ASSERT_MSG(t >= t_begin() - 1e-18,
+                     "state requested before trajectory start");
+  // Last segment whose t_start <= t. upper_bound finds the first segment
+  // strictly after t; step back one.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](double value, const Segment& s) { return value < s.t_start; });
+  if (it != segments_.begin()) --it;
+  return *it;
+}
+
+Vec2 PiecewiseTrajectory::state_at(double t) const {
+  const Segment& s = segment_for(t);
+  return s.ode.state_at(t - s.t_start, s.x_start);
+}
+
+Vec2 PiecewiseTrajectory::derivative_at(double t) const {
+  const Segment& s = segment_for(t);
+  return s.ode.derivative(s.ode.state_at(t - s.t_start, s.x_start));
+}
+
+}  // namespace charlie::ode

@@ -1,0 +1,49 @@
+// Piecewise-affine ("hybrid") trajectory: a sequence of affine ODE modes
+// switched at given times, with the state kept continuous across switches.
+//
+// The hybrid NOR model drives this engine: every input threshold crossing
+// appends a mode switch, and the output waveform is read back via state_at.
+#pragma once
+
+#include <vector>
+
+#include "ode/linear_ode2.hpp"
+
+namespace charlie::ode {
+
+class PiecewiseTrajectory {
+ public:
+  /// Begin a trajectory at absolute time `t0` with state `x0` evolving
+  /// under `ode`.
+  PiecewiseTrajectory(double t0, const Vec2& x0, const AffineOde2& ode);
+
+  /// Switch to a new mode at absolute time `t` (must be >= the previous
+  /// switch time). The state at `t` is computed from the current segment and
+  /// becomes the new segment's initial condition, guaranteeing continuity.
+  void switch_mode(double t, const AffineOde2& ode);
+
+  /// Exact state at absolute time `t` (t >= t_begin; extrapolates within the
+  /// last segment for t beyond the final switch).
+  Vec2 state_at(double t) const;
+
+  /// Time derivative of the state at `t`.
+  Vec2 derivative_at(double t) const;
+
+  double t_begin() const { return segments_.front().t_start; }
+  double t_last_switch() const { return segments_.back().t_start; }
+  std::size_t n_segments() const { return segments_.size(); }
+
+  struct Segment {
+    double t_start;
+    Vec2 x_start;
+    AffineOde2 ode;
+  };
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  const Segment& segment_for(double t) const;
+
+  std::vector<Segment> segments_;
+};
+
+}  // namespace charlie::ode

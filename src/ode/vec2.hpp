@@ -1,0 +1,44 @@
+// Two-component vector used for the (V_N, V_O) hybrid-model state.
+#pragma once
+
+#include <cmath>
+
+namespace charlie::ode {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  double norm() const { return std::hypot(x, y); }
+  double norm_inf() const { return std::max(std::fabs(x), std::fabs(y)); }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+}  // namespace charlie::ode

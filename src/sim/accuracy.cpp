@@ -1,0 +1,86 @@
+#include "sim/accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/run_channel.hpp"
+#include "util/error.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "waveform/digitize.hpp"
+#include "waveform/metrics.hpp"
+
+namespace charlie::sim {
+
+AccuracyOptions::AccuracyOptions() {
+  // Crossing-time fidelity of ~0.1 ps is ample for ps-scale deviation
+  // areas; keep the analog runs fast.
+  transient.v_abstol = 5e-5;
+  transient.v_reltol = 5e-4;
+}
+
+AccuracyResult evaluate_accuracy(const spice::Technology& tech,
+                                 const waveform::TraceConfig& config,
+                                 const std::vector<ModelUnderTest>& models,
+                                 const AccuracyOptions& options) {
+  CHARLIE_ASSERT(!models.empty());
+  const auto baseline_it =
+      std::find_if(models.begin(), models.end(),
+                   [](const ModelUnderTest& m) { return m.is_baseline; });
+  CHARLIE_ASSERT_MSG(baseline_it != models.end(),
+                     "accuracy: a baseline model is required");
+  const std::size_t baseline_index =
+      static_cast<std::size_t>(baseline_it - models.begin());
+
+  util::Rng rng(options.seed);
+  std::vector<std::vector<double>> areas(models.size());
+
+  AccuracyResult result;
+  result.config_label = config.label();
+
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    util::Rng rep_rng = rng.fork();
+    // Leave room for the first edge's ramp to develop.
+    waveform::TraceConfig cfg = config;
+    cfg.t_start = 2.0 * tech.input_rise_time;
+    const auto traces = waveform::generate_traces(cfg, 2, rep_rng);
+    double t_last = cfg.t_start;
+    for (const auto& trace : traces) {
+      if (!trace.empty()) t_last = std::max(t_last, trace.transitions().back());
+    }
+    const double t_end = t_last + options.tail_time;
+
+    // Golden analog reference.
+    const auto analog =
+        spice::run_nor2(tech, traces[0], traces[1], t_end, options.transient);
+    const auto golden = waveform::digitize(analog.vo, tech.vth());
+    // Digital models see the digitized analog inputs, so runt pulses that
+    // never reach V_th are absent for every model consistently.
+    const auto a_dig = waveform::digitize(analog.va, tech.vth());
+    const auto b_dig = waveform::digitize(analog.vb, tech.vth());
+    result.golden_transitions += static_cast<long>(golden.n_transitions());
+
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      auto channel = models[m].make();
+      const auto out =
+          run_gate_channel(*channel, a_dig, b_dig, 0.0, t_end);
+      areas[m].push_back(
+          waveform::deviation_area(golden, out, 0.0, t_end));
+    }
+  }
+
+  const double baseline_mean = math::mean(areas[baseline_index]);
+  CHARLIE_ASSERT_MSG(baseline_mean > 0.0,
+                     "accuracy: baseline produced zero deviation area");
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    ModelAccuracy acc;
+    acc.name = models[m].name;
+    acc.mean_area = math::mean(areas[m]);
+    acc.stddev_area = math::stddev(areas[m]);
+    acc.normalized = acc.mean_area / baseline_mean;
+    result.models.push_back(std::move(acc));
+  }
+  return result;
+}
+
+}  // namespace charlie::sim

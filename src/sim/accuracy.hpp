@@ -1,0 +1,57 @@
+// Deviation-area accuracy pipeline (the paper's Section VI experiment).
+//
+// For each repetition: generate random input traces per the waveform
+// configuration, obtain the golden output by running the transistor-level
+// NOR2 on the analog substrate and digitizing V_O at V_th, run every delay
+// model on the digitized analog inputs, and accumulate the deviation area
+// |model - golden|. Results are averaged over repetitions and normalized
+// against the inertial-delay baseline, exactly as in Fig 7.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "spice/characterize.hpp"
+#include "waveform/generator.hpp"
+
+namespace charlie::sim {
+
+struct ModelUnderTest {
+  std::string name;
+  /// Fresh channel per repetition (channels are stateful).
+  std::function<std::unique_ptr<GateChannel>()> make;
+  bool is_baseline = false;  // normalization reference (inertial delay)
+};
+
+struct AccuracyOptions {
+  int repetitions = 3;
+  std::uint64_t seed = 20220314;  // DATE'22 conference date
+  double tail_time = 500e-12;     // observation margin after the last edge
+  spice::TransientOptions transient;
+
+  AccuracyOptions();
+};
+
+struct ModelAccuracy {
+  std::string name;
+  double mean_area = 0.0;        // averaged deviation area [s]
+  double stddev_area = 0.0;      // across repetitions
+  double normalized = 0.0;       // mean_area / baseline mean_area
+};
+
+struct AccuracyResult {
+  std::string config_label;
+  std::vector<ModelAccuracy> models;
+  long golden_transitions = 0;   // total golden output transitions
+};
+
+/// Run the experiment for one waveform configuration.
+AccuracyResult evaluate_accuracy(const spice::Technology& tech,
+                                 const waveform::TraceConfig& config,
+                                 const std::vector<ModelUnderTest>& models,
+                                 const AccuracyOptions& options = {});
+
+}  // namespace charlie::sim

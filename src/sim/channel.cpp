@@ -1,0 +1,7 @@
+#include "sim/channel.hpp"
+
+namespace charlie::sim {
+
+// Interface-only translation unit: keeps the vtables anchored here.
+
+}  // namespace charlie::sim

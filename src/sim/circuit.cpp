@@ -1,0 +1,266 @@
+#include "sim/circuit.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace charlie::sim {
+
+bool eval_gate(GateKind kind, std::span<const bool> in) {
+  switch (kind) {
+    case GateKind::kBuf:
+      CHARLIE_ASSERT(in.size() == 1);
+      return in[0];
+    case GateKind::kInv:
+      CHARLIE_ASSERT(in.size() == 1);
+      return !in[0];
+    case GateKind::kAnd2:
+      CHARLIE_ASSERT(in.size() == 2);
+      return in[0] && in[1];
+    case GateKind::kOr2:
+      CHARLIE_ASSERT(in.size() == 2);
+      return in[0] || in[1];
+    case GateKind::kNand2:
+      CHARLIE_ASSERT(in.size() == 2);
+      return !(in[0] && in[1]);
+    case GateKind::kNor2:
+      CHARLIE_ASSERT(in.size() == 2);
+      return !(in[0] || in[1]);
+    case GateKind::kXor2:
+      CHARLIE_ASSERT(in.size() == 2);
+      return in[0] != in[1];
+  }
+  CHARLIE_ASSERT_MSG(false, "invalid gate kind");
+  return false;
+}
+
+Circuit::NetId Circuit::new_net(const std::string& name) {
+  if (net_ids_.count(name) > 0) {
+    throw ConfigError("circuit: duplicate net name: " + name);
+  }
+  const NetId id = static_cast<NetId>(net_names_.size());
+  net_names_.push_back(name);
+  net_ids_[name] = id;
+  fanout_.emplace_back();
+  return id;
+}
+
+Circuit::NetId Circuit::add_input(const std::string& name) {
+  const NetId id = new_net(name);
+  primary_inputs_.push_back(id);
+  return id;
+}
+
+Circuit::NetId Circuit::add_gate(GateKind kind,
+                                 const std::string& output_name,
+                                 std::vector<NetId> inputs,
+                                 std::unique_ptr<SisChannel> channel) {
+  CHARLIE_ASSERT(channel != nullptr);
+  const std::size_t arity =
+      (kind == GateKind::kBuf || kind == GateKind::kInv) ? 1 : 2;
+  CHARLIE_ASSERT_MSG(inputs.size() == arity, "circuit: wrong gate arity");
+  const NetId out = new_net(output_name);
+  Gate gate;
+  gate.kind = kind;
+  gate.inputs = std::move(inputs);
+  gate.output = out;
+  gate.sis = std::move(channel);
+  gate.in_values.assign(gate.inputs.size(), false);
+  const std::size_t index = gates_.size();
+  for (std::size_t port = 0; port < gate.inputs.size(); ++port) {
+    CHARLIE_ASSERT(gate.inputs[port] >= 0 &&
+                   gate.inputs[port] < static_cast<NetId>(n_nets()));
+    fanout_[gate.inputs[port]].push_back({index, static_cast<int>(port)});
+  }
+  gates_.push_back(std::move(gate));
+  return out;
+}
+
+Circuit::NetId Circuit::add_nor2_mis(const std::string& output_name, NetId a,
+                                     NetId b,
+                                     std::unique_ptr<GateChannel> channel) {
+  CHARLIE_ASSERT(channel != nullptr);
+  CHARLIE_ASSERT(channel->n_inputs() == 2);
+  const NetId out = new_net(output_name);
+  Gate gate;
+  gate.kind = GateKind::kNor2;
+  gate.inputs = {a, b};
+  gate.output = out;
+  gate.mis = std::move(channel);
+  gate.in_values.assign(2, false);
+  const std::size_t index = gates_.size();
+  fanout_[a].push_back({index, 0});
+  fanout_[b].push_back({index, 1});
+  gates_.push_back(std::move(gate));
+  return out;
+}
+
+Circuit::NetId Circuit::find_net(const std::string& name) const {
+  const auto it = net_ids_.find(name);
+  if (it == net_ids_.end()) throw ConfigError("circuit: unknown net " + name);
+  return it->second;
+}
+
+const std::string& Circuit::net_name(NetId id) const {
+  CHARLIE_ASSERT(id >= 0 && id < static_cast<NetId>(n_nets()));
+  return net_names_[static_cast<std::size_t>(id)];
+}
+
+const waveform::DigitalTrace& Circuit::SimResult::trace(NetId id) const {
+  CHARLIE_ASSERT(id >= 0 && id < static_cast<NetId>(traces.size()));
+  return traces[static_cast<std::size_t>(id)];
+}
+
+namespace {
+
+struct QueuedEvent {
+  double t = 0.0;
+  long seq = 0;           // FIFO tie-break
+  bool is_stimulus = false;
+  // Stimulus payload:
+  Circuit::NetId net = -1;
+  bool value = false;
+  // Gate-fire payload:
+  std::size_t gate = 0;
+  long generation = 0;
+
+  bool operator>(const QueuedEvent& o) const {
+    if (t != o.t) return t > o.t;
+    return seq > o.seq;
+  }
+};
+
+}  // namespace
+
+Circuit::SimResult Circuit::simulate(
+    const std::vector<waveform::DigitalTrace>& stimuli, double t_begin,
+    double t_end) {
+  CHARLIE_ASSERT(t_end > t_begin);
+  CHARLIE_ASSERT_MSG(stimuli.size() == primary_inputs_.size(),
+                     "circuit: one stimulus trace per primary input");
+
+  // --- steady-state initialization (topological settle) -------------------
+  std::vector<bool> net_value(n_nets(), false);
+  for (std::size_t i = 0; i < stimuli.size(); ++i) {
+    net_value[primary_inputs_[i]] = stimuli[i].value_at(t_begin);
+  }
+  // Gates were appended after their input nets exist, so a forward sweep
+  // settles an acyclic circuit (two passes as a fixpoint safety net).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (auto& gate : gates_) {
+      bool tmp[2] = {false, false};
+      for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
+        gate.in_values[p] = net_value[gate.inputs[p]];
+        tmp[p] = gate.in_values[p];
+      }
+      gate.zero_time_value = eval_gate(
+          gate.kind, std::span<const bool>(tmp, gate.inputs.size()));
+      net_value[gate.output] = gate.zero_time_value;
+    }
+  }
+  for (auto& gate : gates_) {
+    if (gate.sis) {
+      gate.sis->initialize(t_begin, gate.zero_time_value);
+    } else {
+      gate.mis->initialize(t_begin,
+                           {gate.in_values[0], gate.in_values[1]});
+    }
+    gate.generation = 0;
+  }
+
+  SimResult result;
+  result.traces.reserve(n_nets());
+  for (std::size_t i = 0; i < n_nets(); ++i) {
+    result.traces.emplace_back(net_value[i], std::vector<double>{});
+  }
+
+  // --- event queue ---------------------------------------------------------
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
+      queue;
+  long seq = 0;
+  for (std::size_t i = 0; i < stimuli.size(); ++i) {
+    const auto& trace = stimuli[i];
+    for (std::size_t k = 0; k < trace.n_transitions(); ++k) {
+      const double t = trace.transitions()[k];
+      if (t <= t_begin || t > t_end) continue;
+      QueuedEvent ev;
+      ev.t = t;
+      ev.seq = seq++;
+      ev.is_stimulus = true;
+      ev.net = primary_inputs_[i];
+      ev.value = trace.is_rising(k);
+      queue.push(ev);
+    }
+  }
+
+  auto reschedule = [&](std::size_t gate_index) {
+    Gate& gate = gates_[gate_index];
+    ++gate.generation;
+    const auto pending =
+        gate.sis ? gate.sis->pending() : gate.mis->pending();
+    if (pending.has_value() && pending->t <= t_end) {
+      QueuedEvent ev;
+      ev.t = pending->t;
+      ev.seq = seq++;
+      ev.is_stimulus = false;
+      ev.gate = gate_index;
+      ev.generation = gate.generation;
+      ev.value = pending->value;
+      queue.push(ev);
+    }
+  };
+
+  // Forward declaration pattern: net toggle -> notify fanout channels.
+  auto propagate_net_change = [&](NetId net, double t, bool value) {
+    if (net_value[net] == value) return;  // defensive
+    net_value[net] = value;
+    result.traces[net].append_transition(t);
+    for (const auto& [gate_index, port] : fanout_[net]) {
+      Gate& gate = gates_[gate_index];
+      gate.in_values[static_cast<std::size_t>(port)] = value;
+      if (gate.sis) {
+        bool tmp[2] = {gate.in_values[0],
+                       gate.in_values.size() > 1 ? gate.in_values[1] : false};
+        const bool nv = eval_gate(
+            gate.kind, std::span<const bool>(tmp, gate.inputs.size()));
+        if (nv != gate.zero_time_value) {
+          gate.zero_time_value = nv;
+          gate.sis->on_input(t, nv);
+        }
+      } else {
+        gate.mis->on_input(t, port, value);
+      }
+      reschedule(gate_index);
+    }
+  };
+
+  while (!queue.empty()) {
+    const QueuedEvent ev = queue.top();
+    queue.pop();
+    ++result.n_events;
+    if (ev.is_stimulus) {
+      propagate_net_change(ev.net, ev.t, ev.value);
+      continue;
+    }
+    Gate& gate = gates_[ev.gate];
+    if (ev.generation != gate.generation) continue;  // superseded
+    const auto pending =
+        gate.sis ? gate.sis->pending() : gate.mis->pending();
+    if (!pending.has_value() || pending->t != ev.t ||
+        pending->value != ev.value) {
+      continue;  // stale
+    }
+    if (gate.sis) {
+      gate.sis->on_fire(*pending);
+    } else {
+      gate.mis->on_fire(*pending);
+    }
+    reschedule(ev.gate);
+    propagate_net_change(gate.output, ev.t, ev.value);
+  }
+
+  return result;
+}
+
+}  // namespace charlie::sim

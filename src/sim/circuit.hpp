@@ -1,0 +1,94 @@
+// Event-driven digital timing simulation of gate-level circuits.
+//
+// Architecture per the Involution Tool: zero-time boolean gates whose
+// outputs drive delay channels. Any SisChannel can decorate any gate; NOR2
+// gates can alternatively carry a native two-input MIS-aware channel
+// (HybridNorChannel), which is the paper's extension.
+//
+// The circuit must be combinational (acyclic); stimuli are digital traces
+// on the primary inputs.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "waveform/digital_trace.hpp"
+
+namespace charlie::sim {
+
+enum class GateKind {
+  kBuf,
+  kInv,
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2,
+};
+
+/// Zero-time boolean function of a gate.
+bool eval_gate(GateKind kind, std::span<const bool> inputs);
+
+class Circuit {
+ public:
+  using NetId = int;
+
+  /// Declare a primary input net.
+  NetId add_input(const std::string& name);
+
+  /// Add a gate: zero-time boolean `kind` + SIS delay channel at the
+  /// output. Returns the output net.
+  NetId add_gate(GateKind kind, const std::string& output_name,
+                 std::vector<NetId> inputs,
+                 std::unique_ptr<SisChannel> channel);
+
+  /// Add a NOR2 with a native two-input gate channel (MIS-aware).
+  NetId add_nor2_mis(const std::string& output_name, NetId a, NetId b,
+                     std::unique_ptr<GateChannel> channel);
+
+  NetId find_net(const std::string& name) const;
+  const std::string& net_name(NetId id) const;
+  std::size_t n_nets() const { return net_names_.size(); }
+  std::size_t n_gates() const { return gates_.size(); }
+
+  struct SimResult {
+    std::vector<waveform::DigitalTrace> traces;  // indexed by NetId
+    long n_events = 0;
+
+    const waveform::DigitalTrace& trace(NetId id) const;
+  };
+
+  /// Simulate with `stimuli[i]` driving the i-th declared input (order of
+  /// add_input calls) over [t_begin, t_end].
+  SimResult simulate(const std::vector<waveform::DigitalTrace>& stimuli,
+                     double t_begin, double t_end);
+
+ private:
+  struct Gate {
+    GateKind kind = GateKind::kBuf;
+    std::vector<NetId> inputs;
+    NetId output = -1;
+    // Exactly one of the two channels is set.
+    std::unique_ptr<SisChannel> sis;
+    std::unique_ptr<GateChannel> mis;
+    // Simulation state:
+    std::vector<bool> in_values;
+    bool zero_time_value = false;  // boolean gate output (pre-channel)
+    long generation = 0;           // invalidates stale queued firings
+  };
+
+  NetId new_net(const std::string& name);
+
+  std::vector<std::string> net_names_;
+  std::unordered_map<std::string, NetId> net_ids_;
+  std::vector<NetId> primary_inputs_;
+  std::vector<Gate> gates_;
+  std::vector<std::vector<std::pair<std::size_t, int>>> fanout_;
+  // fanout_[net] = list of (gate index, port)
+};
+
+}  // namespace charlie::sim

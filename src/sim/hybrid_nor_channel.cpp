@@ -1,0 +1,254 @@
+#include "sim/hybrid_nor_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fit/brent_root.hpp"
+#include "util/error.hpp"
+
+namespace charlie::sim {
+
+HybridNorChannel::HybridNorChannel(const core::NorParams& params)
+    : params_(params) {
+  params_.validate();
+  double slowest = 0.0;
+  for (core::Mode m : core::kAllModes) {
+    const ode::Eigen2 eig = core::mode_ode(m, params_).eigen();
+    for (double lambda : {eig.lambda1, eig.lambda2}) {
+      if (lambda < 0.0) slowest = std::max(slowest, 1.0 / -lambda);
+    }
+  }
+  horizon_ = 60.0 * slowest;
+}
+
+void HybridNorChannel::initialize(double t0, const std::vector<bool>& values) {
+  CHARLIE_ASSERT(values.size() == 2);
+  in_a_ = values[0];
+  in_b_ = values[1];
+  mode_ = core::mode_from_inputs(in_a_, in_b_);
+  ode_ = core::mode_ode(mode_, params_);
+  t_ref_ = t0;
+  // Steady state; the isolated V_N of (1,1) defaults to the paper's GND
+  // worst case.
+  x_ref_ = core::mode_steady_state(mode_, params_, 0.0);
+  output_ = core::mode_output(mode_);
+  refresh_scalar();
+  committed_.clear();
+  live_.reset();
+}
+
+std::optional<PendingEvent> HybridNorChannel::pending() const {
+  if (!committed_.empty()) return committed_.front();
+  return live_;
+}
+
+ode::Vec2 HybridNorChannel::state_at(double t) const {
+  CHARLIE_ASSERT(t >= t_ref_ - 1e-18);
+  if (t <= t_ref_) return x_ref_;
+  return ode_.state_at(t - t_ref_, x_ref_);
+}
+
+void HybridNorChannel::refresh_scalar() {
+  scalar_ = ScalarVo{};
+  const auto& eig = ode_.eigen();
+  const ode::Mat2& a = ode_.a();
+  if (eig.kind == ode::EigenKind::kRealDistinct) {
+    // Spectral projectors: P1 = (A - l2 I)/(l1 - l2), P2 = I - P1.
+    const double l1 = eig.lambda1;
+    const double l2 = eig.lambda2;
+    // Deviation from the particular solution. For singular A (mode (1,1))
+    // one eigenvalue is 0 and g = 0, so the homogeneous form with xp = 0
+    // is exact; otherwise xp is the equilibrium.
+    ode::Vec2 xp{0.0, 0.0};
+    double d = 0.0;
+    if (ode_.has_equilibrium()) {
+      xp = ode_.equilibrium();
+      d = xp.y;
+    }
+    const ode::Vec2 dev = x_ref_ - xp;
+    const double inv = 1.0 / (l1 - l2);
+    const ode::Mat2 p1 =
+        (a - l2 * ode::Mat2::identity()) * inv;
+    const ode::Vec2 c1 = p1 * dev;
+    const ode::Vec2 c2 = dev - c1;
+    scalar_.valid = true;
+    scalar_.d = d;
+    scalar_.a1 = c1.y;
+    scalar_.l1 = l1;
+    scalar_.a2 = c2.y;
+    scalar_.l2 = l2;
+    // A zero eigenvalue folds its (constant) component into d.
+    if (l1 == 0.0) {
+      scalar_.d += scalar_.a1;
+      scalar_.a1 = 0.0;
+    }
+    if (l2 == 0.0) {
+      scalar_.d += scalar_.a2;
+      scalar_.a2 = 0.0;
+    }
+  } else if (eig.kind == ode::EigenKind::kRealRepeated) {
+    // A = lambda I: V_O decays independently.
+    ode::Vec2 xp{0.0, 0.0};
+    double d = 0.0;
+    if (ode_.has_equilibrium()) {
+      xp = ode_.equilibrium();
+      d = xp.y;
+    }
+    scalar_.valid = true;
+    scalar_.d = d;
+    scalar_.a1 = 0.0;
+    scalar_.l1 = 0.0;
+    scalar_.a2 = x_ref_.y - xp.y;
+    scalar_.l2 = eig.lambda1;
+  }
+  // Defective / complex: leave invalid and use the generic scan.
+}
+
+double HybridNorChannel::vo_scalar(double tau) const {
+  return scalar_.d + scalar_.a1 * std::exp(scalar_.l1 * tau) +
+         scalar_.a2 * std::exp(scalar_.l2 * tau);
+}
+
+std::optional<PendingEvent> HybridNorChannel::next_crossing(
+    double t_from) const {
+  if (!scalar_.valid) return next_crossing_scan(t_from);
+
+  const double vth = params_.vth();
+  auto f = [&](double tau) { return vo_scalar(tau) - vth; };
+  const double tau0 = std::max(t_from - t_ref_, 0.0);
+  const double tau_end = tau0 + horizon_;
+  const double f0 = f(tau0);
+  const double fd = scalar_.d - vth;  // asymptotic value (l1, l2 <= 0)
+
+  auto found = [&](double tau_lo, double tau_hi,
+                   bool rising) -> std::optional<PendingEvent> {
+    const double tau_c = fit::brent_root(f, tau_lo, tau_hi);
+    return PendingEvent{t_ref_ + tau_c, rising};
+  };
+
+  // Interior extremum of f: f'(tau*) = 0 with
+  // a1 l1 e^{l1 tau} = -a2 l2 e^{l2 tau}.
+  double tau_star = -1.0;
+  const double p = scalar_.a1 * scalar_.l1;
+  const double q = scalar_.a2 * scalar_.l2;
+  if (p != 0.0 && q != 0.0 && scalar_.l1 != scalar_.l2 && -q / p > 0.0) {
+    tau_star = std::log(-q / p) / (scalar_.l1 - scalar_.l2);
+  }
+
+  if (tau_star > tau0 && tau_star < tau_end) {
+    const double f_star = f(tau_star);
+    if (f0 != 0.0 && f0 * f_star < 0.0) {
+      return found(tau0, tau_star, f_star > 0.0);
+    }
+    if (f_star == 0.0) {
+      // Tangent touch: not a crossing; continue past it.
+    }
+    // No crossing before the extremum; check the tail beyond it.
+    if (f_star * fd < 0.0) {
+      // The tail decays monotonically from f_star toward fd: bracket by
+      // expansion.
+      const auto bracket = fit::expand_bracket_right(
+          f, tau_star, tau_star + 1e-12, tau_end);
+      if (bracket.has_value()) {
+        return found(bracket->first, bracket->second, fd > 0.0);
+      }
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  // No interior extremum after tau0: f is monotone toward fd.
+  if (f0 != 0.0 && f0 * fd < 0.0) {
+    const auto bracket =
+        fit::expand_bracket_right(f, tau0, tau0 + 1e-12, tau_end);
+    if (bracket.has_value()) {
+      return found(bracket->first, bracket->second, fd > 0.0);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PendingEvent> HybridNorChannel::next_crossing_scan(
+    double t_from) const {
+  const double vth = params_.vth();
+  auto f = [&](double t) { return state_at(t).y - vth; };
+
+  // Scan at a fraction of the fastest time constant of the current mode,
+  // but never more than ~4k evaluations per search window.
+  const auto& eig = ode_.eigen();
+  const double fastest =
+      std::max(std::fabs(eig.lambda1), std::fabs(eig.lambda2));
+  double step = fastest > 0.0 ? 0.125 / fastest : horizon_ / 64.0;
+  step = std::max(step, horizon_ / 4096.0);
+
+  double a = t_from;
+  double fa = f(a);
+  const double t_end = t_from + horizon_;
+  while (a < t_end) {
+    const double b = std::min(a + step, t_end);
+    const double fb = f(b);
+    if (fa != 0.0 && fa * fb <= 0.0) {
+      const double tc = fb == 0.0 ? b : fit::brent_root(f, a, b);
+      return PendingEvent{tc, fb > 0.0 || (fb == 0.0 && fa < 0.0)};
+    }
+    a = b;
+    fa = fb;
+  }
+  return std::nullopt;
+}
+
+void HybridNorChannel::on_input(double t, int port, bool value) {
+  CHARLIE_ASSERT(port == 0 || port == 1);
+  const double te = t + params_.delta_min;  // pure delay defers the switch
+  CHARLIE_ASSERT_MSG(te >= t_ref_ - 1e-18,
+                     "hybrid channel: out-of-order input");
+
+  // A live crossing earlier than the effective switch time has physically
+  // happened already -- the new input cannot cancel it (the pure delay
+  // shifts the *effect* of the input past it). Promote it to the committed
+  // queue; only crossings after te are recomputed.
+  double search_from = te;
+  if (live_.has_value() && live_->t <= te) {
+    committed_.push_back(*live_);
+    // Multiple same-mode crossings before te would have been discovered
+    // one at a time via on_fire; find any others up to te now.
+    double from = live_->t + 1e-18;
+    live_.reset();
+    while (true) {
+      const auto extra = next_crossing(from);
+      if (!extra.has_value() || extra->t > te) break;
+      committed_.push_back(*extra);
+      from = extra->t + 1e-18;
+    }
+  } else {
+    live_.reset();
+  }
+
+  // Evolve the analog state to the switch instant, then change mode.
+  x_ref_ = state_at(te);
+  t_ref_ = te;
+  if (port == 0) {
+    in_a_ = value;
+  } else {
+    in_b_ = value;
+  }
+  mode_ = core::mode_from_inputs(in_a_, in_b_);
+  ode_ = core::mode_ode(mode_, params_);
+  refresh_scalar();
+
+  live_ = next_crossing(search_from);
+}
+
+void HybridNorChannel::on_fire(const PendingEvent& fired) {
+  output_ = fired.value;
+  if (!committed_.empty()) {
+    committed_.pop_front();
+    return;
+  }
+  CHARLIE_ASSERT(live_.has_value());
+  // The waveform may cross again within the same mode (non-monotone V_O);
+  // keep looking just past the crossing.
+  live_ = next_crossing(fired.t + 1e-18);
+}
+
+}  // namespace charlie::sim

@@ -1,0 +1,79 @@
+// The paper's contribution as a simulation channel: a two-input, MIS-aware
+// delay channel for a NOR gate, driven by the four-mode hybrid ODE model.
+//
+// The channel integrates the exact closed-form mode trajectories of
+// (V_N, V_O). Every input threshold crossing switches the mode after the
+// pure delay delta_min; output events are V_O = VDD/2 crossings of the
+// resulting piecewise-exponential waveform. Cancellation (glitch
+// suppression) follows automatically: if a mode switch makes a pending
+// crossing unreachable, it simply never happens.
+//
+// Unlike the single-input Exp-Channel, this channel sees *which* input
+// switched and *when*, so all the MIS behaviour of Sections III-IV --
+// speed-up for near-simultaneous rising inputs, the V_N history effect --
+// carries over to trace simulation.
+#pragma once
+
+#include <deque>
+
+#include "core/modes.hpp"
+#include "core/nor_params.hpp"
+#include "ode/linear_ode2.hpp"
+#include "sim/channel.hpp"
+
+namespace charlie::sim {
+
+class HybridNorChannel final : public GateChannel {
+ public:
+  explicit HybridNorChannel(const core::NorParams& params);
+
+  int n_inputs() const override { return 2; }
+  void initialize(double t0, const std::vector<bool>& values) override;
+  void on_input(double t, int port, bool value) override;
+  void on_fire(const PendingEvent& fired) override;
+  std::optional<PendingEvent> pending() const override;
+  bool initial_output() const override { return output_; }
+
+  /// Current analog state (V_N, V_O) at time t >= last event time.
+  ode::Vec2 state_at(double t) const;
+  core::Mode mode() const { return mode_; }
+
+ private:
+  std::optional<PendingEvent> next_crossing(double t_from) const;
+  std::optional<PendingEvent> next_crossing_scan(double t_from) const;
+
+  // Scalar expansion of the output voltage on the current segment:
+  //   V_O(t_ref_ + tau) = d + a1 e^{l1 tau} + a2 e^{l2 tau}.
+  // A two-exponential-plus-constant has at most one interior extremum and
+  // at most two threshold crossings, so the crossing search reduces to a
+  // handful of evaluations instead of a linear scan (hot path for
+  // event-driven simulation).
+  struct ScalarVo {
+    bool valid = false;  // false: fall back to the generic scan
+    double d = 0.0;
+    double a1 = 0.0;
+    double l1 = 0.0;
+    double a2 = 0.0;
+    double l2 = 0.0;
+  };
+  void refresh_scalar();
+  double vo_scalar(double tau) const;
+
+  core::NorParams params_;
+  ode::AffineOde2 ode_;     // current mode's system
+  core::Mode mode_ = core::Mode::kS00;
+  ScalarVo scalar_{};
+  bool in_a_ = false;       // logical input values (post pure delay)
+  bool in_b_ = false;
+  double t_ref_ = 0.0;      // time of the state snapshot
+  ode::Vec2 x_ref_{};       // (V_N, V_O) at t_ref_
+  bool output_ = false;
+  // Crossings that precede the effective time of the latest input are
+  // physically decided and can no longer be cancelled; the live crossing
+  // of the current mode can. See on_input.
+  std::deque<PendingEvent> committed_;
+  std::optional<PendingEvent> live_;
+  double horizon_ = 0.0;    // crossing search window (60 slow taus)
+};
+
+}  // namespace charlie::sim

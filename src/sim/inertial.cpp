@@ -1,0 +1,39 @@
+#include "sim/inertial.hpp"
+
+#include "util/error.hpp"
+
+namespace charlie::sim {
+
+InertialChannel::InertialChannel(double delay_up, double delay_down)
+    : delay_up_(delay_up), delay_down_(delay_down) {
+  CHARLIE_ASSERT(delay_up >= 0.0 && delay_down >= 0.0);
+}
+
+void InertialChannel::initialize(double t0, bool value) {
+  (void)t0;
+  output_ = value;
+  pending_.reset();
+}
+
+void InertialChannel::on_input(double t, bool value) {
+  if (pending_.has_value()) {
+    // The pulse between the previous input transition and this one is
+    // shorter than the channel delay: both transitions are swallowed.
+    pending_.reset();
+    CHARLIE_ASSERT_MSG(value == output_,
+                       "inertial channel: input did not alternate");
+    return;
+  }
+  if (value == output_) {
+    return;  // no-op transition (can follow a cancellation)
+  }
+  pending_ = PendingEvent{t + (value ? delay_up_ : delay_down_), value};
+}
+
+void InertialChannel::on_fire(const PendingEvent& fired) {
+  CHARLIE_ASSERT(pending_.has_value());
+  output_ = fired.value;
+  pending_.reset();
+}
+
+}  // namespace charlie::sim

@@ -1,0 +1,28 @@
+// Inertial delay channel: constant rise/fall delay, with pulse rejection --
+// an input transition arriving while a previous output event is still
+// pending annihilates both (the classic inertial cancellation, equivalent
+// to suppressing pulses shorter than the delay).
+#pragma once
+
+#include "sim/channel.hpp"
+
+namespace charlie::sim {
+
+class InertialChannel final : public SisChannel {
+ public:
+  InertialChannel(double delay_up, double delay_down);
+
+  void initialize(double t0, bool value) override;
+  void on_input(double t, bool value) override;
+  void on_fire(const PendingEvent& fired) override;
+  std::optional<PendingEvent> pending() const override { return pending_; }
+  bool initial_output() const override { return output_; }
+
+ private:
+  double delay_up_;
+  double delay_down_;
+  bool output_ = false;  // committed output value
+  std::optional<PendingEvent> pending_;
+};
+
+}  // namespace charlie::sim

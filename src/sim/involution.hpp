@@ -1,0 +1,31 @@
+// Involution-property utilities.
+//
+// A delay-function pair (delta_up, delta_down) is a *negative involution*
+// when -delta_down(-delta_up(T)) = T wherever defined (Fuegger et al.,
+// paper reference [3]) -- the defining property of IDM channels and the
+// reason they model glitch cancellation faithfully. Channels built from
+// monotone analog waveforms satisfy it by construction; these helpers let
+// tests verify it numerically.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace charlie::sim {
+
+/// delta(T): delay for a transition whose previous-output-to-input
+/// separation is T; nullopt = transition cancelled.
+using DelayFunction = std::function<std::optional<double>(double)>;
+
+struct InvolutionCheck {
+  double max_abs_error = 0.0;  // max |(-delta_down(-delta_up(T))) - T|
+  int points_checked = 0;
+  int points_cancelled = 0;  // where either direction cancelled
+};
+
+/// Check -delta_down(-delta_up(T)) = T over `n` points of T in [t_lo, t_hi].
+InvolutionCheck check_involution(const DelayFunction& delta_up,
+                                 const DelayFunction& delta_down,
+                                 double t_lo, double t_hi, int n = 200);
+
+}  // namespace charlie::sim

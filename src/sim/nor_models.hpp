@@ -1,0 +1,59 @@
+// Uniform two-input NOR gate models for the accuracy comparison (Fig 7).
+//
+// Every delay model is wrapped as a GateChannel so the same trace harness
+// drives them all:
+//   * SIS-channel models (inertial, Exp, SumExp, pure) compute the boolean
+//     NOR in zero time and push the value changes through the single-input
+//     channel placed at the gate output -- exactly the Involution Tool
+//     arrangement the paper describes (and whose inability to see which
+//     input switched causes the Exp-Channel's broad-pulse errors);
+//   * the hybrid model is natively two-input (HybridNorChannel).
+#pragma once
+
+#include <memory>
+
+#include "core/nor_params.hpp"
+#include "sim/channel.hpp"
+#include "sim/exp_channel.hpp"
+#include "sim/inertial.hpp"
+#include "sim/pure_delay.hpp"
+#include "sim/sumexp_channel.hpp"
+
+namespace charlie::sim {
+
+/// Zero-time boolean NOR followed by an owned SIS output channel.
+class SisNorGate final : public GateChannel {
+ public:
+  explicit SisNorGate(std::unique_ptr<SisChannel> channel);
+
+  int n_inputs() const override { return 2; }
+  void initialize(double t0, const std::vector<bool>& values) override;
+  void on_input(double t, int port, bool value) override;
+  void on_fire(const PendingEvent& fired) override;
+  std::optional<PendingEvent> pending() const override;
+  bool initial_output() const override;
+
+ private:
+  std::unique_ptr<SisChannel> channel_;
+  bool in_a_ = false;
+  bool in_b_ = false;
+  bool nor_value_ = true;
+};
+
+/// Gate-delay figures used to parametrize the SIS baselines. Following the
+/// paper (Section VI), single-input channels cannot distinguish which input
+/// switched, so they are given the *average* of the two SIS asymptotes per
+/// transition direction.
+struct SisNorDelays {
+  double rise = 0.0;  // average of rise(-inf), rise(+inf)
+  double fall = 0.0;  // average of fall(-inf), fall(+inf)
+};
+
+std::unique_ptr<GateChannel> make_inertial_nor(const SisNorDelays& delays);
+std::unique_ptr<GateChannel> make_pure_nor(const SisNorDelays& delays);
+std::unique_ptr<GateChannel> make_exp_nor(const SisNorDelays& delays,
+                                          double delta_min);
+std::unique_ptr<GateChannel> make_sumexp_nor(const SisNorDelays& delays,
+                                             double delta_min);
+
+}  // namespace charlie::sim

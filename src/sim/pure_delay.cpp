@@ -1,0 +1,31 @@
+#include "sim/pure_delay.hpp"
+
+#include "util/error.hpp"
+
+namespace charlie::sim {
+
+PureDelayChannel::PureDelayChannel(double delay) : delay_(delay) {
+  CHARLIE_ASSERT_MSG(delay >= 0.0, "pure delay must be non-negative");
+}
+
+void PureDelayChannel::initialize(double t0, bool value) {
+  (void)t0;
+  initial_output_ = value;
+  queue_.clear();
+}
+
+void PureDelayChannel::on_input(double t, bool value) {
+  queue_.push_back({t + delay_, value});
+}
+
+void PureDelayChannel::on_fire(const PendingEvent&) {
+  CHARLIE_ASSERT(!queue_.empty());
+  queue_.pop_front();
+}
+
+std::optional<PendingEvent> PureDelayChannel::pending() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.front();
+}
+
+}  // namespace charlie::sim

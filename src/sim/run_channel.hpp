@@ -1,0 +1,18 @@
+// Trace-level harness: drive a two-input gate channel with digital input
+// traces and collect the output trace.
+#pragma once
+
+#include "sim/channel.hpp"
+#include "waveform/digital_trace.hpp"
+
+namespace charlie::sim {
+
+/// Simulate `channel` on inputs (a, b) over [t_begin, t_end]. The channel
+/// is initialized to the inputs' initial values at t_begin; output events
+/// after t_end are discarded.
+waveform::DigitalTrace run_gate_channel(GateChannel& channel,
+                                        const waveform::DigitalTrace& a,
+                                        const waveform::DigitalTrace& b,
+                                        double t_begin, double t_end);
+
+}  // namespace charlie::sim

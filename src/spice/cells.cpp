@@ -1,0 +1,86 @@
+#include "spice/cells.hpp"
+
+namespace charlie::spice {
+
+Nor2Nodes build_nor2(Netlist& nl, const Technology& tech,
+                     const std::string& prefix) {
+  tech.validate();
+  Nor2Nodes nodes;
+  nodes.vdd = nl.node("vdd");
+  nodes.a = nl.node(prefix + "a");
+  nodes.b = nl.node(prefix + "b");
+  nodes.n = nl.node(prefix + "n");
+  nodes.o = nl.node(prefix + "o");
+
+  // T1: pMOS, gate A, source VDD, drain N.
+  nl.add_pmos(nodes.n, nodes.a, nodes.vdd, tech.pmos);
+  // T2: pMOS, gate B, source N, drain O.
+  nl.add_pmos(nodes.o, nodes.b, nodes.n, tech.pmos);
+  // T3: nMOS, gate A, drain O, source GND.
+  nl.add_nmos(nodes.o, nodes.a, kGround, tech.nmos);
+  // T4: nMOS, gate B, drain O, source GND.
+  nl.add_nmos(nodes.o, nodes.b, kGround, tech.nmos);
+
+  // Node parasitics of Fig 1.
+  nl.add_capacitor(nodes.n, kGround, tech.c_internal);
+  nl.add_capacitor(nodes.o, kGround, tech.c_output);
+
+  // Gate capacitances: the input-to-node coupling paths.
+  if (tech.c_gd > 0.0) {
+    nl.add_capacitor(nodes.a, nodes.n, tech.c_gd);  // T1 gate-drain
+    nl.add_capacitor(nodes.b, nodes.o, tech.c_gd);  // T2 gate-drain
+    nl.add_capacitor(nodes.a, nodes.o, tech.c_gd);  // T3 gate-drain
+    nl.add_capacitor(nodes.b, nodes.o, tech.c_gd);  // T4 gate-drain
+  }
+  if (tech.c_gs > 0.0) {
+    nl.add_capacitor(nodes.a, nodes.vdd, tech.c_gs);  // T1 gate-source
+    nl.add_capacitor(nodes.b, nodes.n, tech.c_gs);    // T2 gate-source
+    nl.add_capacitor(nodes.a, kGround, tech.c_gs);    // T3 gate-source
+    nl.add_capacitor(nodes.b, kGround, tech.c_gs);    // T4 gate-source
+  }
+  return nodes;
+}
+
+InverterNodes build_inverter(Netlist& nl, const Technology& tech,
+                             const std::string& prefix) {
+  tech.validate();
+  InverterNodes nodes;
+  nodes.vdd = nl.node("vdd");
+  nodes.in = nl.node(prefix + "in");
+  nodes.out = nl.node(prefix + "out");
+  nl.add_pmos(nodes.out, nodes.in, nodes.vdd, tech.pmos);
+  nl.add_nmos(nodes.out, nodes.in, kGround, tech.nmos);
+  nl.add_capacitor(nodes.out, kGround, tech.c_output);
+  if (tech.c_gd > 0.0) {
+    nl.add_capacitor(nodes.in, nodes.out, 2.0 * tech.c_gd);
+  }
+  return nodes;
+}
+
+Nand2Nodes build_nand2(Netlist& nl, const Technology& tech,
+                       const std::string& prefix) {
+  tech.validate();
+  Nand2Nodes nodes;
+  nodes.vdd = nl.node("vdd");
+  nodes.a = nl.node(prefix + "a");
+  nodes.b = nl.node(prefix + "b");
+  nodes.m = nl.node(prefix + "m");
+  nodes.o = nl.node(prefix + "o");
+
+  // Parallel pMOS to VDD, series nMOS to ground (A on top).
+  nl.add_pmos(nodes.o, nodes.a, nodes.vdd, tech.pmos);
+  nl.add_pmos(nodes.o, nodes.b, nodes.vdd, tech.pmos);
+  nl.add_nmos(nodes.o, nodes.a, nodes.m, tech.nmos);
+  nl.add_nmos(nodes.m, nodes.b, kGround, tech.nmos);
+
+  nl.add_capacitor(nodes.m, kGround, tech.c_internal);
+  nl.add_capacitor(nodes.o, kGround, tech.c_output);
+  if (tech.c_gd > 0.0) {
+    nl.add_capacitor(nodes.a, nodes.o, 2.0 * tech.c_gd);
+    nl.add_capacitor(nodes.b, nodes.o, tech.c_gd);
+    nl.add_capacitor(nodes.b, nodes.m, tech.c_gd);
+  }
+  return nodes;
+}
+
+}  // namespace charlie::spice

@@ -1,0 +1,52 @@
+// Transistor-level standard cells with explicit parasitics.
+//
+// The NOR2 matches paper Fig 1: pMOS T1 (gate A) from VDD to internal node
+// N, pMOS T2 (gate B) from N to output O, nMOS T3 (gate A) and T4 (gate B)
+// from O to ground. C_N and C_O load the internal and output nodes, and
+// per-device gate capacitances provide the input-output coupling the paper
+// identifies as the cause of the MIS slow-down.
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+#include "spice/technology.hpp"
+
+namespace charlie::spice {
+
+struct Nor2Nodes {
+  NodeId vdd = 0;
+  NodeId a = 0;
+  NodeId b = 0;
+  NodeId n = 0;  // internal p-stack node
+  NodeId o = 0;  // output
+};
+
+/// Instantiate a NOR2 into `netlist`. Nodes are named `<prefix>a`,
+/// `<prefix>b`, `<prefix>n`, `<prefix>o`; the supply node is `vdd`.
+Nor2Nodes build_nor2(Netlist& netlist, const Technology& tech,
+                     const std::string& prefix = "");
+
+struct InverterNodes {
+  NodeId vdd = 0;
+  NodeId in = 0;
+  NodeId out = 0;
+};
+
+/// CMOS inverter with an output load of tech.c_output.
+InverterNodes build_inverter(Netlist& netlist, const Technology& tech,
+                             const std::string& prefix = "");
+
+struct Nand2Nodes {
+  NodeId vdd = 0;
+  NodeId a = 0;
+  NodeId b = 0;
+  NodeId m = 0;  // internal n-stack node
+  NodeId o = 0;
+};
+
+/// NAND2 (dual of the NOR2: series nMOS, parallel pMOS).
+Nand2Nodes build_nand2(Netlist& netlist, const Technology& tech,
+                       const std::string& prefix = "");
+
+}  // namespace charlie::spice

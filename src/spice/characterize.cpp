@@ -1,0 +1,130 @@
+#include "spice/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "waveform/digitize.hpp"
+
+namespace charlie::spice {
+
+CharacterizeOptions::CharacterizeOptions() {
+  transient.v_abstol = 2e-5;
+  transient.v_reltol = 2e-4;
+}
+
+Nor2TransientResult run_nor2(const Technology& tech,
+                             const waveform::DigitalTrace& a,
+                             const waveform::DigitalTrace& b, double t_end,
+                             const TransientOptions& transient_options) {
+  tech.validate();
+  Netlist nl;
+  const Nor2Nodes nodes = build_nor2(nl, tech);
+
+  waveform::EdgeParams edges;
+  edges.v_low = 0.0;
+  edges.v_high = tech.vdd;
+  edges.rise_time = tech.input_rise_time;
+
+  nl.add_vsource(nodes.vdd, kGround, tech.vdd);
+  nl.add_vsource_pwl(nodes.a, kGround,
+                     waveform::slew_limited_waveform(a, edges, 0.0, t_end));
+  nl.add_vsource_pwl(nodes.b, kGround,
+                     waveform::slew_limited_waveform(b, edges, 0.0, t_end));
+
+  TransientOptions opts = transient_options;
+  opts.t_start = 0.0;
+  opts.t_end = t_end;
+  TransientResult tr = transient_analysis(nl, {"a", "b", "n", "o"}, opts);
+
+  Nor2TransientResult result;
+  result.va = std::move(tr.waves.at("a"));
+  result.vb = std::move(tr.waves.at("b"));
+  result.vn = std::move(tr.waves.at("n"));
+  result.vo = std::move(tr.waves.at("o"));
+  result.n_steps = tr.n_accepted;
+  return result;
+}
+
+namespace {
+
+// First crossing of vo in `direction` at or after `t_from`.
+double output_crossing(const waveform::Waveform& vo, double vth, bool rising,
+                       double t_from) {
+  for (const auto& c : waveform::find_crossings(vo, vth)) {
+    if (c.rising == rising && c.t >= t_from) return c.t;
+  }
+  throw ConvergenceError(
+      "characterize: output never crossed the threshold in the window");
+}
+
+}  // namespace
+
+MisMeasurement measure_falling_delay(const Technology& tech, double delta,
+                                     const CharacterizeOptions& opts) {
+  const double t_ref = opts.settle_time;
+  const double t_a = delta >= 0.0 ? t_ref : t_ref - delta;  // -delta = |delta|
+  const double t_b = t_a + delta;
+  const double t_end = std::max(t_a, t_b) + opts.tail_time;
+
+  waveform::DigitalTrace a(false, {t_a});
+  waveform::DigitalTrace b(false, {t_b});
+  const auto sim = run_nor2(tech, a, b, t_end, opts.transient);
+
+  MisMeasurement m;
+  m.t_first = std::min(t_a, t_b);
+  m.t_second = std::max(t_a, t_b);
+  m.t_out = output_crossing(sim.vo, tech.vth(), /*rising=*/false,
+                            m.t_first - tech.input_rise_time);
+  m.delay = m.t_out - m.t_first;
+  return m;
+}
+
+MisMeasurement measure_rising_delay(const Technology& tech, double delta,
+                                    NorHistory history,
+                                    const CharacterizeOptions& opts) {
+  // Conditioning: enter (1,1) through (1,0) to drain N (B rises last) or
+  // through (0,1) to precharge it (A rises last).
+  const double t_cond1 = 0.3 * opts.settle_time;
+  const double t_cond2 = 0.6 * opts.settle_time;
+  const bool a_rises_first = history == NorHistory::kInternalDrained;
+
+  const double t_ref = t_cond2 + opts.settle_time;
+  const double t_a = delta >= 0.0 ? t_ref : t_ref - delta;
+  const double t_b = t_a + delta;
+  const double t_end = std::max(t_a, t_b) + opts.tail_time;
+
+  waveform::DigitalTrace a(false, {});
+  waveform::DigitalTrace b(false, {});
+  a.append_transition(a_rises_first ? t_cond1 : t_cond2);
+  b.append_transition(a_rises_first ? t_cond2 : t_cond1);
+  a.append_transition(t_a);
+  b.append_transition(t_b);
+
+  const auto sim = run_nor2(tech, a, b, t_end, opts.transient);
+
+  MisMeasurement m;
+  m.t_first = std::min(t_a, t_b);
+  m.t_second = std::max(t_a, t_b);
+  m.t_out = output_crossing(sim.vo, tech.vth(), /*rising=*/true,
+                            m.t_first - tech.input_rise_time);
+  m.delay = m.t_out - m.t_second;
+  return m;
+}
+
+SubstrateCharacteristics measure_characteristics(
+    const Technology& tech, double delta_large,
+    const CharacterizeOptions& opts) {
+  CHARLIE_ASSERT(delta_large > 0.0);
+  SubstrateCharacteristics c;
+  c.fall_minus_inf = measure_falling_delay(tech, -delta_large, opts).delay;
+  c.fall_zero = measure_falling_delay(tech, 0.0, opts).delay;
+  c.fall_plus_inf = measure_falling_delay(tech, delta_large, opts).delay;
+  const NorHistory h = NorHistory::kInternalDrained;
+  c.rise_minus_inf = measure_rising_delay(tech, -delta_large, h, opts).delay;
+  c.rise_zero = measure_rising_delay(tech, 0.0, h, opts).delay;
+  c.rise_plus_inf = measure_rising_delay(tech, delta_large, h, opts).delay;
+  return c;
+}
+
+}  // namespace charlie::spice

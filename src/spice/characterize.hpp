@@ -1,0 +1,80 @@
+// NOR2 characterization harness on the analog substrate: the reference
+// measurements the paper obtains from Spectre (Fig 2) come from here.
+//
+// Inputs are slew-limited ramps whose V_th crossing defines t_A/t_B; the
+// gate delay is the output V_th crossing relative to the earlier (falling
+// output) or later (rising output) input, as in paper Section II.
+#pragma once
+
+#include <optional>
+
+#include "spice/cells.hpp"
+#include "spice/transient.hpp"
+#include "waveform/digital_trace.hpp"
+#include "waveform/edges.hpp"
+
+namespace charlie::spice {
+
+struct CharacterizeOptions {
+  double settle_time = 400e-12;  // quiet time before the measured edges
+  double tail_time = 400e-12;    // observation window after the edges
+  TransientOptions transient;    // t_start/t_end filled in by the harness
+
+  CharacterizeOptions();
+};
+
+struct MisMeasurement {
+  double delay = 0.0;    // gate delay per the paper's convention
+  double t_out = 0.0;    // absolute output crossing time
+  double t_first = 0.0;  // earlier input crossing
+  double t_second = 0.0; // later input crossing
+};
+
+/// Falling-output MIS delay: both inputs start low (output high), A rises
+/// at t_ref, B at t_ref + delta. Delay = tO - min(tA, tB).
+MisMeasurement measure_falling_delay(const Technology& tech, double delta,
+                                     const CharacterizeOptions& opts = {});
+
+/// History conditioning for rising measurements: which input rose first
+/// determines V_N while the gate sits in (1,1) (paper Section II).
+enum class NorHistory {
+  kInternalDrained,    // B high first: V_N ~ GND (paper's worst case)
+  kInternalPrecharged, // A high first: V_N ~ VDD
+};
+
+/// Rising-output MIS delay: both inputs high, A falls at t_ref, B at
+/// t_ref + delta. Delay = tO - max(tA, tB).
+MisMeasurement measure_rising_delay(const Technology& tech, double delta,
+                                    NorHistory history,
+                                    const CharacterizeOptions& opts = {});
+
+/// Run a NOR2 testbench with arbitrary digital input traces and record the
+/// analog waveforms of a, b, n, o.
+struct Nor2TransientResult {
+  waveform::Waveform va;
+  waveform::Waveform vb;
+  waveform::Waveform vn;
+  waveform::Waveform vo;
+  long n_steps = 0;
+};
+Nor2TransientResult run_nor2(const Technology& tech,
+                             const waveform::DigitalTrace& a,
+                             const waveform::DigitalTrace& b, double t_end,
+                             const TransientOptions& transient_options);
+
+/// The six characteristic Charlie delays of the substrate gate, measured
+/// at |Delta| = `delta_large` for the SIS values. Rising values use the
+/// drained history (V_N = GND), matching the paper's choice.
+struct SubstrateCharacteristics {
+  double fall_minus_inf = 0.0;
+  double fall_zero = 0.0;
+  double fall_plus_inf = 0.0;
+  double rise_minus_inf = 0.0;
+  double rise_zero = 0.0;
+  double rise_plus_inf = 0.0;
+};
+SubstrateCharacteristics measure_characteristics(
+    const Technology& tech, double delta_large = 200e-12,
+    const CharacterizeOptions& opts = {});
+
+}  // namespace charlie::spice

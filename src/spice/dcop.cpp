@@ -1,0 +1,45 @@
+#include "spice/dcop.hpp"
+
+#include "util/error.hpp"
+
+namespace charlie::spice {
+
+std::vector<double> dc_operating_point(const Netlist& netlist,
+                                       const DcOpOptions& options) {
+  std::vector<double> x(static_cast<std::size_t>(netlist.n_unknowns()), 0.0);
+
+  StampContext ctx;
+  ctx.mode = AnalysisMode::kDcOperatingPoint;
+  ctx.t = options.t;
+
+  // Continuation in gmin: solve with a strong shunt everywhere, then relax
+  // it, reusing each solution as the next seed.
+  bool have_solution = false;
+  for (double gmin = options.gmin_start; gmin >= options.gmin_final;
+       gmin *= 0.01) {
+    ctx.gmin = gmin;
+    const NewtonResult r = solve_newton(netlist, ctx, x, options.newton);
+    if (r.converged) {
+      x = r.x;
+      have_solution = true;
+    } else if (!have_solution) {
+      // Early failure with a strong shunt: tighten damping and retry once.
+      NewtonOptions strict = options.newton;
+      strict.max_update = 0.1;
+      strict.max_iterations = 500;
+      const NewtonResult r2 = solve_newton(netlist, ctx, x, strict);
+      if (r2.converged) {
+        x = r2.x;
+        have_solution = true;
+      }
+    }
+  }
+  ctx.gmin = options.gmin_final;
+  const NewtonResult final_r = solve_newton(netlist, ctx, x, options.newton);
+  if (!final_r.converged) {
+    throw ConvergenceError("dc_operating_point: Newton failed to converge");
+  }
+  return final_r.x;
+}
+
+}  // namespace charlie::spice

@@ -1,0 +1,24 @@
+// DC operating-point analysis with gmin stepping.
+#pragma once
+
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "spice/newton.hpp"
+
+namespace charlie::spice {
+
+struct DcOpOptions {
+  double t = 0.0;            // time at which sources are evaluated
+  double gmin_start = 1e-3;  // initial relaxation conductance
+  double gmin_final = 1e-12;
+  NewtonOptions newton;
+};
+
+/// Solve for the DC operating point. Returns the full unknown vector
+/// [v(1..N-1), branch currents]. Throws ConvergenceError when even the
+/// gmin-stepped sequence fails.
+std::vector<double> dc_operating_point(const Netlist& netlist,
+                                       const DcOpOptions& options = {});
+
+}  // namespace charlie::spice

@@ -1,0 +1,58 @@
+#include "spice/element.hpp"
+
+#include "util/error.hpp"
+
+namespace charlie::spice {
+
+Stamper::Stamper(DenseMatrix& a, std::vector<double>& rhs, int n_nodes)
+    : a_(a), rhs_(rhs), n_nodes_(n_nodes) {
+  CHARLIE_ASSERT(n_nodes >= 1);
+}
+
+int Stamper::node_index(NodeId n) const {
+  CHARLIE_ASSERT(n >= 0 && n < n_nodes_);
+  return n - 1;  // ground (0) becomes -1 and is skipped
+}
+
+void Stamper::conductance(NodeId n1, NodeId n2, double g) {
+  const int i = node_index(n1);
+  const int j = node_index(n2);
+  if (i >= 0) a_.add(i, i, g);
+  if (j >= 0) a_.add(j, j, g);
+  if (i >= 0 && j >= 0) {
+    a_.add(i, j, -g);
+    a_.add(j, i, -g);
+  }
+}
+
+void Stamper::current(NodeId n1, NodeId n2, double i) {
+  const int a = node_index(n1);
+  const int b = node_index(n2);
+  // Current leaving n1, entering n2: KCL rhs gets -i at n1, +i at n2.
+  if (a >= 0) rhs_[a] -= i;
+  if (b >= 0) rhs_[b] += i;
+}
+
+void Stamper::matrix(int row, int col, double value) {
+  if (row < 0 || col < 0) return;
+  a_.add(static_cast<std::size_t>(row), static_cast<std::size_t>(col), value);
+}
+
+void Stamper::rhs(int row, double value) {
+  if (row < 0) return;
+  rhs_[row] += value;
+}
+
+void Element::commit(const StampContext&) {}
+
+void Element::initialize_state(const StampContext&) {}
+
+void Element::collect_breakpoints(double, double, std::vector<double>&) const {}
+
+double Element::node_voltage(const StampContext& ctx, NodeId n, int n_nodes) {
+  CHARLIE_ASSERT(n >= 0 && n < n_nodes);
+  if (n == kGround) return 0.0;
+  return ctx.x[n - 1];
+}
+
+}  // namespace charlie::spice

@@ -1,0 +1,91 @@
+// Element interface for the MNA-based analog simulator.
+//
+// Each element stamps its linearized companion model into the MNA system
+// for the current Newton iterate. Ground is node 0 and its row/column are
+// eliminated by the Stamper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spice/lu.hpp"
+
+namespace charlie::spice {
+
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+enum class AnalysisMode {
+  kDcOperatingPoint,  // capacitors open, sources at t = t0
+  kTransient,         // capacitors via companion models
+};
+
+struct StampContext {
+  AnalysisMode mode = AnalysisMode::kDcOperatingPoint;
+  double t = 0.0;     // time at the end of the step being solved
+  double h = 0.0;     // step size (transient only)
+  double gmin = 1e-12;  // shunt conductance for Newton robustness
+  bool backward_euler = false;  // true: BE companion; false: trapezoidal
+  std::span<const double> x;    // iterate: [v(1..N), branch currents]
+};
+
+/// Write access to the MNA system with ground elimination. Unknown indices:
+/// node k (k >= 1) maps to row k-1; branch variable j maps to row
+/// n_nodes-1+j.
+class Stamper {
+ public:
+  Stamper(DenseMatrix& a, std::vector<double>& rhs, int n_nodes);
+
+  /// Conductance stamp between two nodes.
+  void conductance(NodeId n1, NodeId n2, double g);
+  /// Current source of value `i` flowing from n1 to n2 (into n2).
+  void current(NodeId n1, NodeId n2, double i);
+  /// Raw matrix entry (row/col in unknown indexing, ground = -1 skipped).
+  void matrix(int row, int col, double value);
+  void rhs(int row, double value);
+
+  /// Unknown index of a node (-1 for ground) / of a branch variable.
+  int node_index(NodeId n) const;
+  int branch_index(int branch) const { return n_nodes_ - 1 + branch; }
+
+ private:
+  DenseMatrix& a_;
+  std::vector<double>& rhs_;
+  int n_nodes_;
+};
+
+class Element {
+ public:
+  virtual ~Element() = default;
+
+  /// Stamp the element's (linearized) contribution for iterate ctx.x.
+  virtual void stamp(Stamper& s, const StampContext& ctx) const = 0;
+
+  /// Called once after a step is accepted; elements with state (capacitors)
+  /// update their history from the converged solution.
+  virtual void commit(const StampContext& ctx);
+
+  /// Initialize state from the DC operating point solution.
+  virtual void initialize_state(const StampContext& ctx);
+
+  /// Append required time breakpoints in (t0, t1] (PWL source corners).
+  virtual void collect_breakpoints(double t0, double t1,
+                                   std::vector<double>& out) const;
+
+  /// Number of extra branch unknowns (voltage sources contribute 1).
+  virtual int n_branch_vars() const { return 0; }
+
+  /// Set by the netlist when branch variables are assigned.
+  void set_first_branch(int index) { first_branch_ = index; }
+  int first_branch() const { return first_branch_; }
+
+ protected:
+  /// Voltage of node `n` in iterate `x` (0 for ground).
+  static double node_voltage(const StampContext& ctx, NodeId n,
+                             int n_nodes);
+
+ private:
+  int first_branch_ = -1;
+};
+
+}  // namespace charlie::spice

@@ -1,0 +1,112 @@
+#include "spice/elements.hpp"
+
+#include "util/error.hpp"
+
+namespace charlie::spice {
+
+// --- Resistor --------------------------------------------------------------
+
+Resistor::Resistor(NodeId n1, NodeId n2, double resistance)
+    : n1_(n1), n2_(n2), g_(1.0 / resistance) {
+  CHARLIE_ASSERT_MSG(resistance > 0.0, "resistor must be positive");
+}
+
+void Resistor::stamp(Stamper& s, const StampContext&) const {
+  s.conductance(n1_, n2_, g_);
+}
+
+// --- Capacitor ---------------------------------------------------------------
+
+Capacitor::Capacitor(NodeId n1, NodeId n2, double capacitance, int n_nodes)
+    : n1_(n1), n2_(n2), c_(capacitance), n_nodes_(n_nodes) {
+  CHARLIE_ASSERT_MSG(capacitance > 0.0, "capacitance must be positive");
+}
+
+double Capacitor::branch_voltage(const StampContext& ctx) const {
+  return node_voltage(ctx, n1_, n_nodes_) - node_voltage(ctx, n2_, n_nodes_);
+}
+
+void Capacitor::stamp(Stamper& s, const StampContext& ctx) const {
+  if (ctx.mode == AnalysisMode::kDcOperatingPoint) {
+    // Open circuit at DC; a tiny shunt keeps floating nodes well-posed.
+    s.conductance(n1_, n2_, ctx.gmin);
+    return;
+  }
+  CHARLIE_ASSERT(ctx.h > 0.0);
+  if (ctx.backward_euler) {
+    const double geq = c_ / ctx.h;
+    const double ieq = geq * v_prev_;
+    s.conductance(n1_, n2_, geq);
+    // i = geq*v - ieq; the -ieq part is a current source from n2 to n1.
+    s.current(n2_, n1_, ieq);
+  } else {
+    const double geq = 2.0 * c_ / ctx.h;
+    const double ieq = geq * v_prev_ + i_prev_;
+    s.conductance(n1_, n2_, geq);
+    s.current(n2_, n1_, ieq);
+  }
+}
+
+void Capacitor::commit(const StampContext& ctx) {
+  if (ctx.mode != AnalysisMode::kTransient) return;
+  const double v_new = branch_voltage(ctx);
+  if (ctx.backward_euler) {
+    i_prev_ = c_ / ctx.h * (v_new - v_prev_);
+  } else {
+    const double geq = 2.0 * c_ / ctx.h;
+    i_prev_ = geq * (v_new - v_prev_) - i_prev_;
+  }
+  v_prev_ = v_new;
+}
+
+void Capacitor::initialize_state(const StampContext& ctx) {
+  v_prev_ = branch_voltage(ctx);
+  i_prev_ = 0.0;
+}
+
+// --- VoltageSource -----------------------------------------------------------
+
+VoltageSource::VoltageSource(NodeId n_plus, NodeId n_minus, double dc_volts)
+    : n_plus_(n_plus), n_minus_(n_minus), dc_(dc_volts) {}
+
+VoltageSource::VoltageSource(NodeId n_plus, NodeId n_minus,
+                             waveform::Waveform pwl)
+    : n_plus_(n_plus), n_minus_(n_minus), is_pwl_(true), pwl_(std::move(pwl)) {
+  CHARLIE_ASSERT_MSG(!pwl_.empty(), "PWL source needs samples");
+}
+
+double VoltageSource::value_at(double t) const {
+  return is_pwl_ ? pwl_.value_at(t) : dc_;
+}
+
+void VoltageSource::stamp(Stamper& s, const StampContext& ctx) const {
+  const int k = s.branch_index(first_branch());
+  const int p = s.node_index(n_plus_);
+  const int m = s.node_index(n_minus_);
+  // KCL: branch current enters n+ and leaves n-.
+  s.matrix(p, k, 1.0);
+  s.matrix(m, k, -1.0);
+  // Branch equation: v(n+) - v(n-) = V(t).
+  s.matrix(k, p, 1.0);
+  s.matrix(k, m, -1.0);
+  s.rhs(k, value_at(ctx.t));
+}
+
+void VoltageSource::collect_breakpoints(double t0, double t1,
+                                        std::vector<double>& out) const {
+  if (!is_pwl_) return;
+  for (const auto& sample : pwl_.samples()) {
+    if (sample.t > t0 && sample.t <= t1) out.push_back(sample.t);
+  }
+}
+
+// --- CurrentSource -----------------------------------------------------------
+
+CurrentSource::CurrentSource(NodeId n_plus, NodeId n_minus, double dc_amps)
+    : n_plus_(n_plus), n_minus_(n_minus), dc_(dc_amps) {}
+
+void CurrentSource::stamp(Stamper& s, const StampContext&) const {
+  s.current(n_plus_, n_minus_, dc_);
+}
+
+}  // namespace charlie::spice

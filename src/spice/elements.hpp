@@ -1,0 +1,84 @@
+// Linear circuit elements: resistor, capacitor, voltage source (DC / PWL),
+// current source.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "spice/element.hpp"
+#include "waveform/waveform.hpp"
+
+namespace charlie::spice {
+
+class Resistor final : public Element {
+ public:
+  Resistor(NodeId n1, NodeId n2, double resistance);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+
+ private:
+  NodeId n1_;
+  NodeId n2_;
+  double g_;
+};
+
+/// Capacitor integrated with a trapezoidal (default) or backward-Euler
+/// companion model; keeps (v, i) history across steps.
+class Capacitor final : public Element {
+ public:
+  Capacitor(NodeId n1, NodeId n2, double capacitance, int n_nodes);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void commit(const StampContext& ctx) override;
+  void initialize_state(const StampContext& ctx) override;
+
+  double capacitance() const { return c_; }
+  double state_voltage() const { return v_prev_; }
+
+ private:
+  double branch_voltage(const StampContext& ctx) const;
+
+  NodeId n1_;
+  NodeId n2_;
+  double c_;
+  int n_nodes_;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+/// Independent voltage source with one branch unknown. The waveform is a
+/// time function; DC sources use a constant.
+class VoltageSource final : public Element {
+ public:
+  /// DC source.
+  VoltageSource(NodeId n_plus, NodeId n_minus, double dc_volts);
+  /// PWL source; value_at() is evaluated at the step end time. Breakpoints
+  /// are the sample instants.
+  VoltageSource(NodeId n_plus, NodeId n_minus, waveform::Waveform pwl);
+
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+  void collect_breakpoints(double t0, double t1,
+                           std::vector<double>& out) const override;
+  int n_branch_vars() const override { return 1; }
+
+  double value_at(double t) const;
+
+ private:
+  NodeId n_plus_;
+  NodeId n_minus_;
+  double dc_ = 0.0;
+  bool is_pwl_ = false;
+  waveform::Waveform pwl_;
+};
+
+class CurrentSource final : public Element {
+ public:
+  /// Constant current flowing from n_plus through the source to n_minus.
+  CurrentSource(NodeId n_plus, NodeId n_minus, double dc_amps);
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+
+ private:
+  NodeId n_plus_;
+  NodeId n_minus_;
+  double dc_;
+};
+
+}  // namespace charlie::spice

@@ -1,0 +1,74 @@
+#include "spice/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::spice {
+
+DenseMatrix::DenseMatrix(std::size_t n) : n_(n), a_(n * n, 0.0) {}
+
+void DenseMatrix::clear() { std::fill(a_.begin(), a_.end(), 0.0); }
+
+double& DenseMatrix::at(std::size_t row, std::size_t col) {
+  CHARLIE_ASSERT(row < n_ && col < n_);
+  return a_[row * n_ + col];
+}
+
+double DenseMatrix::at(std::size_t row, std::size_t col) const {
+  CHARLIE_ASSERT(row < n_ && col < n_);
+  return a_[row * n_ + col];
+}
+
+void DenseMatrix::add(std::size_t row, std::size_t col, double value) {
+  at(row, col) += value;
+}
+
+std::vector<double> lu_solve(DenseMatrix& a, std::vector<double> b) {
+  const std::size_t n = a.size();
+  CHARLIE_ASSERT(b.size() == n);
+  auto& m = a.data();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(m[perm[col] * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double v = std::fabs(m[perm[row] * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    if (best < 1e-300) {
+      throw ConvergenceError("lu_solve: singular MNA matrix");
+    }
+    std::swap(perm[col], perm[pivot]);
+    const std::size_t prow = perm[col];
+    const double diag = m[prow * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const std::size_t r = perm[row];
+      const double factor = m[r * n + col] / diag;
+      if (factor == 0.0) continue;
+      m[r * n + col] = factor;  // store L
+      for (std::size_t k = col + 1; k < n; ++k) {
+        m[r * n + k] -= factor * m[prow * n + k];
+      }
+      b[r] -= factor * b[prow];
+    }
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t r = perm[i];
+    double acc = b[r];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= m[r * n + k] * x[k];
+    x[i] = acc / m[r * n + i];
+  }
+  return x;
+}
+
+}  // namespace charlie::spice

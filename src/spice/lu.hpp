@@ -1,0 +1,37 @@
+// Dense LU factorization with partial pivoting.
+//
+// MNA systems in this library are tiny (a NOR testbench is ~8 unknowns), so
+// a straightforward dense solver is both simpler and faster than sparse
+// machinery.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace charlie::spice {
+
+/// Row-major dense square matrix with a companion right-hand side.
+class DenseMatrix {
+ public:
+  explicit DenseMatrix(std::size_t n);
+
+  void clear();
+  std::size_t size() const { return n_; }
+
+  double& at(std::size_t row, std::size_t col);
+  double at(std::size_t row, std::size_t col) const;
+  void add(std::size_t row, std::size_t col, double value);
+
+  std::vector<double>& data() { return a_; }
+  const std::vector<double>& data() const { return a_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;
+};
+
+/// Solve A x = b in place (A is overwritten by its factors).
+/// Throws ConvergenceError when the matrix is numerically singular.
+std::vector<double> lu_solve(DenseMatrix& a, std::vector<double> b);
+
+}  // namespace charlie::spice

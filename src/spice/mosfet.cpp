@@ -1,0 +1,122 @@
+#include "spice/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::spice {
+
+void MosfetParams::validate() const {
+  CHARLIE_ASSERT_MSG(vt > 0.0, "mosfet vt must be positive (magnitude)");
+  CHARLIE_ASSERT_MSG(k > 0.0, "mosfet k must be positive");
+  CHARLIE_ASSERT_MSG(lambda >= 0.0, "mosfet lambda must be non-negative");
+}
+
+MosfetOperatingPoint nmos_current(const MosfetParams& p, double vgs,
+                                  double vds) {
+  CHARLIE_ASSERT_MSG(vds >= 0.0, "nmos_current expects vds >= 0");
+  MosfetOperatingPoint op;
+  const double vov = vgs - p.vt;  // overdrive
+  if (vov <= 0.0) {
+    // Cutoff: zero current; the element adds a gmin shunt for Jacobian
+    // regularity.
+    return op;
+  }
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds < vov) {
+    // Triode.
+    const double shape = vov * vds - 0.5 * vds * vds;
+    op.id = p.k * shape * clm;
+    op.gm = p.k * vds * clm;
+    op.gds = p.k * (vov - vds) * clm + p.k * shape * p.lambda;
+  } else {
+    // Saturation.
+    const double base = 0.5 * p.k * vov * vov;
+    op.id = base * clm;
+    op.gm = p.k * vov * clm;
+    op.gds = base * p.lambda;
+  }
+  return op;
+}
+
+namespace {
+
+// Channel current I(d->s) and its partial derivatives with respect to the
+// *physical* terminal voltages (vd, vg, vs).
+//
+// PMOS is evaluated in mirrored space w = -v, where it behaves as an NMOS;
+// the physical current is the negated mirrored current, and because the two
+// sign flips cancel, the physical partials equal the mirrored ones.
+// Channel symmetry (vds < 0) swaps the source/drain roles.
+struct Linearized {
+  double i = 0.0;
+  double gd = 0.0;
+  double gg = 0.0;
+  double gs = 0.0;
+};
+
+Linearized linearize(MosfetType type, const MosfetParams& params, double vd,
+                     double vg, double vs) {
+  const double sign = type == MosfetType::kPmos ? -1.0 : 1.0;
+  const double wd = sign * vd;
+  const double wg = sign * vg;
+  const double ws = sign * vs;
+
+  Linearized lin;
+  if (wd >= ws) {
+    const MosfetOperatingPoint op = nmos_current(params, wg - ws, wd - ws);
+    lin.i = sign * op.id;
+    lin.gd = op.gds;
+    lin.gg = op.gm;
+    lin.gs = -(op.gm + op.gds);
+  } else {
+    // Reversed channel: physical mirrored current flows s->d with the
+    // terminal at `d` acting as source.
+    const MosfetOperatingPoint op = nmos_current(params, wg - wd, ws - wd);
+    lin.i = sign * -op.id;
+    lin.gd = op.gm + op.gds;
+    lin.gg = -op.gm;
+    lin.gs = -op.gds;
+  }
+  return lin;
+}
+
+}  // namespace
+
+Mosfet::Mosfet(MosfetType type, NodeId drain, NodeId gate, NodeId source,
+               MosfetParams params, int n_nodes)
+    : type_(type), d_(drain), g_(gate), s_(source), params_(params),
+      n_nodes_(n_nodes) {
+  params_.validate();
+}
+
+void Mosfet::stamp(Stamper& st, const StampContext& ctx) const {
+  const double vd = node_voltage(ctx, d_, n_nodes_);
+  const double vg = node_voltage(ctx, g_, n_nodes_);
+  const double vs = node_voltage(ctx, s_, n_nodes_);
+
+  const Linearized lin = linearize(type_, params_, vd, vg, vs);
+
+  const int id = st.node_index(d_);
+  const int ig = st.node_index(g_);
+  const int is = st.node_index(s_);
+
+  // Jacobian of the channel current I(d->s): +row at drain, -row at source.
+  st.matrix(id, id, lin.gd);
+  st.matrix(id, ig, lin.gg);
+  st.matrix(id, is, lin.gs);
+  st.matrix(is, id, -lin.gd);
+  st.matrix(is, ig, -lin.gg);
+  st.matrix(is, is, -lin.gs);
+
+  // Newton rhs: move the affine part of the linearization across.
+  const double i_const = lin.i - lin.gd * vd - lin.gg * vg - lin.gs * vs;
+  st.rhs(id, -i_const);
+  st.rhs(is, i_const);
+
+  // gmin shunt keeps cutoff devices from leaving nodes floating.
+  st.conductance(d_, s_, ctx.gmin);
+}
+
+}  // namespace charlie::spice

@@ -1,0 +1,61 @@
+// Level-1 (Shichman-Hodges) MOSFET with channel-length modulation.
+//
+// The paper's reference simulations use FreePDK15 FinFETs in Spectre; this
+// library substitutes a Level-1 model tuned to the same delay regime (see
+// technology.hpp and DESIGN.md). The MIS effects under study are determined
+// by circuit topology (parallel nMOS, series pMOS, node capacitances and
+// gate-coupling), all of which survive the device-model simplification.
+//
+// The DC model is purely resistive; gate capacitances are added as explicit
+// Capacitor elements by the cell builders, which keeps the Newton stamps
+// simple and makes the coupling capacitances visible in the netlist.
+#pragma once
+
+#include <string>
+
+#include "spice/element.hpp"
+
+namespace charlie::spice {
+
+struct MosfetParams {
+  double vt = 0.2;        // threshold voltage magnitude [V]
+  double k = 40e-6;       // transconductance k' * W/L [A/V^2]
+  double lambda = 0.05;   // channel-length modulation [1/V]
+
+  void validate() const;
+};
+
+enum class MosfetType { kNmos, kPmos };
+
+/// Small-signal linearization of the drain current at a bias point.
+struct MosfetOperatingPoint {
+  double id = 0.0;   // drain current (positive into the drain for NMOS)
+  double gm = 0.0;   // d id / d vgs
+  double gds = 0.0;  // d id / d vds
+};
+
+/// DC drain current and derivatives for an NMOS at (vgs, vds >= 0).
+/// PMOS and reversed-channel operation are handled by the element.
+MosfetOperatingPoint nmos_current(const MosfetParams& p, double vgs,
+                                  double vds);
+
+class Mosfet final : public Element {
+ public:
+  Mosfet(MosfetType type, NodeId drain, NodeId gate, NodeId source,
+         MosfetParams params, int n_nodes);
+
+  void stamp(Stamper& s, const StampContext& ctx) const override;
+
+  MosfetType type() const { return type_; }
+  const MosfetParams& params() const { return params_; }
+
+ private:
+  MosfetType type_;
+  NodeId d_;
+  NodeId g_;
+  NodeId s_;
+  MosfetParams params_;
+  int n_nodes_;
+};
+
+}  // namespace charlie::spice

@@ -1,0 +1,101 @@
+#include "spice/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::spice {
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  node_ids_["0"] = kGround;
+  node_ids_["gnd"] = kGround;
+}
+
+NodeId Netlist::node(const std::string& name) {
+  const auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_ids_[name] = id;
+  return id;
+}
+
+NodeId Netlist::find_node(const std::string& name) const {
+  const auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) {
+    throw ConfigError("unknown node: " + name);
+  }
+  return it->second;
+}
+
+bool Netlist::has_node(const std::string& name) const {
+  return node_ids_.count(name) > 0;
+}
+
+const std::string& Netlist::node_name(NodeId id) const {
+  CHARLIE_ASSERT(id >= 0 && id < n_nodes());
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+template <typename T, typename... Args>
+T& Netlist::emplace(Args&&... args) {
+  auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+  T& ref = *owned;
+  if (ref.n_branch_vars() > 0) {
+    ref.set_first_branch(n_branches_);
+    n_branches_ += ref.n_branch_vars();
+  }
+  elements_.push_back(std::move(owned));
+  return ref;
+}
+
+Resistor& Netlist::add_resistor(NodeId n1, NodeId n2, double ohms) {
+  return emplace<Resistor>(n1, n2, ohms);
+}
+
+Capacitor& Netlist::add_capacitor(NodeId n1, NodeId n2, double farads) {
+  return emplace<Capacitor>(n1, n2, farads, n_nodes());
+}
+
+VoltageSource& Netlist::add_vsource(NodeId n_plus, NodeId n_minus,
+                                    double dc_volts) {
+  return emplace<VoltageSource>(n_plus, n_minus, dc_volts);
+}
+
+VoltageSource& Netlist::add_vsource_pwl(NodeId n_plus, NodeId n_minus,
+                                        waveform::Waveform pwl) {
+  return emplace<VoltageSource>(n_plus, n_minus, std::move(pwl));
+}
+
+CurrentSource& Netlist::add_isource(NodeId n_plus, NodeId n_minus,
+                                    double amps) {
+  return emplace<CurrentSource>(n_plus, n_minus, amps);
+}
+
+Mosfet& Netlist::add_nmos(NodeId d, NodeId g, NodeId s,
+                          const MosfetParams& params) {
+  return emplace<Mosfet>(MosfetType::kNmos, d, g, s, params, n_nodes());
+}
+
+Mosfet& Netlist::add_pmos(NodeId d, NodeId g, NodeId s,
+                          const MosfetParams& params) {
+  return emplace<Mosfet>(MosfetType::kPmos, d, g, s, params, n_nodes());
+}
+
+std::vector<double> Netlist::breakpoints(double t0, double t1) const {
+  std::vector<double> out;
+  for (const auto& e : elements_) {
+    e->collect_breakpoints(t0, t1, out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](double a, double b) {
+                          return std::fabs(a - b) < 1e-18;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace charlie::spice

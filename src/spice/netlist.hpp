@@ -1,0 +1,61 @@
+// Netlist: named nodes plus an owned list of elements.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/element.hpp"
+#include "spice/elements.hpp"
+#include "spice/mosfet.hpp"
+#include "waveform/waveform.hpp"
+
+namespace charlie::spice {
+
+class Netlist {
+ public:
+  Netlist();
+
+  /// Get-or-create a named node. "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+
+  /// Node id for an existing name; throws ConfigError if unknown.
+  NodeId find_node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+
+  int n_nodes() const { return static_cast<int>(node_names_.size()); }
+  int n_branches() const { return n_branches_; }
+  /// MNA unknown count: (n_nodes - 1) node voltages + branch currents.
+  int n_unknowns() const { return n_nodes() - 1 + n_branches_; }
+
+  // --- element factories ---------------------------------------------------
+  Resistor& add_resistor(NodeId n1, NodeId n2, double ohms);
+  Capacitor& add_capacitor(NodeId n1, NodeId n2, double farads);
+  VoltageSource& add_vsource(NodeId n_plus, NodeId n_minus, double dc_volts);
+  VoltageSource& add_vsource_pwl(NodeId n_plus, NodeId n_minus,
+                                 waveform::Waveform pwl);
+  CurrentSource& add_isource(NodeId n_plus, NodeId n_minus, double amps);
+  Mosfet& add_nmos(NodeId d, NodeId g, NodeId s, const MosfetParams& params);
+  Mosfet& add_pmos(NodeId d, NodeId g, NodeId s, const MosfetParams& params);
+
+  const std::vector<std::unique_ptr<Element>>& elements() const {
+    return elements_;
+  }
+  std::vector<std::unique_ptr<Element>>& elements() { return elements_; }
+
+  /// All source breakpoints in (t0, t1], sorted and deduplicated.
+  std::vector<double> breakpoints(double t0, double t1) const;
+
+ private:
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args);
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<std::unique_ptr<Element>> elements_;
+  int n_branches_ = 0;
+};
+
+}  // namespace charlie::spice

@@ -1,0 +1,62 @@
+#include "spice/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::spice {
+
+NewtonResult solve_newton(const Netlist& netlist, StampContext ctx,
+                          std::vector<double> x0,
+                          const NewtonOptions& options) {
+  const int n = netlist.n_unknowns();
+  CHARLIE_ASSERT(static_cast<int>(x0.size()) == n);
+  const int n_node_vars = netlist.n_nodes() - 1;
+
+  NewtonResult result;
+  result.x = std::move(x0);
+
+  DenseMatrix a(static_cast<std::size_t>(n));
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    a.clear();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    Stamper stamper(a, rhs, netlist.n_nodes());
+    ctx.x = result.x;
+    for (const auto& e : netlist.elements()) {
+      e->stamp(stamper, ctx);
+    }
+    std::vector<double> x_new = lu_solve(a, rhs);
+
+    // Voltage limiting: scale the whole update so no node moves more than
+    // max_update volts (keeps MOSFET linearizations in their trust region).
+    double biggest = 0.0;
+    for (int i = 0; i < n_node_vars; ++i) {
+      biggest = std::max(biggest, std::fabs(x_new[i] - result.x[i]));
+    }
+    double scale = 1.0;
+    if (biggest > options.max_update) {
+      scale = options.max_update / biggest;
+    }
+    bool converged = true;
+    for (int i = 0; i < n; ++i) {
+      const double step = (x_new[i] - result.x[i]) * scale;
+      result.x[i] += step;
+      if (i < n_node_vars) {
+        const double tol =
+            options.v_abstol + options.v_reltol * std::fabs(result.x[i]);
+        if (std::fabs(step) > tol) converged = false;
+      }
+    }
+    if (converged && scale == 1.0) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;  // converged = false
+}
+
+}  // namespace charlie::spice

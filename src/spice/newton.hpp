@@ -1,0 +1,31 @@
+// Damped Newton-Raphson solve of the stamped MNA system.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace charlie::spice {
+
+struct NewtonOptions {
+  int max_iterations = 200;
+  double v_abstol = 1e-7;   // [V] convergence on node-voltage updates
+  double v_reltol = 1e-6;
+  double max_update = 0.4;  // [V] per-iteration voltage limiting
+};
+
+struct NewtonResult {
+  std::vector<double> x;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Solve the nonlinear system defined by stamping every element of
+/// `netlist` under `ctx` (ctx.x is overridden per iterate). `x0` seeds the
+/// iteration.
+NewtonResult solve_newton(const Netlist& netlist, StampContext ctx,
+                          std::vector<double> x0,
+                          const NewtonOptions& options = {});
+
+}  // namespace charlie::spice

@@ -1,0 +1,45 @@
+#include "spice/technology.hpp"
+
+#include "util/error.hpp"
+
+namespace charlie::spice {
+
+void Technology::validate() const {
+  CHARLIE_ASSERT(vdd > 0.0);
+  nmos.validate();
+  pmos.validate();
+  CHARLIE_ASSERT(c_internal > 0.0);
+  CHARLIE_ASSERT(c_output > 0.0);
+  CHARLIE_ASSERT(c_gd >= 0.0);
+  CHARLIE_ASSERT(c_gs >= 0.0);
+  CHARLIE_ASSERT(input_rise_time > 0.0);
+}
+
+Technology Technology::freepdk15_like() {
+  // Tuned so the NOR2 characteristic delays land in the paper's Fig 2
+  // regime: fall ~ 44.6/28.6/48.3 ps and rise ~ 52.1/56.8/50.0 ps for
+  // Delta = -inf/0/+inf, with the same orderings and effect signs.
+  Technology t;
+  t.vdd = 0.8;
+  t.nmos.vt = 0.22;
+  t.nmos.k = 50e-6;
+  t.nmos.lambda = 0.06;
+  t.pmos.vt = 0.24;
+  t.pmos.k = 90e-6;
+  t.pmos.lambda = 0.06;
+  t.c_internal = 60e-18;
+  t.c_output = 600e-18;
+  t.c_gd = 20e-18;
+  t.c_gs = 25e-18;
+  t.input_rise_time = 40e-12;
+  return t;
+}
+
+Technology Technology::coupling_heavy() {
+  Technology t = freepdk15_like();
+  t.c_gd = 120e-18;
+  t.input_rise_time = 30e-12;
+  return t;
+}
+
+}  // namespace charlie::spice

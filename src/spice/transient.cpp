@@ -1,0 +1,163 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::spice {
+
+const waveform::Waveform& TransientResult::wave(const std::string& node) const {
+  const auto it = waves.find(node);
+  if (it == waves.end()) {
+    throw ConfigError("transient result: node was not recorded: " + node);
+  }
+  return it->second;
+}
+
+TransientResult transient_analysis(Netlist& netlist,
+                                   const std::vector<std::string>& record,
+                                   const TransientOptions& options) {
+  CHARLIE_ASSERT_MSG(options.t_end > options.t_start,
+                     "transient: empty time span");
+  const double span = options.t_end - options.t_start;
+  const double h_max =
+      options.h_max > 0.0 ? options.h_max : span / 50.0;
+
+  // Resolve recorded nodes up front.
+  std::vector<std::pair<std::string, NodeId>> taps;
+  taps.reserve(record.size());
+  for (const auto& name : record) {
+    taps.emplace_back(name, netlist.find_node(name));
+  }
+
+  TransientResult result;
+  for (const auto& [name, id] : taps) {
+    result.waves.emplace(name, waveform::Waveform{});
+  }
+
+  // --- DC operating point seeds the element states ------------------------
+  DcOpOptions dc;
+  dc.t = options.t_start;
+  std::vector<double> x = dc_operating_point(netlist, dc);
+
+  StampContext ctx;
+  ctx.mode = AnalysisMode::kTransient;
+  ctx.t = options.t_start;
+  ctx.h = options.h_initial;
+  ctx.x = x;
+  for (auto& e : netlist.elements()) {
+    e->initialize_state(ctx);
+  }
+
+  auto record_point = [&](double t, const std::vector<double>& sol) {
+    for (auto& [name, id] : taps) {
+      const double v = id == kGround ? 0.0 : sol[static_cast<std::size_t>(id - 1)];
+      result.waves.at(name).append(t, v);
+    }
+  };
+  record_point(options.t_start, x);
+
+  const std::vector<double> bps =
+      netlist.breakpoints(options.t_start, options.t_end);
+  std::size_t bp_index = 0;
+
+  double t = options.t_start;
+  double h = options.h_initial;
+  bool have_history = false;   // two accepted points for the predictor
+  bool after_discontinuity = true;  // start and each breakpoint: BE + no LTE
+  std::vector<double> x_prev = x;
+  double h_prev = 0.0;
+
+  long steps = 0;
+  while (t < options.t_end - 1e-21) {
+    if (++steps > options.max_steps) {
+      throw ConvergenceError("transient: exceeded max_steps");
+    }
+    // Next mandatory breakpoint.
+    while (bp_index < bps.size() && bps[bp_index] <= t + options.h_min) {
+      ++bp_index;
+    }
+    const double t_stop =
+        bp_index < bps.size() ? std::min(bps[bp_index], options.t_end)
+                              : options.t_end;
+    double h_eff = std::min(h, t_stop - t);
+    const bool lands_on_stop = (t + h_eff >= t_stop - 1e-21);
+    if (lands_on_stop) h_eff = t_stop - t;
+
+    ctx.t = t + h_eff;
+    ctx.h = h_eff;
+    ctx.backward_euler = after_discontinuity;
+    ctx.gmin = 1e-12;
+
+    // Seed Newton with the linear predictor when history is available.
+    std::vector<double> seed = x;
+    if (have_history && h_prev > 0.0) {
+      for (std::size_t i = 0; i < seed.size(); ++i) {
+        seed[i] = x[i] + (x[i] - x_prev[i]) * (h_eff / h_prev);
+      }
+    }
+    const NewtonResult nr = solve_newton(netlist, ctx, seed, options.newton);
+    if (!nr.converged) {
+      ++result.n_newton_failures;
+      h *= 0.25;
+      if (h < options.h_min) {
+        throw ConvergenceError("transient: Newton failed at minimum step");
+      }
+      continue;
+    }
+
+    // Local error estimate via the linear predictor (node voltages only).
+    double err_ratio = 0.0;
+    if (have_history && !after_discontinuity && h_prev > 0.0) {
+      const int n_node_vars = netlist.n_nodes() - 1;
+      for (int i = 0; i < n_node_vars; ++i) {
+        const double pred = x[i] + (x[i] - x_prev[i]) * (h_eff / h_prev);
+        const double tol =
+            options.v_abstol + options.v_reltol * std::fabs(nr.x[i]);
+        err_ratio = std::max(err_ratio, std::fabs(nr.x[i] - pred) / tol);
+      }
+      if (err_ratio > 1.0 && h_eff > 4.0 * options.h_min) {
+        ++result.n_rejected;
+        h = h_eff * std::clamp(0.9 / std::sqrt(err_ratio), 0.1, 0.5);
+        continue;
+      }
+    }
+
+    // Accept.
+    ctx.x = nr.x;
+    for (auto& e : netlist.elements()) {
+      e->commit(ctx);
+    }
+    x_prev = std::move(x);
+    x = nr.x;
+    h_prev = h_eff;
+    t += h_eff;
+    have_history = true;
+    after_discontinuity = false;
+    ++result.n_accepted;
+    record_point(t, x);
+
+    if (lands_on_stop && bp_index < bps.size() &&
+        std::fabs(t - bps[bp_index]) <= 1e-21 + 1e-12 * std::fabs(t)) {
+      // Crossed a source corner: restart gently.
+      ++bp_index;
+      after_discontinuity = true;
+      have_history = false;
+      h = options.h_initial;
+      continue;
+    }
+
+    // Grow/shrink for the next step.
+    double factor = 2.0;
+    if (err_ratio > 0.0) {
+      factor = std::clamp(0.9 / std::sqrt(err_ratio), 0.5, 2.0);
+    }
+    h = std::min(h_eff * factor, h_max);
+    h = std::max(h, options.h_min);
+  }
+
+  return result;
+}
+
+}  // namespace charlie::spice

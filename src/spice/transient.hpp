@@ -1,0 +1,49 @@
+// Adaptive-step transient analysis.
+//
+// Trapezoidal integration with a predictor-based local error controller:
+// each accepted solution is compared against the linear extrapolation of
+// the two previous points; the difference estimates the local quadratic
+// term and drives the step size. Source breakpoints (PWL corners) are
+// always landed on exactly, and the step restarts small after each one.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/dcop.hpp"
+#include "spice/netlist.hpp"
+#include "waveform/waveform.hpp"
+
+namespace charlie::spice {
+
+struct TransientOptions {
+  double t_start = 0.0;
+  double t_end = 0.0;       // required
+  double h_initial = 1e-15;
+  double h_min = 1e-19;
+  double h_max = 0.0;       // 0 = (t_end - t_start) / 50
+  double v_abstol = 1e-5;   // [V] LTE target per node
+  double v_reltol = 1e-4;
+  long max_steps = 100'000'000;
+  NewtonOptions newton;
+};
+
+struct TransientResult {
+  /// Waveforms of the recorded nodes, keyed by node name.
+  std::unordered_map<std::string, waveform::Waveform> waves;
+  long n_accepted = 0;
+  long n_rejected = 0;
+  long n_newton_failures = 0;
+
+  const waveform::Waveform& wave(const std::string& node) const;
+};
+
+/// Run a transient analysis recording the named nodes. Element state
+/// (capacitor history) is initialized from the DC operating point at
+/// t_start. Throws ConvergenceError on an unrecoverable step failure.
+TransientResult transient_analysis(Netlist& netlist,
+                                   const std::vector<std::string>& record,
+                                   const TransientOptions& options);
+
+}  // namespace charlie::spice

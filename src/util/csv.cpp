@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace charlie::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_(path), n_columns_(columns.size()) {
+  CHARLIE_ASSERT_MSG(!columns.empty(), "CSV needs at least one column");
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent);
+  }
+  out_.open(path);
+  if (!out_) {
+    throw ConfigError("cannot open CSV output file: " + path);
+  }
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out_ << (i ? "," : "") << columns[i];
+  }
+  out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<double>& values) {
+  CHARLIE_ASSERT_MSG(values.size() == n_columns_, "CSV row width mismatch");
+  std::ostringstream os;
+  os.precision(12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << (i ? "," : "") << values[i];
+  }
+  out_ << os.str() << '\n';
+}
+
+void CsvWriter::row_text(const std::vector<std::string>& values) {
+  CHARLIE_ASSERT_MSG(values.size() == n_columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << (i ? "," : "") << values[i];
+  }
+  out_ << '\n';
+}
+
+std::string ensure_directory(const std::string& path) {
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+}  // namespace charlie::util

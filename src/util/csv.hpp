@@ -1,0 +1,38 @@
+// Minimal CSV writer used by benches and examples to dump figure data.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace charlie::util {
+
+/// Writes rows of doubles with a header line. Files land wherever the caller
+/// points them (benches use ./bench_out). Throws ConfigError if the file
+/// cannot be opened.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Append one row; size must match the header.
+  void row(const std::vector<double>& values);
+
+  /// Append one row of preformatted strings; size must match the header.
+  void row_text(const std::vector<std::string>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t n_columns_;
+  std::ofstream out_;
+};
+
+/// Ensure a directory exists (mkdir -p semantics). Returns the path.
+std::string ensure_directory(const std::string& path);
+
+}  // namespace charlie::util

@@ -1,0 +1,17 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace charlie::detail {
+
+void assertion_failed(const char* expr, const char* file, int line,
+                      const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " (" << msg << ")";
+  }
+  throw AssertionError(os.str());
+}
+
+}  // namespace charlie::detail

@@ -1,0 +1,51 @@
+// Error handling for the charlie library.
+//
+// Policy (per C++ Core Guidelines E.*): exceptions for runtime errors that a
+// caller can plausibly handle, CHARLIE_ASSERT for internal invariants whose
+// violation indicates a bug. Assertions throw `charlie::AssertionError`
+// (rather than aborting) so tests can verify that invalid inputs are caught.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace charlie {
+
+/// Thrown when a CHARLIE_ASSERT invariant is violated.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a numerical routine fails to converge.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when user-provided configuration is invalid.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] void assertion_failed(const char* expr, const char* file,
+                                   int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace charlie
+
+#define CHARLIE_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::charlie::detail::assertion_failed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                     \
+  } while (false)
+
+#define CHARLIE_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::charlie::detail::assertion_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,87 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace charlie::math {
+
+bool almost_equal(double a, double b, double rtol, double atol) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= atol + rtol * scale;
+}
+
+double lerp_at(double x0, double y0, double x1, double y1, double x) {
+  CHARLIE_ASSERT_MSG(x0 != x1, "lerp_at: degenerate segment");
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+double clamp(double v, double lo, double hi) {
+  CHARLIE_ASSERT(lo <= hi);
+  return std::min(std::max(v, lo), hi);
+}
+
+double log1mexp(double x) {
+  CHARLIE_ASSERT_MSG(x < 0.0, "log1mexp requires x < 0");
+  // Split point from Maechler (2012): use expm1 for x > -ln2, log1p otherwise.
+  constexpr double kLn2 = 0.6931471805599453;
+  if (x > -kLn2) {
+    return std::log(-std::expm1(x));
+  }
+  return std::log1p(-std::exp(x));
+}
+
+int sign(double v) { return (v > 0.0) - (v < 0.0); }
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(
+      v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double rms(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  CHARLIE_ASSERT_MSG(n >= 2, "linspace needs at least two points");
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+double rel_error(double a, double b, double floor) {
+  return std::fabs(a - b) / std::max(std::fabs(b), floor);
+}
+
+}  // namespace charlie::math

@@ -1,0 +1,46 @@
+// Small math helpers shared across the library.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace charlie::math {
+
+/// Absolute-plus-relative tolerance comparison.
+/// Returns true when |a-b| <= atol + rtol*max(|a|,|b|).
+bool almost_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// Linear interpolation: value at `x` on the segment (x0,y0)-(x1,y1).
+/// Requires x0 != x1.
+double lerp_at(double x0, double y0, double x1, double y1, double x);
+
+/// Clamp `v` into [lo, hi].
+double clamp(double v, double lo, double hi);
+
+/// Numerically stable log(1 - exp(x)) for x < 0.
+double log1mexp(double x);
+
+/// sign(v): -1, 0, or +1.
+int sign(double v);
+
+/// Mean of a vector; returns 0 for an empty vector.
+double mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); returns 0 for n < 2.
+double stddev(const std::vector<double>& v);
+
+/// Median (copies and sorts); returns 0 for an empty vector.
+double median(std::vector<double> v);
+
+/// Root-mean-square of a vector; returns 0 for an empty vector.
+double rms(const std::vector<double>& v);
+
+/// Evenly spaced grid of `n` points covering [lo, hi] inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Relative error |a-b| / max(|b|, floor); useful for tolerant comparisons
+/// against reference values that may be near zero.
+double rel_error(double a, double b, double floor = 1e-30);
+
+}  // namespace charlie::math

@@ -1,0 +1,50 @@
+#include "util/rng.hpp"
+
+#include "util/error.hpp"
+
+namespace charlie::util {
+
+double Rng::uniform(double lo, double hi) {
+  CHARLIE_ASSERT(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mu, double sigma) {
+  CHARLIE_ASSERT(sigma >= 0.0);
+  if (sigma == 0.0) return mu;
+  std::normal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+double Rng::normal_above(double mu, double sigma, double lo) {
+  CHARLIE_ASSERT_MSG(lo < mu + 8.0 * sigma || sigma == 0.0,
+                     "truncation bound too far in the tail");
+  if (sigma == 0.0) return mu > lo ? mu : lo;
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const double v = normal(mu, sigma);
+    if (v > lo) return v;
+  }
+  return lo + (mu > lo ? mu - lo : sigma);  // pathological sigma: clamp
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CHARLIE_ASSERT(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  CHARLIE_ASSERT(p >= 0.0 && p <= 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Rng Rng::fork() {
+  // Derive a child seed from the parent stream; golden-ratio increment
+  // decorrelates consecutive forks.
+  const std::uint64_t child = engine_() ^ 0x9e3779b97f4a7c15ULL;
+  return Rng(child);
+}
+
+}  // namespace charlie::util

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace charlie::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CHARLIE_ASSERT_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CHARLIE_ASSERT_MSG(cells.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(fmt(v, precision));
+  add_row(std::move(text));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f %%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace charlie::util

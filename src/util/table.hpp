@@ -1,0 +1,45 @@
+// Aligned console table printer. Benches use this to print the same rows
+// the paper's tables/figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace charlie::util {
+
+/// Collects rows of strings and prints them column-aligned:
+///
+///   TextTable t({"delta [ps]", "delay [ps]"});
+///   t.add_row({"-60", "37.91"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  void add_row(const std::vector<double>& cells, int precision = 3);
+
+  /// Render with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t n_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmt(double v, int precision = 3);
+
+/// Format a double in scientific notation.
+std::string fmt_sci(double v, int precision = 3);
+
+/// Format a percentage with sign, e.g. "-28.01 %".
+std::string fmt_percent(double fraction, int precision = 2);
+
+}  // namespace charlie::util

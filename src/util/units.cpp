@@ -1,0 +1,83 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace charlie::units {
+namespace {
+
+struct Scale {
+  double factor;
+  const char* suffix;
+};
+
+std::string format_scaled(double value, int precision,
+                          const std::array<Scale, 7>& scales,
+                          const char* base_suffix) {
+  const double mag = std::fabs(value);
+  char buf[64];
+  if (mag == 0.0) {
+    std::snprintf(buf, sizeof buf, "%.*f %s", precision, 0.0, base_suffix);
+    return buf;
+  }
+  for (const auto& s : scales) {
+    if (mag >= s.factor) {
+      std::snprintf(buf, sizeof buf, "%.*f %s", precision, value / s.factor,
+                    s.suffix);
+      return buf;
+    }
+  }
+  const auto& last = scales.back();
+  std::snprintf(buf, sizeof buf, "%.*f %s", precision, value / last.factor,
+                last.suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_time(double seconds_value, int precision) {
+  static constexpr std::array<Scale, 7> scales{{{1.0, "s"},
+                                                {1e-3, "ms"},
+                                                {1e-6, "us"},
+                                                {1e-9, "ns"},
+                                                {1e-12, "ps"},
+                                                {1e-15, "fs"},
+                                                {1e-18, "as"}}};
+  return format_scaled(seconds_value, precision, scales, "s");
+}
+
+std::string format_resistance(double ohms_value, int precision) {
+  static constexpr std::array<Scale, 7> scales{{{1e9, "GOhm"},
+                                                {1e6, "MOhm"},
+                                                {1e3, "kOhm"},
+                                                {1.0, "Ohm"},
+                                                {1e-3, "mOhm"},
+                                                {1e-6, "uOhm"},
+                                                {1e-9, "nOhm"}}};
+  return format_scaled(ohms_value, precision, scales, "Ohm");
+}
+
+std::string format_capacitance(double farads_value, int precision) {
+  static constexpr std::array<Scale, 7> scales{{{1.0, "F"},
+                                                {1e-3, "mF"},
+                                                {1e-6, "uF"},
+                                                {1e-9, "nF"},
+                                                {1e-12, "pF"},
+                                                {1e-15, "fF"},
+                                                {1e-18, "aF"}}};
+  return format_scaled(farads_value, precision, scales, "F");
+}
+
+std::string format_voltage(double volts_value, int precision) {
+  static constexpr std::array<Scale, 7> scales{{{1e3, "kV"},
+                                                {1.0, "V"},
+                                                {1e-3, "mV"},
+                                                {1e-6, "uV"},
+                                                {1e-9, "nV"},
+                                                {1e-12, "pV"},
+                                                {1e-15, "fV"}}};
+  return format_scaled(volts_value, precision, scales, "V");
+}
+
+}  // namespace charlie::units

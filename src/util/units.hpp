@@ -1,0 +1,54 @@
+// SI unit helpers for the charlie library.
+//
+// All quantities in the library are plain `double` in base SI units
+// (seconds, volts, ohms, farads, amperes). These constants and literals
+// make construction and printing of such quantities readable:
+//
+//   double delta = 30.0 * units::ps;          // 30 picoseconds
+//   double r_on  = 45.150 * units::kilo_ohm;  // Table I value
+//   std::string s = units::format_time(d);    // "30.000 ps"
+#pragma once
+
+#include <string>
+
+namespace charlie::units {
+
+// --- time ---------------------------------------------------------------
+inline constexpr double second = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double fs = 1e-15;
+
+// --- resistance ----------------------------------------------------------
+inline constexpr double ohm = 1.0;
+inline constexpr double kilo_ohm = 1e3;
+inline constexpr double mega_ohm = 1e6;
+
+// --- capacitance ---------------------------------------------------------
+inline constexpr double farad = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+inline constexpr double aF = 1e-18;
+
+// --- voltage / current ---------------------------------------------------
+inline constexpr double volt = 1.0;
+inline constexpr double mV = 1e-3;
+inline constexpr double ampere = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+
+/// Render a time in engineering units, e.g. "28.431 ps".
+std::string format_time(double seconds_value, int precision = 3);
+
+/// Render a resistance, e.g. "45.150 kΩ".
+std::string format_resistance(double ohms_value, int precision = 3);
+
+/// Render a capacitance, e.g. "617.259 aF".
+std::string format_capacitance(double farads_value, int precision = 3);
+
+/// Render a voltage, e.g. "0.400 V".
+std::string format_voltage(double volts_value, int precision = 3);
+
+}  // namespace charlie::units

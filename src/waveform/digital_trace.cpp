@@ -1,0 +1,74 @@
+#include "waveform/digital_trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace charlie::waveform {
+
+DigitalTrace::DigitalTrace(bool initial_value, std::vector<double> transitions)
+    : initial_(initial_value), transitions_(std::move(transitions)) {
+  for (std::size_t i = 1; i < transitions_.size(); ++i) {
+    CHARLIE_ASSERT_MSG(transitions_[i - 1] < transitions_[i],
+                       "transitions must be strictly time-ordered");
+  }
+}
+
+void DigitalTrace::append_transition(double t) {
+  CHARLIE_ASSERT_MSG(transitions_.empty() || t > transitions_.back(),
+                     "transition must advance time");
+  transitions_.push_back(t);
+}
+
+bool DigitalTrace::value_at(double t) const {
+  // Count transitions at or before t.
+  const auto it =
+      std::upper_bound(transitions_.begin(), transitions_.end(), t);
+  const std::size_t count =
+      static_cast<std::size_t>(std::distance(transitions_.begin(), it));
+  return initial_ != (count % 2 == 1);
+}
+
+bool DigitalTrace::final_value() const {
+  return initial_ != (transitions_.size() % 2 == 1);
+}
+
+bool DigitalTrace::is_rising(std::size_t i) const {
+  CHARLIE_ASSERT(i < transitions_.size());
+  // Value before transition i is initial_ flipped i times; the transition
+  // rises when that value is 0.
+  const bool before = initial_ != (i % 2 == 1);
+  return !before;
+}
+
+DigitalTrace DigitalTrace::without_short_pulses(double min_width) const {
+  CHARLIE_ASSERT(min_width >= 0.0);
+  // Repeatedly drop adjacent transition pairs closer than min_width;
+  // removing a pair can merge its neighbours into a new short pulse, so
+  // iterate to a fixed point (the classic inertial cancellation cascade).
+  std::vector<double> ts = transitions_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+      if (ts[i + 1] - ts[i] < min_width) {
+        ts.erase(ts.begin() + static_cast<std::ptrdiff_t>(i),
+                 ts.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return DigitalTrace(initial_, std::move(ts));
+}
+
+DigitalTrace DigitalTrace::window(double t0, double t1) const {
+  CHARLIE_ASSERT(t1 >= t0);
+  DigitalTrace out(value_at(t0), {});
+  for (double t : transitions_) {
+    if (t > t0 && t <= t1) out.append_transition(t);
+  }
+  return out;
+}
+
+}  // namespace charlie::waveform

@@ -1,0 +1,51 @@
+#include "waveform/digitize.hpp"
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace charlie::waveform {
+
+std::vector<Crossing> find_crossings(const Waveform& w, double threshold) {
+  std::vector<Crossing> out;
+  const auto& s = w.samples();
+  if (s.size() < 2) return out;
+
+  // Track the current digital state; emit a crossing whenever it flips.
+  bool state = s.front().v > threshold;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const double v0 = s[i - 1].v;
+    const double v1 = s[i].v;
+    const bool next_state = v1 > threshold ? true
+                            : v1 < threshold ? false
+                                             : state;  // exactly on: hold
+    if (next_state == state) continue;
+    double t_cross;
+    if (v1 == v0) {
+      t_cross = s[i].t;  // flat segment ending on the far side (rare)
+    } else {
+      t_cross = s[i - 1].t + (threshold - v0) / (v1 - v0) *
+                                 (s[i].t - s[i - 1].t);
+      t_cross = math::clamp(t_cross, s[i - 1].t, s[i].t);
+    }
+    out.push_back({t_cross, next_state});
+    state = next_state;
+  }
+  return out;
+}
+
+DigitalTrace digitize(const Waveform& w, double threshold) {
+  CHARLIE_ASSERT_MSG(!w.empty(), "digitize of empty waveform");
+  const bool initial = w.samples().front().v > threshold;
+  DigitalTrace trace(initial, {});
+  double last_t = -1e300;
+  for (const Crossing& c : find_crossings(w, threshold)) {
+    // Guard against two crossings landing on the same timestamp after
+    // interpolation rounding; nudge by the smallest representable amount.
+    const double t = c.t > last_t ? c.t : std::nextafter(last_t, 1e300);
+    trace.append_transition(t);
+    last_t = t;
+  }
+  return trace;
+}
+
+}  // namespace charlie::waveform

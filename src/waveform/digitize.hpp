@@ -1,0 +1,30 @@
+// Threshold digitization of analog waveforms.
+//
+// Both the paper's analog reference traces and our hybrid-model output
+// voltages are reduced to digital traces by recording V = Vth crossings
+// (Vth = VDD/2 throughout the paper).
+#pragma once
+
+#include <vector>
+
+#include "waveform/digital_trace.hpp"
+#include "waveform/waveform.hpp"
+
+namespace charlie::waveform {
+
+struct Crossing {
+  double t = 0.0;
+  bool rising = false;  // analog signal crossing threshold upward
+};
+
+/// All threshold crossings of `w`, by linear interpolation inside segments.
+/// Touching the threshold without crossing is not a crossing. Segments that
+/// sit exactly on the threshold are resolved by the eventual departure
+/// direction.
+std::vector<Crossing> find_crossings(const Waveform& w, double threshold);
+
+/// Digitize: initial value is (v(t_front) > threshold), one transition per
+/// crossing.
+DigitalTrace digitize(const Waveform& w, double threshold);
+
+}  // namespace charlie::waveform

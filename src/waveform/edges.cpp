@@ -1,0 +1,119 @@
+#include "waveform/edges.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::waveform {
+namespace {
+
+// Builder tracking the current linear segment of the synthesized signal.
+class SlewBuilder {
+ public:
+  SlewBuilder(Waveform& out, double t0, double v0)
+      : out_(out), t_cur_(t0), v_cur_(v0) {
+    out_.append(t0, v0);
+  }
+
+  // Move along the current course to absolute time `t` and drop a breakpoint.
+  void emit_at(double t) {
+    if (t <= t_cur_) return;
+    advance(t);
+    out_.append(t_cur_, v_cur_);
+  }
+
+  // Switch to the ramp of slope `m` through (t_i, v_th) heading to `rail`.
+  void switch_to_edge(double t_i, double m, double v_th, double rail) {
+    CHARLIE_ASSERT(m != 0.0);
+    double t_switch;
+    if (slope_ == 0.0) {
+      // Flat: the new line reaches the current level at its departure point.
+      t_switch = t_i + (v_cur_ - v_th) / m;
+    } else {
+      // Ramping (opposite slope): intersect the two lines, but if the
+      // current ramp saturates at its rail first, depart from the flat part.
+      const double t_rail = t_cur_ + (rail_ - v_cur_) / slope_;
+      const double t_lines =
+          (v_th - m * t_i - v_cur_ + slope_ * t_cur_) / (slope_ - m);
+      if (t_lines <= t_rail) {
+        t_switch = t_lines;
+      } else {
+        emit_at(t_rail);  // also records the rail-hit corner
+        t_switch = t_i + (v_cur_ - v_th) / m;
+      }
+    }
+    t_switch = std::max(t_switch, t_cur_);
+    emit_at(t_switch);
+    slope_ = m;
+    rail_ = rail;
+  }
+
+  // Complete any in-flight ramp (corner at the rail) and hold flat to t_end.
+  void finish(double t_end) {
+    if (slope_ != 0.0) {
+      const double t_rail = t_cur_ + (rail_ - v_cur_) / slope_;
+      if (t_rail < t_end) {
+        emit_at(t_rail);
+        slope_ = 0.0;
+      }
+    }
+    emit_at(t_end);
+  }
+
+ private:
+  void advance(double t) {
+    if (slope_ != 0.0) {
+      const double t_rail = t_cur_ + (rail_ - v_cur_) / slope_;
+      if (t >= t_rail) {
+        // Passed the corner: record it so interpolation stays exact. When
+        // the query lands exactly on the corner, the caller's append covers
+        // it -- appending here too would duplicate the timestamp.
+        if (t_rail > t_cur_ && t > t_rail) {
+          out_.append(t_rail, rail_);
+        }
+        t_cur_ = std::max(t_rail, t_cur_);
+        v_cur_ = rail_;
+        slope_ = 0.0;
+      }
+    }
+    v_cur_ += slope_ * (t - t_cur_);
+    t_cur_ = t;
+  }
+
+  Waveform& out_;
+  double t_cur_;
+  double v_cur_;
+  double slope_ = 0.0;
+  double rail_ = 0.0;
+};
+
+}  // namespace
+
+Waveform slew_limited_waveform(const DigitalTrace& trace,
+                               const EdgeParams& params, double t_begin,
+                               double t_end) {
+  CHARLIE_ASSERT(t_end > t_begin);
+  CHARLIE_ASSERT(params.v_high > params.v_low);
+  CHARLIE_ASSERT(params.rise_time > 0.0);
+
+  const double s = params.slew_rate();
+  const double v_th = params.v_threshold();
+
+  Waveform out;
+  const double v0 = trace.initial_value() ? params.v_high : params.v_low;
+  SlewBuilder builder(out, t_begin, v0);
+
+  const auto& ts = trace.transitions();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i] >= t_end) break;
+    const bool rising = trace.is_rising(i);
+    const double m = rising ? s : -s;
+    const double rail = rising ? params.v_high : params.v_low;
+    builder.switch_to_edge(ts[i], m, v_th, rail);
+  }
+  builder.finish(t_end);
+  return out;
+}
+
+}  // namespace charlie::waveform

@@ -1,0 +1,34 @@
+// Analog edge synthesis: digital traces -> slew-limited analog waveforms.
+//
+// The paper drives its SPICE reference with the standard-cell library's
+// input ramps f_up/f_down, with t_A/t_B defined as the Vth = VDD/2 crossing
+// times. We model the driver as slew-limited: each digital transition at
+// time t_i launches a linear ramp that crosses Vth exactly at t_i (when
+// reachable). Overlapping edges -- pulses shorter than the edge duration --
+// produce the physically expected runt triangles.
+#pragma once
+
+#include "waveform/digital_trace.hpp"
+#include "waveform/waveform.hpp"
+
+namespace charlie::waveform {
+
+struct EdgeParams {
+  double v_low = 0.0;
+  double v_high = 0.8;       // FreePDK15 VDD used throughout the paper
+  double rise_time = 20e-12; // full-swing edge duration [s]
+
+  double slew_rate() const { return (v_high - v_low) / rise_time; }
+  double v_threshold() const { return 0.5 * (v_low + v_high); }
+};
+
+/// Build the analog waveform for `trace` over [t_begin, t_end].
+///
+/// Each transition's ramp is the line through (t_i, Vth) with slope
+/// +/- slew_rate; the signal follows its current trajectory until it meets
+/// the next transition's line, then follows that line until it hits a rail.
+Waveform slew_limited_waveform(const DigitalTrace& trace,
+                               const EdgeParams& params, double t_begin,
+                               double t_end);
+
+}  // namespace charlie::waveform

@@ -1,0 +1,95 @@
+#include "waveform/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::waveform {
+
+double deviation_area(const DigitalTrace& a, const DigitalTrace& b, double t0,
+                      double t1) {
+  CHARLIE_ASSERT_MSG(t1 >= t0, "deviation_area: inverted window");
+  // Sweep the merged transition sequence; accumulate segment lengths where
+  // the values differ.
+  const auto& ta = a.transitions();
+  const auto& tb = b.transitions();
+  std::size_t ia =
+      std::lower_bound(ta.begin(), ta.end(), t0) - ta.begin();
+  std::size_t ib =
+      std::lower_bound(tb.begin(), tb.end(), t0) - tb.begin();
+
+  double t = t0;
+  bool va = a.value_at(t0);
+  bool vb = b.value_at(t0);
+  // value_at uses upper_bound semantics (transition effective at its own
+  // timestamp); if a transition sits exactly at t0 it is already reflected
+  // in va/vb, so skip it in the sweep.
+  while (ia < ta.size() && ta[ia] <= t0) ++ia;
+  while (ib < tb.size() && tb[ib] <= t0) ++ib;
+
+  double area = 0.0;
+  while (t < t1) {
+    const double next_a = ia < ta.size() ? ta[ia] : t1;
+    const double next_b = ib < tb.size() ? tb[ib] : t1;
+    const double t_next = std::min({next_a, next_b, t1});
+    if (va != vb) area += t_next - t;
+    if (t_next >= t1) break;
+    if (next_a == t_next && ia < ta.size()) {
+      va = !va;
+      ++ia;
+    }
+    if (next_b == t_next && ib < tb.size()) {
+      vb = !vb;
+      ++ib;
+    }
+    t = t_next;
+  }
+  return area;
+}
+
+EdgePairingStats pair_edges(const DigitalTrace& reference,
+                            const DigitalTrace& model,
+                            double pairing_window) {
+  CHARLIE_ASSERT(pairing_window > 0.0);
+  EdgePairingStats stats;
+  const auto& rt = reference.transitions();
+  const auto& mt = model.transitions();
+  std::vector<bool> model_used(mt.size(), false);
+
+  for (std::size_t i = 0; i < rt.size(); ++i) {
+    const bool dir = reference.is_rising(i);
+    double best = pairing_window;
+    std::ptrdiff_t best_j = -1;
+    // Nearest unused same-direction model edge.
+    for (std::size_t j = 0; j < mt.size(); ++j) {
+      if (model_used[j] || model.is_rising(j) != dir) continue;
+      const double d = std::fabs(mt[j] - rt[i]);
+      if (d < best) {
+        best = d;
+        best_j = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+    if (best_j >= 0) {
+      model_used[static_cast<std::size_t>(best_j)] = true;
+      stats.offsets.push_back(mt[static_cast<std::size_t>(best_j)] - rt[i]);
+    } else {
+      ++stats.unmatched_reference;
+    }
+  }
+  stats.unmatched_model =
+      static_cast<std::size_t>(std::count(model_used.begin(),
+                                          model_used.end(), false));
+  double acc = 0.0;
+  for (double o : stats.offsets) {
+    const double a = std::fabs(o);
+    acc += a;
+    stats.max_abs_offset = std::max(stats.max_abs_offset, a);
+  }
+  stats.mean_abs_offset =
+      stats.offsets.empty() ? 0.0
+                            : acc / static_cast<double>(stats.offsets.size());
+  return stats;
+}
+
+}  // namespace charlie::waveform

@@ -1,0 +1,36 @@
+// Accuracy metrics between digital traces.
+//
+// The paper's Fig 7 compares delay models by "deviation area": the digitized
+// SPICE trace is subtracted from the model's trace and the absolute area is
+// summed -- for 0/1 signals this is the total time the two traces disagree.
+// Results are then normalized against the inertial-delay baseline.
+#pragma once
+
+#include <vector>
+
+#include "waveform/digital_trace.hpp"
+
+namespace charlie::waveform {
+
+/// Total time within [t0, t1] where the two traces differ (the paper's
+/// deviation area for unit-amplitude signals). Symmetric and >= 0; zero iff
+/// the traces agree almost everywhere in the window.
+double deviation_area(const DigitalTrace& a, const DigitalTrace& b, double t0,
+                      double t1);
+
+/// Per-edge delay statistics between a reference trace and a model trace:
+/// pairs each reference transition with the nearest same-direction model
+/// transition (within `pairing_window`) and reports the signed offsets.
+struct EdgePairingStats {
+  std::vector<double> offsets;  // model time minus reference time, per pair
+  std::size_t unmatched_reference = 0;
+  std::size_t unmatched_model = 0;
+  double mean_abs_offset = 0.0;
+  double max_abs_offset = 0.0;
+};
+
+EdgePairingStats pair_edges(const DigitalTrace& reference,
+                            const DigitalTrace& model,
+                            double pairing_window);
+
+}  // namespace charlie::waveform

@@ -1,0 +1,74 @@
+#include "waveform/waveform.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace charlie::waveform {
+
+Waveform::Waveform(std::vector<Sample> samples) : samples_(std::move(samples)) {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    CHARLIE_ASSERT_MSG(samples_[i - 1].t < samples_[i].t,
+                       "waveform samples must be strictly time-ordered");
+  }
+}
+
+void Waveform::append(double t, double v) {
+  CHARLIE_ASSERT_MSG(samples_.empty() || t > samples_.back().t,
+                     "waveform append must advance time");
+  samples_.push_back({t, v});
+}
+
+double Waveform::value_at(double t) const {
+  CHARLIE_ASSERT_MSG(!samples_.empty(), "value_at on empty waveform");
+  if (t <= samples_.front().t) return samples_.front().v;
+  if (t >= samples_.back().t) return samples_.back().v;
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const Sample& s, double value) { return s.t < value; });
+  const Sample& hi = *it;
+  const Sample& lo = *(it - 1);
+  return math::lerp_at(lo.t, lo.v, hi.t, hi.v, t);
+}
+
+Waveform Waveform::from_function(const std::function<double(double)>& f,
+                                 double t0, double t1,
+                                 std::size_t n_samples) {
+  CHARLIE_ASSERT(n_samples >= 2);
+  Waveform w;
+  for (double t : math::linspace(t0, t1, n_samples)) {
+    w.append(t, f(t));
+  }
+  return w;
+}
+
+double Waveform::t_front() const {
+  CHARLIE_ASSERT(!samples_.empty());
+  return samples_.front().t;
+}
+
+double Waveform::t_back() const {
+  CHARLIE_ASSERT(!samples_.empty());
+  return samples_.back().t;
+}
+
+double Waveform::v_min() const {
+  CHARLIE_ASSERT(!samples_.empty());
+  return std::min_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.v < b.v;
+                          })
+      ->v;
+}
+
+double Waveform::v_max() const {
+  CHARLIE_ASSERT(!samples_.empty());
+  return std::max_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.v < b.v;
+                          })
+      ->v;
+}
+
+}  // namespace charlie::waveform

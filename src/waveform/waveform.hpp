@@ -1,0 +1,47 @@
+// Piecewise-linear analog waveform (time-ordered (t, v) breakpoints).
+//
+// Used for SPICE PWL sources, for recording simulated node voltages, and as
+// the common format digitized into DigitalTrace.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace charlie::waveform {
+
+struct Sample {
+  double t = 0.0;
+  double v = 0.0;
+};
+
+class Waveform {
+ public:
+  Waveform() = default;
+  explicit Waveform(std::vector<Sample> samples);
+
+  /// Append a sample; time must be strictly increasing.
+  void append(double t, double v);
+
+  /// Linear interpolation; clamps to the first/last value outside the span.
+  double value_at(double t) const;
+
+  /// Sample a callable on an even grid over [t0, t1].
+  static Waveform from_function(const std::function<double(double)>& f,
+                                double t0, double t1, std::size_t n_samples);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<Sample>& samples() const { return samples_; }
+  double t_front() const;
+  double t_back() const;
+
+  /// Minimum / maximum sample value (requires non-empty).
+  double v_min() const;
+  double v_max() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace charlie::waveform

@@ -1,0 +1,124 @@
+#include "core/crossing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::core {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+TEST(Crossing, SingleExponentialDecayExactTime) {
+  // (0,0) -> (0,1): V_O = VDD e^{-t/(R4 CO)}; crossing of VDD/2 at
+  // ln2 R4 CO (paper eq (9) without delta_min).
+  const auto p = NorParams::paper_table1();
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(0.0, false, true);
+  CrossingQuery q;
+  q.threshold = p.vth();
+  q.t_start = 0.0;
+  q.t_end = 1e-9;
+  q.direction = CrossDirection::kFalling;
+  const auto t = first_vo_crossing(traj, q);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, kLn2 * p.r4 * p.co, 1e-16);
+}
+
+TEST(Crossing, ParallelDischargeExactTime) {
+  // (0,0) -> (1,1): both nMOS conduct; crossing at ln2 CO (R3||R4)
+  // (paper eq (8)).
+  const auto p = NorParams::paper_table1();
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(0.0, true, true);
+  CrossingQuery q;
+  q.threshold = p.vth();
+  q.t_start = 0.0;
+  q.t_end = 1e-9;
+  const auto t = first_vo_crossing(traj, q);
+  ASSERT_TRUE(t.has_value());
+  const double rp = p.r3 * p.r4 / (p.r3 + p.r4);
+  EXPECT_NEAR(*t, kLn2 * p.co * rp, 1e-16);
+}
+
+TEST(Crossing, DirectionFilterSkipsWrongWay) {
+  const auto p = NorParams::paper_table1();
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(0.0, false, true);  // V_O falls
+  CrossingQuery q;
+  q.threshold = p.vth();
+  q.t_start = 0.0;
+  q.t_end = 1e-9;
+  q.direction = CrossDirection::kRising;  // wrong direction
+  EXPECT_FALSE(first_vo_crossing(traj, q).has_value());
+}
+
+TEST(Crossing, NoCrossingWhenAsymptoteOnSameSide) {
+  // Steady (0,0) stays at VDD: never crosses VDD/2.
+  const auto p = NorParams::paper_table1();
+  const auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  CrossingQuery q;
+  q.threshold = p.vth();
+  q.t_start = 0.0;
+  q.t_end = 1e-9;
+  EXPECT_FALSE(first_vo_crossing(traj, q).has_value());
+}
+
+TEST(Crossing, FindsCrossingAcrossSegmentBoundary) {
+  // Switch to (1,1) shortly before the would-be (0,1) crossing: the actual
+  // crossing happens in the second segment, earlier than the (0,1) one.
+  const auto p = NorParams::paper_table1();
+  const double t01 = kLn2 * p.r4 * p.co;  // ~20.9 ps
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(0.0, false, true);
+  traj.set_inputs(0.7 * t01, true, true);
+  CrossingQuery q;
+  q.threshold = p.vth();
+  q.t_start = 0.0;
+  q.t_end = 1e-9;
+  q.direction = CrossDirection::kFalling;
+  const auto t = first_vo_crossing(traj, q);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GT(*t, 0.7 * t01);
+  EXPECT_LT(*t, t01);
+}
+
+TEST(Crossing, WindowBoundsRespected) {
+  const auto p = NorParams::paper_table1();
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(0.0, false, true);
+  const double t_true = kLn2 * p.r4 * p.co;
+  CrossingQuery q;
+  q.threshold = p.vth();
+  q.t_start = 0.0;
+  q.t_end = 0.5 * t_true;  // window ends before the crossing
+  EXPECT_FALSE(first_vo_crossing(traj, q).has_value());
+  // Start after the crossing: also nothing (V_O below threshold already).
+  q.t_start = 2.0 * t_true;
+  q.t_end = 1e-9;
+  q.direction = CrossDirection::kFalling;
+  EXPECT_FALSE(first_vo_crossing(traj, q).has_value());
+}
+
+TEST(Crossing, EmptyWindowThrows) {
+  const auto p = NorParams::paper_table1();
+  const auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  CrossingQuery q;
+  q.t_start = 1.0;
+  q.t_end = 1.0;
+  EXPECT_THROW(first_vo_crossing(traj, q), AssertionError);
+}
+
+TEST(Crossing, ScanStepReasonable) {
+  const auto p = NorParams::paper_table1();
+  const auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  const double step = crossing_scan_step(traj, 1e-9);
+  EXPECT_GT(step, 0.0);
+  EXPECT_LE(step, 0.25e-9);
+  EXPECT_GE(step, 1e-9 / 8192.0);
+}
+
+}  // namespace
+}  // namespace charlie::core

@@ -1,0 +1,71 @@
+#include "core/delay_surface.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace charlie::core {
+namespace {
+
+class SurfaceFixture : public ::testing::Test {
+ protected:
+  static const DelaySurface& surface() {
+    static const DelaySurface s =
+        DelaySurface::build(NorParams::paper_table1(), 120e-12, 121);
+    return s;
+  }
+  const NorDelayModel model_{NorParams::paper_table1()};
+};
+
+TEST_F(SurfaceFixture, MatchesModelAtGridPoints) {
+  for (double delta : {-120e-12, -60e-12, 0.0, 60e-12, 120e-12}) {
+    EXPECT_NEAR(surface().falling(delta), model_.falling_delay(delta).delay,
+                1e-15)
+        << delta;
+    EXPECT_NEAR(surface().rising(delta),
+                model_.rising_delay(delta, 0.0).delay, 1e-15)
+        << delta;
+  }
+}
+
+TEST_F(SurfaceFixture, InterpolationErrorSmallBetweenGridPoints) {
+  for (double delta : {-37.3e-12, -11.1e-12, 5.7e-12, 43.9e-12}) {
+    EXPECT_NEAR(surface().falling(delta), model_.falling_delay(delta).delay,
+                0.05e-12)
+        << delta;
+    EXPECT_NEAR(surface().rising(delta),
+                model_.rising_delay(delta, 0.0).delay, 0.05e-12)
+        << delta;
+  }
+}
+
+TEST_F(SurfaceFixture, ClampsToSisBeyondRange) {
+  EXPECT_DOUBLE_EQ(surface().falling(-1.0), surface().falling_sis_b_first());
+  EXPECT_DOUBLE_EQ(surface().falling(1.0), surface().falling_sis_a_first());
+  EXPECT_DOUBLE_EQ(surface().rising(-1.0), surface().rising_sis_b_first());
+  EXPECT_DOUBLE_EQ(surface().rising(1.0), surface().rising_sis_a_first());
+}
+
+TEST_F(SurfaceFixture, CharlieShapePreserved) {
+  // The tabulated falling curve keeps its minimum at Delta = 0.
+  EXPECT_LT(surface().falling(0.0), surface().falling(-60e-12));
+  EXPECT_LT(surface().falling(0.0), surface().falling(60e-12));
+}
+
+TEST(DelaySurface, ValidatesArguments) {
+  const auto p = NorParams::paper_table1();
+  EXPECT_THROW(DelaySurface::build(p, -1.0, 10), AssertionError);
+  EXPECT_THROW(DelaySurface::build(p, 1e-12, 1), AssertionError);
+}
+
+TEST(DelaySurface, CustomVn0Handled) {
+  const auto p = NorParams::paper_table1();
+  const auto s_gnd = DelaySurface::build(p, 100e-12, 41, 0.0);
+  const auto s_vdd = DelaySurface::build(p, 100e-12, 41, p.vdd);
+  // History only affects the rising curve for Delta < 0.
+  EXPECT_NE(s_gnd.rising(-50e-12), s_vdd.rising(-50e-12));
+  EXPECT_NEAR(s_gnd.falling(-50e-12), s_vdd.falling(-50e-12), 1e-15);
+}
+
+}  // namespace
+}  // namespace charlie::core

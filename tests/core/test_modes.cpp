@@ -1,0 +1,142 @@
+#include "core/modes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace charlie::core {
+namespace {
+
+TEST(Modes, MappingFromInputs) {
+  EXPECT_EQ(mode_from_inputs(false, false), Mode::kS00);
+  EXPECT_EQ(mode_from_inputs(false, true), Mode::kS01);
+  EXPECT_EQ(mode_from_inputs(true, false), Mode::kS10);
+  EXPECT_EQ(mode_from_inputs(true, true), Mode::kS11);
+}
+
+TEST(Modes, InputsRoundTrip) {
+  for (Mode m : kAllModes) {
+    EXPECT_EQ(mode_from_inputs(mode_input_a(m), mode_input_b(m)), m);
+  }
+}
+
+TEST(Modes, Names) {
+  EXPECT_EQ(mode_name(Mode::kS00), "(0,0)");
+  EXPECT_EQ(mode_name(Mode::kS11), "(1,1)");
+  EXPECT_EQ(mode_name(Mode::kS10), "(1,0)");
+  EXPECT_EQ(mode_name(Mode::kS01), "(0,1)");
+}
+
+TEST(Modes, NorLogic) {
+  EXPECT_TRUE(mode_output(Mode::kS00));
+  EXPECT_FALSE(mode_output(Mode::kS01));
+  EXPECT_FALSE(mode_output(Mode::kS10));
+  EXPECT_FALSE(mode_output(Mode::kS11));
+}
+
+// The ODE right-hand sides transcribed from paper Section III B-E,
+// evaluated symbolically against the mode_ode matrices.
+TEST(Modes, System11MatchesPaper) {
+  const auto p = NorParams::paper_table1();
+  const auto sys = mode_ode(Mode::kS11, p);
+  // CN dVN/dt = 0; CO dVO/dt = -VO (1/R3 + 1/R4).
+  const ode::Vec2 d = sys.derivative({0.5, 0.6});
+  EXPECT_DOUBLE_EQ(d.x, 0.0);
+  EXPECT_NEAR(d.y, -0.6 * (1.0 / p.r3 + 1.0 / p.r4) / p.co, 1e-3);
+  EXPECT_FALSE(sys.has_equilibrium());  // V_N frozen: singular matrix
+}
+
+TEST(Modes, System10MatchesPaper) {
+  const auto p = NorParams::paper_table1();
+  const auto sys = mode_ode(Mode::kS10, p);
+  const double vn = 0.7;
+  const double vo = 0.3;
+  const ode::Vec2 d = sys.derivative({vn, vo});
+  EXPECT_NEAR(d.x, -(vn - vo) / (p.r2 * p.cn), 1.0);
+  EXPECT_NEAR(d.y, (-vo / p.r3 + (vn - vo) / p.r2) / p.co, 1.0);
+}
+
+TEST(Modes, System01MatchesPaper) {
+  const auto p = NorParams::paper_table1();
+  const auto sys = mode_ode(Mode::kS01, p);
+  const double vn = 0.1;
+  const double vo = 0.6;
+  const ode::Vec2 d = sys.derivative({vn, vo});
+  EXPECT_NEAR(d.x, (p.vdd - vn) / (p.r1 * p.cn), 1.0);
+  EXPECT_NEAR(d.y, -vo / (p.r4 * p.co), 1.0);
+}
+
+TEST(Modes, System00MatchesPaper) {
+  const auto p = NorParams::paper_table1();
+  const auto sys = mode_ode(Mode::kS00, p);
+  const double vn = 0.2;
+  const double vo = 0.1;
+  const ode::Vec2 d = sys.derivative({vn, vo});
+  EXPECT_NEAR(d.x, ((p.vdd - vn) / p.r1 - (vn - vo) / p.r2) / p.cn, 1.0);
+  EXPECT_NEAR(d.y, (vn - vo) / (p.r2 * p.co), 1.0);
+}
+
+TEST(Modes, SteadyStates) {
+  const auto p = NorParams::paper_table1();
+  // (0,0): both nodes charge to VDD.
+  const auto s00 = mode_steady_state(Mode::kS00, p);
+  EXPECT_DOUBLE_EQ(s00.x, p.vdd);
+  EXPECT_DOUBLE_EQ(s00.y, p.vdd);
+  // (0,1): N charged, O drained.
+  const auto s01 = mode_steady_state(Mode::kS01, p);
+  EXPECT_DOUBLE_EQ(s01.x, p.vdd);
+  EXPECT_DOUBLE_EQ(s01.y, 0.0);
+  // (1,0): both drained.
+  const auto s10 = mode_steady_state(Mode::kS10, p);
+  EXPECT_DOUBLE_EQ(s10.x, 0.0);
+  EXPECT_DOUBLE_EQ(s10.y, 0.0);
+  // (1,1): V_N frozen at the supplied history value.
+  const auto s11 = mode_steady_state(Mode::kS11, p, 0.77);
+  EXPECT_DOUBLE_EQ(s11.x, 0.77);
+  EXPECT_DOUBLE_EQ(s11.y, 0.0);
+}
+
+TEST(Modes, SteadyStatesAreEquilibria) {
+  const auto p = NorParams::paper_table1();
+  for (Mode m : {Mode::kS00, Mode::kS01, Mode::kS10}) {
+    const auto sys = mode_ode(m, p);
+    const auto ss = mode_steady_state(m, p);
+    const ode::Vec2 d = sys.derivative(ss);
+    EXPECT_NEAR(d.x, 0.0, 1e-3) << mode_name(m);  // volts/second scale
+    EXPECT_NEAR(d.y, 0.0, 1e-3) << mode_name(m);
+  }
+}
+
+TEST(Modes, InvalidParamsRejected) {
+  NorParams p = NorParams::paper_table1();
+  p.r3 = -1.0;
+  EXPECT_THROW(mode_ode(Mode::kS11, p), ConfigError);
+  p = NorParams::paper_table1();
+  p.co = 0.0;
+  EXPECT_THROW(mode_ode(Mode::kS00, p), ConfigError);
+  p = NorParams::paper_table1();
+  p.delta_min = -1e-12;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(NorParamsTest, Table1Values) {
+  const auto p = NorParams::paper_table1();
+  EXPECT_DOUBLE_EQ(p.r1, 37.088e3);
+  EXPECT_DOUBLE_EQ(p.r2, 44.926e3);
+  EXPECT_DOUBLE_EQ(p.r3, 45.150e3);
+  EXPECT_DOUBLE_EQ(p.r4, 48.761e3);
+  EXPECT_DOUBLE_EQ(p.cn, 59.486e-18);
+  EXPECT_DOUBLE_EQ(p.co, 617.259e-18);
+  EXPECT_DOUBLE_EQ(p.delta_min, 18e-12);
+  EXPECT_DOUBLE_EQ(p.vth(), 0.4);
+}
+
+TEST(NorParamsTest, ToStringContainsValues) {
+  const auto s = NorParams::paper_table1().to_string();
+  EXPECT_NE(s.find("45.150 kOhm"), std::string::npos);
+  EXPECT_NE(s.find("617.259 aF"), std::string::npos);
+  EXPECT_NE(s.find("18.000 ps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace charlie::core

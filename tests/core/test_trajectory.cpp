@@ -1,0 +1,111 @@
+#include "core/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::core {
+namespace {
+
+TEST(Trajectory, SteadyStateStaysPut) {
+  const auto p = NorParams::paper_table1();
+  const auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  EXPECT_NEAR(traj.vn_at(100e-12), p.vdd, 1e-9);
+  EXPECT_NEAR(traj.vo_at(100e-12), p.vdd, 1e-9);
+}
+
+TEST(Trajectory, ContinuityAcrossModeSwitch) {
+  const auto p = NorParams::paper_table1();
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(0.0, true, false);
+  traj.set_inputs(30e-12, true, true);
+  // The trajectory slope is ~1e10 V/s, so the window must be small enough
+  // that the physical change over 2*eps stays below the tolerance.
+  const double eps = 1e-18;
+  EXPECT_NEAR(traj.vo_at(30e-12 - eps), traj.vo_at(30e-12 + eps), 1e-6);
+  EXPECT_NEAR(traj.vn_at(30e-12 - eps), traj.vn_at(30e-12 + eps), 1e-6);
+}
+
+TEST(Trajectory, Mode11FreezesVn) {
+  const auto p = NorParams::paper_table1();
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(10e-12, true, false);  // (1,0): V_N starts draining
+  traj.set_inputs(40e-12, true, true);   // (1,1): V_N freezes
+  const double vn_at_switch = traj.vn_at(40e-12);
+  EXPECT_NEAR(traj.vn_at(100e-12), vn_at_switch, 1e-9);
+  EXPECT_NEAR(traj.vn_at(400e-12), vn_at_switch, 1e-9);
+  // While V_O keeps draining to ground.
+  EXPECT_LT(traj.vo_at(400e-12), 0.01);
+}
+
+TEST(Trajectory, FallingOutputConvergesToGround) {
+  const auto p = NorParams::paper_table1();
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(0.0, false, true);  // (0,1)
+  EXPECT_NEAR(traj.vo_at(1e-9), 0.0, 1e-6);
+  EXPECT_NEAR(traj.vn_at(1e-9), p.vdd, 1e-6);
+}
+
+TEST(Trajectory, RisingOutputConvergesToVdd) {
+  const auto p = NorParams::paper_table1();
+  NorTrajectory traj(p, 0.0, Mode::kS00, ode::Vec2{0.0, 0.0});
+  EXPECT_NEAR(traj.vo_at(2e-9), p.vdd, 1e-6);
+  EXPECT_NEAR(traj.vn_at(2e-9), p.vdd, 1e-6);
+}
+
+TEST(Trajectory, NoOpInputChangeKeepsSegments) {
+  const auto p = NorParams::paper_table1();
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  const auto n_before = traj.pieces().n_segments();
+  traj.set_inputs(10e-12, false, false);  // same mode: no new segment
+  EXPECT_EQ(traj.pieces().n_segments(), n_before);
+}
+
+TEST(Trajectory, VoSlopeSignMatchesTransition) {
+  const auto p = NorParams::paper_table1();
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(0.0, true, true);
+  EXPECT_LT(traj.vo_slope_at(5e-12), 0.0);  // falling output
+  NorTrajectory rising(p, 0.0, Mode::kS00, ode::Vec2{p.vdd, 0.0});
+  EXPECT_GT(rising.vo_slope_at(5e-12), 0.0);
+}
+
+TEST(Trajectory, SampledWaveformPreservesCorners) {
+  const auto p = NorParams::paper_table1();
+  auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(20e-12, false, true);
+  traj.set_inputs(50e-12, true, true);
+  const auto w = traj.sample_vo(0.0, 200e-12, 64);
+  // The exact switch times must be sample points.
+  bool found20 = false;
+  bool found50 = false;
+  for (const auto& s : w.samples()) {
+    if (s.t == 20e-12) found20 = true;
+    if (s.t == 50e-12) found50 = true;
+  }
+  EXPECT_TRUE(found20);
+  EXPECT_TRUE(found50);
+  // And sampling agrees with direct evaluation.
+  EXPECT_NEAR(w.value_at(100e-12), traj.vo_at(100e-12), 1e-4);
+}
+
+TEST(Trajectory, Fig4InitialConditionsReproduced) {
+  // Paper Fig 4: all four systems from V_N = V_O = VDD, except
+  // (0,0) starting at GND and (1,1) with V_N = VDD/2.
+  const auto p = NorParams::paper_table1();
+  {
+    NorTrajectory t(p, 0.0, Mode::kS11, ode::Vec2{p.vdd / 2, p.vdd});
+    EXPECT_NEAR(t.vn_at(150e-12), p.vdd / 2, 1e-9);  // frozen
+    EXPECT_LT(t.vo_at(150e-12), 0.05);               // drained fast (R3||R4)
+  }
+  {
+    NorTrajectory t(p, 0.0, Mode::kS00, ode::Vec2{0.0, 0.0});
+    EXPECT_GT(t.vn_at(150e-12), 0.5 * p.vdd);  // charging toward VDD
+    EXPECT_GT(t.vn_at(150e-12), t.vo_at(150e-12));  // N leads O through R2
+  }
+}
+
+}  // namespace
+}  // namespace charlie::core

@@ -1,0 +1,53 @@
+#include "fit/brent_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::fit {
+namespace {
+
+TEST(BrentMin, Quadratic) {
+  const auto r =
+      brent_minimize([](double x) { return (x - 2.0) * (x - 2.0); }, 0.0, 5.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-8);
+  EXPECT_NEAR(r.f, 0.0, 1e-14);
+}
+
+TEST(BrentMin, AsymmetricValley) {
+  // f(x) = x^4 - 3x^3 + 2, minimum at x = 9/4.
+  const auto r = brent_minimize(
+      [](double x) { return std::pow(x, 4) - 3.0 * std::pow(x, 3) + 2.0; },
+      0.0, 4.0);
+  EXPECT_NEAR(r.x, 2.25, 1e-7);
+}
+
+TEST(BrentMin, MinimumAtBoundary) {
+  const auto r = brent_minimize([](double x) { return x; }, 1.0, 3.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-6);
+}
+
+TEST(BrentMin, TranscendentalShape) {
+  // x * exp(x) on [-3, 0] has its minimum at x = -1.
+  const auto r = brent_minimize(
+      [](double x) { return x * std::exp(x); }, -3.0, 0.0);
+  EXPECT_NEAR(r.x, -1.0, 1e-7);
+  EXPECT_NEAR(r.f, -std::exp(-1.0), 1e-10);
+}
+
+TEST(BrentMin, EmptyIntervalThrows) {
+  EXPECT_THROW(brent_minimize([](double x) { return x; }, 1.0, 1.0),
+               AssertionError);
+}
+
+TEST(BrentMin, ReportsIterations) {
+  const auto r =
+      brent_minimize([](double x) { return x * x; }, -1.0, 1.0);
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_LT(r.iterations, 200);
+}
+
+}  // namespace
+}  // namespace charlie::fit

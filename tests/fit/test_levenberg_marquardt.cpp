@@ -1,0 +1,90 @@
+#include "fit/levenberg_marquardt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::fit {
+namespace {
+
+TEST(LevenbergMarquardt, LinearLeastSquares) {
+  // Fit y = a x + b to exact data; unique minimum (a, b) = (2, -1).
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const auto residuals = [&](const std::vector<double>& p) {
+    std::vector<double> r;
+    for (double x : xs) r.push_back(p[0] * x + p[1] - (2.0 * x - 1.0));
+    return r;
+  };
+  const auto result = levenberg_marquardt(residuals, {0.0, 0.0});
+  EXPECT_NEAR(result.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-8);
+  EXPECT_LT(result.cost, 1e-16);
+}
+
+TEST(LevenbergMarquardt, ExponentialCurveFit) {
+  // Fit A e^{-k t} to samples of 3 e^{-0.5 t}.
+  std::vector<double> ts;
+  std::vector<double> ys;
+  for (int i = 0; i <= 10; ++i) {
+    ts.push_back(0.3 * i);
+    ys.push_back(3.0 * std::exp(-0.5 * 0.3 * i));
+  }
+  const auto residuals = [&](const std::vector<double>& p) {
+    std::vector<double> r;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      r.push_back(p[0] * std::exp(-p[1] * ts[i]) - ys[i]);
+    }
+    return r;
+  };
+  const auto result = levenberg_marquardt(residuals, {1.0, 1.0});
+  EXPECT_NEAR(result.x[0], 3.0, 1e-5);
+  EXPECT_NEAR(result.x[1], 0.5, 1e-5);
+}
+
+TEST(LevenbergMarquardt, RosenbrockAsResiduals) {
+  // Rosenbrock is a classic least-squares test: r = (1-x, 10(y-x^2)).
+  const auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{1.0 - p[0], 10.0 * (p[1] - p[0] * p[0])};
+  };
+  const auto result = levenberg_marquardt(residuals, {-1.2, 1.0});
+  EXPECT_NEAR(result.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-6);
+}
+
+TEST(LevenbergMarquardt, OverdeterminedNoisyFit) {
+  // Noisy data: cost should settle near the noise floor, not zero.
+  const auto residuals = [](const std::vector<double>& p) {
+    std::vector<double> r;
+    const double noise[] = {0.01, -0.02, 0.015, -0.005, 0.0};
+    for (int i = 0; i < 5; ++i) {
+      r.push_back(p[0] * i - (1.5 * i + noise[i]));
+    }
+    return r;
+  };
+  const auto result = levenberg_marquardt(residuals, {0.0});
+  EXPECT_NEAR(result.x[0], 1.5, 0.01);
+  EXPECT_GT(result.cost, 0.0);
+}
+
+TEST(LevenbergMarquardt, AlreadyAtMinimum) {
+  const auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{p[0] - 1.0};
+  };
+  const auto result = levenberg_marquardt(residuals, {1.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-12);
+}
+
+TEST(LevenbergMarquardt, EmptyInputsThrow) {
+  EXPECT_THROW(levenberg_marquardt(
+                   [](const std::vector<double>&) {
+                     return std::vector<double>{0.0};
+                   },
+                   {}),
+               AssertionError);
+}
+
+}  // namespace
+}  // namespace charlie::fit

@@ -1,0 +1,103 @@
+#include "fit/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fit/param_transform.hpp"
+#include "util/error.hpp"
+
+namespace charlie::fit {
+namespace {
+
+TEST(NelderMead, Sphere3d) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        return x[0] * x[0] + x[1] * x[1] + x[2] * x[2];
+      },
+      {1.0, -2.0, 0.5});
+  EXPECT_TRUE(r.converged);
+  for (double xi : r.x) EXPECT_NEAR(xi, 0.0, 1e-4);
+}
+
+TEST(NelderMead, Rosenbrock2d) {
+  NelderMeadOptions opts;
+  opts.max_evaluations = 20000;
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+      },
+      {-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+  EXPECT_LT(r.f, 1e-6);
+}
+
+TEST(NelderMead, ShiftedQuadraticWithScale) {
+  // Coordinates of very different magnitude (like ohms vs farads in log
+  // space after the transform).
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        const double a = x[0] - 10.0;
+        const double b = x[1] + 35.0;
+        return a * a + b * b;
+      },
+      {9.0, -30.0});
+  EXPECT_NEAR(r.x[0], 10.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -35.0, 1e-4);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) { return std::cosh(x[0] - 0.3); },
+      {5.0});
+  EXPECT_NEAR(r.x[0], 0.3, 1e-4);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  NelderMeadOptions opts;
+  opts.max_evaluations = 50;
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) {
+        return std::sin(x[0]) + x[0] * x[0] * 0.01;
+      },
+      {3.0}, opts);
+  EXPECT_LE(r.evaluations, 55);  // initial simplex may finish the last round
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  EXPECT_THROW(
+      nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+      AssertionError);
+}
+
+TEST(ParamTransform, RoundTrip) {
+  const std::vector<double> p{37e3, 45e3, 60e-18, 0.8};
+  const auto log_p = to_log_space(p);
+  const auto back = from_log_space(log_p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(back[i] / p[i], 1.0, 1e-12);
+  }
+}
+
+TEST(ParamTransform, RejectsNonPositive) {
+  EXPECT_THROW(to_log_space({1.0, 0.0}), AssertionError);
+  EXPECT_THROW(to_log_space({-2.0}), AssertionError);
+}
+
+TEST(ParamTransform, OptimizationInLogSpaceKeepsPositivity) {
+  // Minimize (log10(x) - 3)^2 via NM in log space; solution x = 1000.
+  const auto r = nelder_mead(
+      [](const std::vector<double>& lx) {
+        const double x = std::exp(lx[0]);
+        const double d = std::log10(x) - 3.0;
+        return d * d;
+      },
+      to_log_space({1.0}));
+  EXPECT_NEAR(from_log_space(r.x)[0], 1000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace charlie::fit

@@ -1,0 +1,103 @@
+// Independent numerical validation: the closed-form hybrid trajectories
+// against RK45 integration of the raw mode ODEs (replacing the paper's
+// MATLAB cross-check of its analytic solutions).
+#include <gtest/gtest.h>
+
+#include "core/delay_model.hpp"
+#include "core/trajectory.hpp"
+#include "ode/rk45.hpp"
+
+namespace charlie {
+namespace {
+
+using core::Mode;
+using core::NorParams;
+
+// Integrate one mode ODE with RK45.
+ode::Vec2 rk45_mode(const NorParams& p, Mode m, const ode::Vec2& x0,
+                    double t) {
+  const auto sys = core::mode_ode(m, p);
+  const ode::OdeRhs rhs = [&](double, std::span<const double> x,
+                              std::span<double> dx) {
+    const ode::Vec2 d = sys.derivative({x[0], x[1]});
+    dx[0] = d.x;
+    dx[1] = d.y;
+  };
+  const double x0_arr[] = {x0.x, x0.y};
+  ode::Rk45Options opts;
+  opts.rtol = 1e-11;
+  opts.atol = 1e-14;
+  const auto r = ode::integrate_rk45(rhs, x0_arr, 0.0, t, opts);
+  return {r.x_final[0], r.x_final[1]};
+}
+
+class ModeVsRk45 : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(ModeVsRk45, ClosedFormMatchesIntegration) {
+  const NorParams p = NorParams::paper_table1();
+  const Mode m = GetParam();
+  const auto sys = core::mode_ode(m, p);
+  const ode::Vec2 x0{0.65, 0.37};  // generic interior state
+  for (double t : {5e-12, 25e-12, 80e-12, 300e-12}) {
+    const ode::Vec2 exact = sys.state_at(t, x0);
+    const ode::Vec2 numeric = rk45_mode(p, m, x0, t);
+    EXPECT_NEAR(exact.x, numeric.x, 1e-8) << core::mode_name(m) << " t=" << t;
+    EXPECT_NEAR(exact.y, numeric.y, 1e-8) << core::mode_name(m) << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ModeVsRk45,
+                         ::testing::ValuesIn(core::kAllModes));
+
+TEST(HybridVsRk45, FullMisTrajectoryFalling) {
+  // Piecewise trajectory (0,0) -> (1,0) -> (1,1) evaluated both ways.
+  const NorParams p = NorParams::paper_table1();
+  auto traj = core::NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);
+  traj.set_inputs(0.0, true, false);
+  traj.set_inputs(30e-12, true, true);
+
+  // RK45 through the same mode sequence.
+  ode::Vec2 x{p.vdd, p.vdd};
+  x = rk45_mode(p, Mode::kS10, x, 30e-12);
+  const ode::Vec2 x_mid = traj.state_at(30e-12);
+  EXPECT_NEAR(x.x, x_mid.x, 1e-8);
+  EXPECT_NEAR(x.y, x_mid.y, 1e-8);
+  x = rk45_mode(p, Mode::kS11, x, 40e-12);
+  const ode::Vec2 x_end = traj.state_at(70e-12);
+  EXPECT_NEAR(x.x, x_end.x, 1e-8);
+  EXPECT_NEAR(x.y, x_end.y, 1e-8);
+}
+
+TEST(HybridVsRk45, DelayFromBisectionOnRk45Matches) {
+  // Compute delta_fall(20 ps) by root-finding on RK45 trajectories and
+  // compare with the closed-form delay model (delta_min excluded).
+  NorParams p = NorParams::paper_table1();
+  p.delta_min = 0.0;
+  const core::NorDelayModel model(p);
+  const double delta = 20e-12;
+
+  auto vo_at = [&](double t) {
+    ode::Vec2 x{p.vdd, p.vdd};
+    if (t <= delta) {
+      return rk45_mode(p, Mode::kS10, x, std::max(t, 1e-18)).y;
+    }
+    x = rk45_mode(p, Mode::kS10, x, delta);
+    return rk45_mode(p, Mode::kS11, x, t - delta).y;
+  };
+  // Bisection for vo = vdd/2.
+  double lo = 1e-15;
+  double hi = 200e-12;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (vo_at(mid) > p.vth()) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double t_rk = 0.5 * (lo + hi);
+  EXPECT_NEAR(t_rk, model.falling_delay(delta).delay, 1e-14);
+}
+
+}  // namespace
+}  // namespace charlie

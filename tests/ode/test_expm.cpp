@@ -1,0 +1,144 @@
+#include "ode/expm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace charlie::ode {
+namespace {
+
+// Reference: scaling-and-squaring with a Taylor series.
+Mat2 expm_reference(const Mat2& m, double t) {
+  Mat2 a = m * t;
+  int squarings = 0;
+  while (a.norm_inf() > 0.5) {
+    a = a * 0.5;
+    ++squarings;
+  }
+  Mat2 result = Mat2::identity();
+  Mat2 term = Mat2::identity();
+  for (int k = 1; k <= 20; ++k) {
+    term = term * a * (1.0 / k);
+    result = result + term;
+  }
+  for (int s = 0; s < squarings; ++s) result = result * result;
+  return result;
+}
+
+void expect_mat_near(const Mat2& a, const Mat2& b, double tol) {
+  EXPECT_NEAR(a.a, b.a, tol);
+  EXPECT_NEAR(a.b, b.b, tol);
+  EXPECT_NEAR(a.c, b.c, tol);
+  EXPECT_NEAR(a.d, b.d, tol);
+}
+
+TEST(Expm, IdentityAtZeroTime) {
+  const Mat2 m{-3.0, 1.0, 2.0, -5.0};
+  expect_mat_near(expm(m, 0.0), Mat2::identity(), 1e-15);
+}
+
+TEST(Expm, MatchesReferenceDistinct) {
+  const Mat2 m{-3.0, 1.0, 2.0, -5.0};
+  for (double t : {0.01, 0.1, 0.5, 1.0, 2.0}) {
+    expect_mat_near(expm(m, t), expm_reference(m, t), 1e-10);
+  }
+}
+
+TEST(Expm, MatchesReferenceDefective) {
+  const Mat2 m{-1.0, 1.0, 0.0, -1.0};  // Jordan block
+  for (double t : {0.1, 1.0, 3.0}) {
+    expect_mat_near(expm(m, t), expm_reference(m, t), 1e-10);
+  }
+}
+
+TEST(Expm, MatchesReferenceComplexPair) {
+  const Mat2 m{-0.5, -2.0, 2.0, -0.5};
+  for (double t : {0.1, 1.0, 4.0}) {
+    expect_mat_near(expm(m, t), expm_reference(m, t), 1e-9);
+  }
+}
+
+TEST(Expm, SemigroupProperty) {
+  const Mat2 m{-2.0, 0.7, 0.3, -1.0};
+  const Mat2 lhs = expm(m, 0.7) * expm(m, 0.3);
+  const Mat2 rhs = expm(m, 1.0);
+  expect_mat_near(lhs, rhs, 1e-12);
+}
+
+TEST(Expm, NegativeTimeInverts) {
+  const Mat2 m{-2.0, 0.7, 0.3, -1.0};
+  const Mat2 prod = expm(m, 1.5) * expm(m, -1.5);
+  expect_mat_near(prod, Mat2::identity(), 1e-10);
+}
+
+TEST(Expm, StiffLongHorizonStaysFinite) {
+  // The regression that motivated the divided-difference split: a stiff
+  // NOR-mode-like matrix evolved over a long idle period must not produce
+  // NaN from 0 * inf.
+  const Mat2 m{-1.1e13, 1.1e13, 4e9, -8e9};
+  const Mat2 e = expm(m, 1e-9);
+  EXPECT_TRUE(std::isfinite(e.a));
+  EXPECT_TRUE(std::isfinite(e.b));
+  EXPECT_TRUE(std::isfinite(e.c));
+  EXPECT_TRUE(std::isfinite(e.d));
+  // A Hurwitz system decays: entries stay bounded by ~1.
+  EXPECT_LT(e.norm_inf(), 2.0);
+}
+
+TEST(ExpmIntegral, MatchesNumericQuadrature) {
+  const Mat2 m{-3.0, 1.0, 2.0, -5.0};
+  const Eigen2 eig = eigen_decompose(m);
+  const double t = 0.8;
+  // Simpson quadrature of exp(m s) over [0, t].
+  Mat2 acc = Mat2::zero();
+  const int n = 2000;
+  const double h = t / n;
+  for (int i = 0; i <= n; ++i) {
+    const double w = (i == 0 || i == n) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    acc = acc + w * expm(m, eig, i * h);
+  }
+  acc = acc * (h / 3.0);
+  expect_mat_near(expm_integral(m, eig, t), acc, 1e-8);
+}
+
+TEST(ExpmIntegral, DerivativeIsExpm) {
+  // d/dt Phi(t) = exp(m t): check with a central difference.
+  const Mat2 m{-1.0, 0.5, 0.25, -2.0};
+  const Eigen2 eig = eigen_decompose(m);
+  const double t = 0.6;
+  const double h = 1e-6;
+  const Mat2 diff =
+      (expm_integral(m, eig, t + h) - expm_integral(m, eig, t - h)) *
+      (1.0 / (2.0 * h));
+  expect_mat_near(diff, expm(m, eig, t), 1e-7);
+}
+
+TEST(ExpmIntegral, SingularMatrixMatchesSeries) {
+  // Mode (1,1) shape: one zero row. Phi(t) = t I + t^2/2 m + ...
+  const Mat2 m{0.0, 0.0, 0.0, -4.0};
+  const Eigen2 eig = eigen_decompose(m);
+  const Mat2 phi = expm_integral(m, eig, 0.5);
+  EXPECT_NEAR(phi.a, 0.5, 1e-12);                           // int of 1
+  EXPECT_NEAR(phi.d, (1.0 - std::exp(-2.0)) / 4.0, 1e-12);  // int e^{-4s}
+  EXPECT_NEAR(phi.b, 0.0, 1e-15);
+  EXPECT_NEAR(phi.c, 0.0, 1e-15);
+}
+
+TEST(ExpmIntegral, DefectiveCase) {
+  const Mat2 m{-1.0, 1.0, 0.0, -1.0};
+  const Eigen2 eig = eigen_decompose(m);
+  const double t = 1.2;
+  // Quadrature reference.
+  Mat2 acc = Mat2::zero();
+  const int n = 2000;
+  const double h = t / n;
+  for (int i = 0; i <= n; ++i) {
+    const double w = (i == 0 || i == n) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    acc = acc + w * expm(m, eig, i * h);
+  }
+  acc = acc * (h / 3.0);
+  expect_mat_near(expm_integral(m, eig, t), acc, 1e-8);
+}
+
+}  // namespace
+}  // namespace charlie::ode

@@ -1,0 +1,83 @@
+#include "ode/linear_ode2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::ode {
+namespace {
+
+TEST(AffineOde2, ScalarDecayClosedForm) {
+  // x' = -2x decoupled, y' = -y + 1 (equilibrium y = 1).
+  const AffineOde2 sys(Mat2{-2.0, 0.0, 0.0, -1.0}, Vec2{0.0, 1.0});
+  const Vec2 x0{1.0, 0.0};
+  const Vec2 x = sys.state_at(0.5, x0);
+  EXPECT_NEAR(x.x, std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(x.y, 1.0 - std::exp(-0.5), 1e-12);
+}
+
+TEST(AffineOde2, StateAtZeroIsInitial) {
+  const AffineOde2 sys(Mat2{-3.0, 1.0, 2.0, -4.0}, Vec2{1.0, -1.0});
+  const Vec2 x0{0.3, 0.7};
+  const Vec2 x = sys.state_at(0.0, x0);
+  EXPECT_NEAR(x.x, 0.3, 1e-14);
+  EXPECT_NEAR(x.y, 0.7, 1e-14);
+}
+
+TEST(AffineOde2, SolutionSatisfiesOde) {
+  // Finite-difference derivative vs the right-hand side at several times.
+  const AffineOde2 sys(Mat2{-3.0, 1.0, 2.0, -4.0}, Vec2{0.5, 0.2});
+  const Vec2 x0{1.0, -2.0};
+  for (double t : {0.1, 0.5, 1.3}) {
+    const double h = 1e-7;
+    const Vec2 fd =
+        (sys.state_at(t + h, x0) - sys.state_at(t - h, x0)) / (2.0 * h);
+    const Vec2 rhs = sys.derivative(sys.state_at(t, x0));
+    EXPECT_NEAR(fd.x, rhs.x, 1e-5 * std::max(1.0, std::fabs(rhs.x)));
+    EXPECT_NEAR(fd.y, rhs.y, 1e-5 * std::max(1.0, std::fabs(rhs.y)));
+  }
+}
+
+TEST(AffineOde2, ConvergesToEquilibrium) {
+  const AffineOde2 sys(Mat2{-2.0, 1.0, 1.0, -3.0}, Vec2{1.0, 2.0});
+  ASSERT_TRUE(sys.has_equilibrium());
+  const Vec2 eq = sys.equilibrium();
+  const Vec2 x = sys.state_at(50.0, Vec2{10.0, -10.0});
+  EXPECT_NEAR(x.x, eq.x, 1e-9);
+  EXPECT_NEAR(x.y, eq.y, 1e-9);
+  // The equilibrium is a fixed point of the dynamics.
+  const Vec2 d = sys.derivative(eq);
+  EXPECT_NEAR(d.x, 0.0, 1e-12);
+  EXPECT_NEAR(d.y, 0.0, 1e-12);
+}
+
+TEST(AffineOde2, SingularSystemHasNoEquilibrium) {
+  // Mode (1,1) shape: V_N frozen.
+  const AffineOde2 sys(Mat2{0.0, 0.0, 0.0, -5.0}, Vec2{0.0, 0.0});
+  EXPECT_FALSE(sys.has_equilibrium());
+  EXPECT_THROW(sys.equilibrium(), AssertionError);
+  // V_N (x component) must stay frozen while V_O decays.
+  const Vec2 x = sys.state_at(1.0, Vec2{0.77, 1.0});
+  EXPECT_NEAR(x.x, 0.77, 1e-12);
+  EXPECT_NEAR(x.y, std::exp(-5.0), 1e-12);
+}
+
+TEST(AffineOde2, FlowComposition) {
+  // state_at(t1+t2) == state_at(t2) applied to state_at(t1).
+  const AffineOde2 sys(Mat2{-1.0, 0.3, 0.2, -2.0}, Vec2{0.4, 0.1});
+  const Vec2 x0{2.0, -1.0};
+  const Vec2 direct = sys.state_at(0.9, x0);
+  const Vec2 composed = sys.state_at(0.5, sys.state_at(0.4, x0));
+  EXPECT_NEAR(direct.x, composed.x, 1e-12);
+  EXPECT_NEAR(direct.y, composed.y, 1e-12);
+}
+
+TEST(AffineOde2, SlowestRate) {
+  const AffineOde2 sys(Mat2{-1.0, 0.0, 0.0, -4.0}, Vec2{});
+  EXPECT_NEAR(sys.slowest_rate(), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace charlie::ode

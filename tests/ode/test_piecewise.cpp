@@ -1,0 +1,82 @@
+#include "ode/piecewise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::ode {
+namespace {
+
+AffineOde2 decay_toward(double target_x, double target_y, double rate) {
+  return AffineOde2(Mat2{-rate, 0.0, 0.0, -rate},
+                    Vec2{rate * target_x, rate * target_y});
+}
+
+TEST(Piecewise, SingleSegmentMatchesOde) {
+  const AffineOde2 sys = decay_toward(1.0, 0.0, 2.0);
+  PiecewiseTrajectory traj(0.0, Vec2{0.0, 1.0}, sys);
+  const Vec2 direct = sys.state_at(0.7, Vec2{0.0, 1.0});
+  const Vec2 via = traj.state_at(0.7);
+  EXPECT_NEAR(via.x, direct.x, 1e-14);
+  EXPECT_NEAR(via.y, direct.y, 1e-14);
+}
+
+TEST(Piecewise, ContinuityAcrossSwitch) {
+  PiecewiseTrajectory traj(0.0, Vec2{0.0, 0.0}, decay_toward(1.0, 1.0, 3.0));
+  traj.switch_mode(0.5, decay_toward(0.0, 0.0, 1.0));
+  const double eps = 1e-9;
+  const Vec2 before = traj.state_at(0.5 - eps);
+  const Vec2 after = traj.state_at(0.5 + eps);
+  EXPECT_NEAR(before.x, after.x, 1e-7);
+  EXPECT_NEAR(before.y, after.y, 1e-7);
+}
+
+TEST(Piecewise, SegmentLookupAcrossManySwitches) {
+  PiecewiseTrajectory traj(0.0, Vec2{1.0, 1.0}, decay_toward(0.0, 0.0, 1.0));
+  for (int i = 1; i <= 10; ++i) {
+    traj.switch_mode(0.1 * i, decay_toward(i % 2 ? 1.0 : 0.0, 0.5, 2.0));
+  }
+  EXPECT_EQ(traj.n_segments(), 11u);
+  EXPECT_DOUBLE_EQ(traj.t_begin(), 0.0);
+  EXPECT_DOUBLE_EQ(traj.t_last_switch(), 1.0);
+  // state_at exactly on a boundary belongs to the later segment but is
+  // continuous anyway.
+  const Vec2 on = traj.state_at(0.5);
+  const Vec2 just_before = traj.state_at(0.5 - 1e-10);
+  EXPECT_NEAR(on.x, just_before.x, 1e-8);
+}
+
+TEST(Piecewise, ExtrapolatesAfterLastSwitch) {
+  PiecewiseTrajectory traj(0.0, Vec2{1.0, 0.0}, decay_toward(0.0, 0.0, 1.0));
+  const Vec2 x = traj.state_at(100.0);
+  EXPECT_NEAR(x.x, 0.0, 1e-12);
+}
+
+TEST(Piecewise, OutOfOrderSwitchThrows) {
+  PiecewiseTrajectory traj(0.0, Vec2{}, decay_toward(0.0, 0.0, 1.0));
+  traj.switch_mode(1.0, decay_toward(1.0, 0.0, 1.0));
+  EXPECT_THROW(traj.switch_mode(0.5, decay_toward(0.0, 0.0, 1.0)),
+               AssertionError);
+}
+
+TEST(Piecewise, QueryBeforeStartThrows) {
+  PiecewiseTrajectory traj(1.0, Vec2{}, decay_toward(0.0, 0.0, 1.0));
+  EXPECT_THROW(traj.state_at(0.5), AssertionError);
+}
+
+TEST(Piecewise, DerivativeMatchesFiniteDifference) {
+  PiecewiseTrajectory traj(0.0, Vec2{0.2, 0.9}, decay_toward(1.0, 0.0, 2.0));
+  traj.switch_mode(0.4, decay_toward(0.0, 1.0, 3.0));
+  for (double t : {0.2, 0.6}) {
+    const double h = 1e-7;
+    const Vec2 fd = (traj.state_at(t + h) - traj.state_at(t - h)) / (2 * h);
+    const Vec2 d = traj.derivative_at(t);
+    EXPECT_NEAR(fd.x, d.x, 1e-5);
+    EXPECT_NEAR(fd.y, d.y, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace charlie::ode

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "ode/mat2.hpp"
+#include "ode/vec2.hpp"
+#include "util/error.hpp"
+
+namespace charlie::ode {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+  EXPECT_DOUBLE_EQ((a - b).y, 3.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).x, 0.5);
+  EXPECT_DOUBLE_EQ((-a).x, -1.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+}
+
+TEST(Vec2, Norms) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {1.0, 2.0};
+  v -= {0.5, 0.5};
+  v *= 2.0;
+  EXPECT_DOUBLE_EQ(v.x, 3.0);
+  EXPECT_DOUBLE_EQ(v.y, 5.0);
+}
+
+TEST(Mat2, MatVecAndMatMat) {
+  const Mat2 m{1.0, 2.0, 3.0, 4.0};
+  const Vec2 v{1.0, 1.0};
+  const Vec2 mv = m * v;
+  EXPECT_DOUBLE_EQ(mv.x, 3.0);
+  EXPECT_DOUBLE_EQ(mv.y, 7.0);
+  const Mat2 mm = m * Mat2::identity();
+  EXPECT_DOUBLE_EQ(mm.a, 1.0);
+  EXPECT_DOUBLE_EQ(mm.d, 4.0);
+}
+
+TEST(Mat2, TraceDetInverse) {
+  const Mat2 m{2.0, 1.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(m.trace(), 5.0);
+  EXPECT_DOUBLE_EQ(m.det(), 5.0);
+  const Mat2 inv = m.inverse();
+  const Mat2 prod = m * inv;
+  EXPECT_NEAR(prod.a, 1.0, 1e-14);
+  EXPECT_NEAR(prod.b, 0.0, 1e-14);
+  EXPECT_NEAR(prod.c, 0.0, 1e-14);
+  EXPECT_NEAR(prod.d, 1.0, 1e-14);
+}
+
+TEST(Mat2, SingularDetection) {
+  const Mat2 singular{1.0, 2.0, 2.0, 4.0};
+  EXPECT_TRUE(singular.is_singular());
+  EXPECT_THROW(singular.inverse(), AssertionError);
+  // Scale invariance of the singularity test.
+  const Mat2 scaled = 1e-15 * singular;
+  EXPECT_TRUE(scaled.is_singular());
+  const Mat2 regular{1.0, 0.0, 0.0, 1e-8};
+  EXPECT_FALSE(regular.is_singular());
+}
+
+TEST(Mat2, NormInf) {
+  const Mat2 m{1.0, -2.0, 3.0, 0.5};
+  EXPECT_DOUBLE_EQ(m.norm_inf(), 3.5);
+}
+
+TEST(Mat2, ZeroMatrixIsSingular) {
+  EXPECT_TRUE(Mat2::zero().is_singular());
+}
+
+}  // namespace
+}  // namespace charlie::ode

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "sim/inertial.hpp"
+#include "sim/pure_delay.hpp"
+#include "util/error.hpp"
+
+namespace charlie::sim {
+namespace {
+
+TEST(PureDelay, DelaysEveryTransition) {
+  PureDelayChannel ch(10e-12);
+  ch.initialize(0.0, false);
+  EXPECT_FALSE(ch.initial_output());
+  ch.on_input(100e-12, true);
+  auto p = ch.pending();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->t, 110e-12);
+  EXPECT_TRUE(p->value);
+  // A second transition queues behind the first.
+  ch.on_input(105e-12, false);
+  p = ch.pending();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->t, 110e-12);  // still the first
+  ch.on_fire(*p);
+  p = ch.pending();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->t, 115e-12);
+  EXPECT_FALSE(p->value);
+}
+
+TEST(PureDelay, ShortPulsePropagatesUnchanged) {
+  // The defining (unfaithful) property of pure delays: even a 1 fs pulse
+  // survives.
+  PureDelayChannel ch(50e-12);
+  ch.initialize(0.0, false);
+  ch.on_input(1e-9, true);
+  ch.on_input(1e-9 + 1e-15, false);
+  int events = 0;
+  while (auto p = ch.pending()) {
+    ch.on_fire(*p);
+    ++events;
+  }
+  EXPECT_EQ(events, 2);
+}
+
+TEST(PureDelay, RejectsNegativeDelay) {
+  EXPECT_THROW(PureDelayChannel(-1e-12), AssertionError);
+}
+
+TEST(Inertial, BasicDelaysPerDirection) {
+  InertialChannel ch(30e-12, 20e-12);
+  ch.initialize(0.0, false);
+  ch.on_input(100e-12, true);
+  auto p = ch.pending();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->t, 130e-12);
+  ch.on_fire(*p);
+  EXPECT_FALSE(ch.pending().has_value());
+  ch.on_input(500e-12, false);
+  p = ch.pending();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->t, 520e-12);
+}
+
+TEST(Inertial, ShortPulseAnnihilates) {
+  InertialChannel ch(30e-12, 30e-12);
+  ch.initialize(0.0, false);
+  ch.on_input(100e-12, true);
+  ASSERT_TRUE(ch.pending().has_value());
+  // The falling edge arrives while the rising output is still pending:
+  // both are swallowed.
+  ch.on_input(110e-12, false);
+  EXPECT_FALSE(ch.pending().has_value());
+  // A later full-width pulse passes.
+  ch.on_input(300e-12, true);
+  ASSERT_TRUE(ch.pending().has_value());
+}
+
+TEST(Inertial, PulseJustLongerThanDelayPasses) {
+  InertialChannel ch(30e-12, 30e-12);
+  ch.initialize(0.0, false);
+  ch.on_input(100e-12, true);
+  auto p = ch.pending();
+  ch.on_fire(*p);  // fires at 130 ps
+  ch.on_input(131e-12, false);
+  p = ch.pending();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->t, 161e-12);
+}
+
+TEST(Inertial, InitializeResetsState) {
+  InertialChannel ch(10e-12, 10e-12);
+  ch.initialize(0.0, true);
+  EXPECT_TRUE(ch.initial_output());
+  ch.on_input(50e-12, false);
+  ASSERT_TRUE(ch.pending().has_value());
+  ch.initialize(0.0, false);
+  EXPECT_FALSE(ch.pending().has_value());
+  EXPECT_FALSE(ch.initial_output());
+}
+
+}  // namespace
+}  // namespace charlie::sim

@@ -1,0 +1,103 @@
+// MIS characterization of the analog NOR2: the substrate must reproduce
+// the paper's Fig 2 phenomenology (Section II).
+#include "spice/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace charlie::spice {
+namespace {
+
+class CharacterizeFixture : public ::testing::Test {
+ protected:
+  static const SubstrateCharacteristics& chars() {
+    static const SubstrateCharacteristics c =
+        measure_characteristics(Technology::freepdk15_like());
+    return c;
+  }
+};
+
+TEST_F(CharacterizeFixture, DelaysInPaperRegime) {
+  // Fig 2 works in tens of picoseconds.
+  for (double d : {chars().fall_minus_inf, chars().fall_zero,
+                   chars().fall_plus_inf, chars().rise_minus_inf,
+                   chars().rise_zero, chars().rise_plus_inf}) {
+    EXPECT_GT(d, 10e-12);
+    EXPECT_LT(d, 120e-12);
+  }
+}
+
+TEST_F(CharacterizeFixture, FallingMisSpeedUp) {
+  // Paper Fig 2b: simultaneous rising inputs drain the output through both
+  // nMOS in parallel => minimum delay at Delta = 0, ~-28 % there.
+  EXPECT_LT(chars().fall_zero, chars().fall_minus_inf);
+  EXPECT_LT(chars().fall_zero, chars().fall_plus_inf);
+  const double speedup = chars().fall_zero / chars().fall_minus_inf - 1.0;
+  EXPECT_LT(speedup, -0.15);  // substantial
+  EXPECT_GT(speedup, -0.60);  // but not more than the 2x theoretical limit
+}
+
+TEST_F(CharacterizeFixture, FallingSisAsymmetryFromT2) {
+  // Paper Section II: A-first (Delta = +inf) is slower because T2 connects
+  // C_N to the output while it drains.
+  EXPECT_GT(chars().fall_plus_inf, chars().fall_minus_inf);
+}
+
+TEST_F(CharacterizeFixture, RisingMisSlowDown) {
+  // Paper Fig 2d: near-simultaneous falling inputs are slower than either
+  // SIS case (coupling into C_N).
+  EXPECT_GT(chars().rise_zero, chars().rise_minus_inf);
+  EXPECT_GT(chars().rise_zero, chars().rise_plus_inf);
+}
+
+TEST_F(CharacterizeFixture, RisingHistoryAsymmetry) {
+  // Early A-fall precharges N through T1 => B-last (Delta = +inf) is
+  // faster than A-last (Delta = -inf).
+  EXPECT_LT(chars().rise_plus_inf, chars().rise_minus_inf);
+}
+
+TEST(Characterize, FallingDelayCurveIsContinuous) {
+  const Technology tech = Technology::freepdk15_like();
+  double prev = measure_falling_delay(tech, -50e-12).delay;
+  for (double delta = -40e-12; delta <= 50e-12; delta += 10e-12) {
+    const double d = measure_falling_delay(tech, delta).delay;
+    EXPECT_LT(std::abs(d - prev), 15e-12)
+        << "jump at delta=" << delta;  // no discontinuities
+    prev = d;
+  }
+}
+
+TEST(Characterize, RisingHistoryConditioningMatters) {
+  // For moderate negative Delta the initial V_N matters: drained vs
+  // precharged histories must give different delays at Delta ~ -10 ps.
+  const Technology tech = Technology::freepdk15_like();
+  const double drained =
+      measure_rising_delay(tech, -10e-12, NorHistory::kInternalDrained).delay;
+  const double precharged =
+      measure_rising_delay(tech, -10e-12, NorHistory::kInternalPrecharged)
+          .delay;
+  EXPECT_NE(drained, precharged);
+  // Precharged N helps the pull-up: faster.
+  EXPECT_LT(precharged, drained + 1e-12);
+}
+
+TEST(Characterize, MeasurementBookkeeping) {
+  const Technology tech = Technology::freepdk15_like();
+  const auto m = measure_falling_delay(tech, 30e-12);
+  EXPECT_DOUBLE_EQ(m.t_second - m.t_first, 30e-12);
+  EXPECT_GT(m.t_out, m.t_first);
+  EXPECT_NEAR(m.delay, m.t_out - m.t_first, 1e-18);
+  const auto r = measure_rising_delay(tech, 30e-12,
+                                      NorHistory::kInternalDrained);
+  EXPECT_NEAR(r.delay, r.t_out - r.t_second, 1e-18);
+}
+
+TEST(Characterize, CouplingHeavyTechAmplifiesBump) {
+  const auto base = measure_characteristics(Technology::freepdk15_like());
+  const auto heavy = measure_characteristics(Technology::coupling_heavy());
+  const double bump_base = base.rise_zero / base.rise_plus_inf - 1.0;
+  const double bump_heavy = heavy.rise_zero / heavy.rise_plus_inf - 1.0;
+  EXPECT_GT(bump_heavy, bump_base);
+}
+
+}  // namespace
+}  // namespace charlie::spice

@@ -1,0 +1,81 @@
+#include "spice/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace charlie::spice {
+namespace {
+
+TEST(DenseLu, Solves2x2) {
+  DenseMatrix a(2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const auto x = lu_solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseLu, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  DenseMatrix a(2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const auto x = lu_solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(DenseLu, LargerSystemRoundTrip) {
+  const std::size_t n = 8;
+  DenseMatrix a(n);
+  // Diagonally dominant random-ish matrix (deterministic fill).
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = static_cast<double>(i) - 3.5;
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) = (i == j) ? 10.0 + static_cast<double>(i)
+                            : 1.0 / (1.0 + static_cast<double>(i + j));
+    }
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+  }
+  DenseMatrix a_copy = a;
+  const auto x = lu_solve(a_copy, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(DenseLu, SingularMatrixThrows) {
+  DenseMatrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_THROW(lu_solve(a, {1.0, 1.0}), ConvergenceError);
+}
+
+TEST(DenseMatrix, AddAccumulates) {
+  DenseMatrix a(2);
+  a.add(0, 0, 1.5);
+  a.add(0, 0, 2.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  a.clear();
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 0.0);
+}
+
+TEST(DenseMatrix, BoundsChecked) {
+  DenseMatrix a(2);
+  EXPECT_THROW(a.at(2, 0), AssertionError);
+  EXPECT_THROW(a.at(0, 5), AssertionError);
+}
+
+}  // namespace
+}  // namespace charlie::spice

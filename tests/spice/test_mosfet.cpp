@@ -1,0 +1,160 @@
+#include "spice/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/dcop.hpp"
+#include "spice/netlist.hpp"
+#include "util/error.hpp"
+
+namespace charlie::spice {
+namespace {
+
+MosfetParams test_params() {
+  MosfetParams p;
+  p.vt = 0.25;
+  p.k = 100e-6;
+  p.lambda = 0.05;
+  return p;
+}
+
+TEST(MosfetModel, CutoffHasZeroCurrent) {
+  const auto op = nmos_current(test_params(), 0.1, 0.5);
+  EXPECT_DOUBLE_EQ(op.id, 0.0);
+  EXPECT_DOUBLE_EQ(op.gm, 0.0);
+}
+
+TEST(MosfetModel, TriodeAndSaturationValues) {
+  const MosfetParams p = test_params();
+  // Triode: vgs=1, vds=0.2 < vov=0.75.
+  const auto triode = nmos_current(p, 1.0, 0.2);
+  const double triode_expected =
+      p.k * (0.75 * 0.2 - 0.5 * 0.04) * (1.0 + p.lambda * 0.2);
+  EXPECT_NEAR(triode.id, triode_expected, 1e-12);
+  // Saturation: vds = 1.0 > vov.
+  const auto sat = nmos_current(p, 1.0, 1.0);
+  const double sat_expected = 0.5 * p.k * 0.75 * 0.75 * (1.0 + p.lambda);
+  EXPECT_NEAR(sat.id, sat_expected, 1e-12);
+}
+
+TEST(MosfetModel, ContinuousAtRegionBoundary) {
+  const MosfetParams p = test_params();
+  const double vov = 1.0 - p.vt;
+  const auto below = nmos_current(p, 1.0, vov - 1e-9);
+  const auto above = nmos_current(p, 1.0, vov + 1e-9);
+  EXPECT_NEAR(below.id, above.id, 1e-12);
+  EXPECT_NEAR(below.gm, above.gm, 1e-9);
+}
+
+TEST(MosfetModel, CurrentMonotoneInVgs) {
+  const MosfetParams p = test_params();
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 1.2; vgs += 0.05) {
+    const double id = nmos_current(p, vgs, 0.6).id;
+    EXPECT_GE(id, prev - 1e-15);
+    prev = id;
+  }
+}
+
+TEST(MosfetModel, DerivativesMatchFiniteDifference) {
+  const MosfetParams p = test_params();
+  for (double vgs : {0.5, 0.8, 1.1}) {
+    for (double vds : {0.1, 0.4, 0.9}) {
+      const double h = 1e-7;
+      const auto op = nmos_current(p, vgs, vds);
+      const double gm_fd =
+          (nmos_current(p, vgs + h, vds).id - nmos_current(p, vgs - h, vds).id) /
+          (2 * h);
+      const double gds_fd =
+          (nmos_current(p, vgs, vds + h).id - nmos_current(p, vgs, vds - h).id) /
+          (2 * h);
+      EXPECT_NEAR(op.gm, gm_fd, 1e-6 * std::max(1e-6, gm_fd));
+      EXPECT_NEAR(op.gds, gds_fd, 1e-6 * std::max(1e-6, gds_fd));
+    }
+  }
+}
+
+TEST(MosfetModel, RejectsNegativeVds) {
+  EXPECT_THROW(nmos_current(test_params(), 1.0, -0.1), AssertionError);
+}
+
+TEST(MosfetModel, ParamValidation) {
+  MosfetParams p = test_params();
+  p.vt = -0.1;
+  EXPECT_THROW(p.validate(), AssertionError);
+  p = test_params();
+  p.k = 0.0;
+  EXPECT_THROW(p.validate(), AssertionError);
+}
+
+// Element-level: an NMOS with a drain resistor biased as a common-source
+// stage; Newton must converge to the analytic operating point.
+TEST(MosfetElement, CommonSourceOperatingPoint) {
+  const MosfetParams p = test_params();
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId g = nl.node("g");
+  const NodeId d = nl.node("d");
+  nl.add_vsource(vdd, kGround, 1.0);
+  nl.add_vsource(g, kGround, 0.6);
+  nl.add_resistor(vdd, d, 10e3);
+  nl.add_nmos(d, g, kGround, p);
+  const auto x = dc_operating_point(nl);
+  const double vd = x[d - 1];
+  // Verify KCL at the drain against the device equation.
+  const double id = nmos_current(p, 0.6, vd).id;
+  EXPECT_NEAR((1.0 - vd) / 10e3, id, 1e-9);
+  EXPECT_GT(vd, 0.0);
+  EXPECT_LT(vd, 1.0);
+}
+
+TEST(MosfetElement, PmosPullupMirrorsSymmetrically) {
+  // PMOS source at VDD, gate at 0 (fully on), drain loaded to ground: the
+  // operating point mirrors the equivalent NMOS pulldown.
+  const MosfetParams p = test_params();
+  Netlist nl_p;
+  {
+    const NodeId vdd = nl_p.node("vdd");
+    const NodeId d = nl_p.node("d");
+    nl_p.add_vsource(vdd, kGround, 1.0);
+    nl_p.add_pmos(d, kGround, vdd, p);  // gate at ground
+    nl_p.add_resistor(d, kGround, 10e3);
+  }
+  const auto xp = dc_operating_point(nl_p);
+  Netlist nl_n;
+  {
+    const NodeId vdd = nl_n.node("vdd");
+    const NodeId d = nl_n.node("d");
+    nl_n.add_vsource(vdd, kGround, 1.0);
+    nl_n.add_nmos(d, vdd, kGround, p);  // gate at VDD
+    nl_n.add_resistor(vdd, d, 10e3);
+  }
+  const auto xn = dc_operating_point(nl_n);
+  // v_drain(PMOS pull-up) = VDD - v_drain(NMOS pull-down); node "d" is the
+  // second declared node (index 2), so its unknown is x[1].
+  EXPECT_NEAR(xp[1], 1.0 - xn[1], 1e-6);
+}
+
+TEST(MosfetElement, ReversedChannelConducts) {
+  // Swap source/drain roles: device sees vds < 0 internally and must still
+  // conduct symmetrically (pass-gate usage).
+  const MosfetParams p = test_params();
+  Netlist nl;
+  const NodeId vin = nl.node("vin");
+  const NodeId out = nl.node("out");
+  const NodeId g = nl.node("g");
+  nl.add_vsource(g, kGround, 1.0);
+  nl.add_vsource(vin, kGround, 0.2);
+  // NMOS declared with drain at ground, source at out: current must flow
+  // "backwards" through the channel to pull out toward vin.
+  nl.add_nmos(kGround, g, out, p);
+  nl.add_resistor(vin, out, 1e3);
+  const auto x = dc_operating_point(nl);
+  const double vout = x[out - 1];
+  EXPECT_GT(vout, 0.0);
+  EXPECT_LT(vout, 0.2);  // pulled down toward ground through the channel
+}
+
+}  // namespace
+}  // namespace charlie::spice

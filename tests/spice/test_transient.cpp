@@ -1,0 +1,130 @@
+#include "spice/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/cells.hpp"
+#include "spice/netlist.hpp"
+#include "waveform/edges.hpp"
+#include "util/error.hpp"
+#include "waveform/digitize.hpp"
+
+namespace charlie::spice {
+namespace {
+
+TEST(Transient, ToleranceControlsAccuracy) {
+  auto run_with = [](double v_abstol) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    waveform::Waveform step;
+    step.append(0.0, 0.0);
+    step.append(1e-12, 1.0);
+    nl.add_vsource_pwl(in, kGround, std::move(step));
+    nl.add_resistor(in, out, 1e3);
+    nl.add_capacitor(out, kGround, 1e-12);
+    TransientOptions opts;
+    opts.t_end = 3e-9;
+    opts.v_abstol = v_abstol;
+    opts.v_reltol = v_abstol * 10;
+    const auto r = transient_analysis(nl, {"out"}, opts);
+    const double expect = 1.0 - std::exp(-(1.5e-9 - 1e-12) / 1e-9);
+    return std::fabs(r.wave("out").value_at(1.5e-9) - expect);
+  };
+  EXPECT_LT(run_with(1e-6), run_with(1e-3) + 1e-12);
+  EXPECT_LT(run_with(1e-6), 3e-4);
+}
+
+TEST(Transient, TighterToleranceTakesMoreSteps) {
+  auto steps_with = [](double v_abstol) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    waveform::Waveform step;
+    step.append(0.0, 0.0);
+    step.append(1e-12, 1.0);
+    nl.add_vsource_pwl(in, kGround, std::move(step));
+    nl.add_resistor(in, out, 1e3);
+    nl.add_capacitor(out, kGround, 1e-12);
+    TransientOptions opts;
+    opts.t_end = 3e-9;
+    opts.v_abstol = v_abstol;
+    opts.v_reltol = v_abstol * 10;
+    return transient_analysis(nl, {"out"}, opts).n_accepted;
+  };
+  EXPECT_GT(steps_with(1e-6), steps_with(1e-3));
+}
+
+TEST(Transient, InverterPropagatesPulse) {
+  const Technology tech = Technology::freepdk15_like();
+  Netlist nl;
+  const auto inv = build_inverter(nl, tech);
+  nl.add_vsource(inv.vdd, kGround, tech.vdd);
+  waveform::EdgeParams edges;
+  edges.v_high = tech.vdd;
+  edges.rise_time = tech.input_rise_time;
+  const waveform::DigitalTrace pulse(false, {300e-12, 800e-12});
+  nl.add_vsource_pwl(inv.in, kGround,
+                     waveform::slew_limited_waveform(pulse, edges, 0.0, 1.5e-9));
+  TransientOptions opts;
+  opts.t_end = 1.5e-9;
+  const auto r = transient_analysis(nl, {"out"}, opts);
+  const auto out = waveform::digitize(r.wave("out"), tech.vth());
+  // The inverter output starts high, falls after the input rise, recovers.
+  EXPECT_TRUE(out.initial_value());
+  ASSERT_EQ(out.n_transitions(), 2u);
+  EXPECT_FALSE(out.is_rising(0));
+  EXPECT_GT(out.transitions()[0], 300e-12);
+  EXPECT_LT(out.transitions()[0], 360e-12);  // delay well under 60 ps
+  EXPECT_GT(out.transitions()[1], 800e-12);
+}
+
+TEST(Transient, InverterChainDelaysAccumulate) {
+  const Technology tech = Technology::freepdk15_like();
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  nl.add_vsource(vdd, kGround, tech.vdd);
+  const auto inv1 = build_inverter(nl, tech, "i1_");
+  const auto inv2 = build_inverter(nl, tech, "i2_");
+  // Chain them: i1_out drives i2_in through a wire (same node cannot be
+  // two names, so couple with a tiny resistor).
+  nl.add_resistor(inv1.out, inv2.in, 1.0);
+  waveform::EdgeParams edges;
+  edges.v_high = tech.vdd;
+  edges.rise_time = tech.input_rise_time;
+  const waveform::DigitalTrace step_trace(false, {300e-12});
+  nl.add_vsource_pwl(inv1.in, kGround, waveform::slew_limited_waveform(
+                                           step_trace, edges, 0.0, 2e-9));
+  TransientOptions opts;
+  opts.t_end = 2e-9;
+  const auto r = transient_analysis(nl, {"i1_out", "i2_out"}, opts);
+  const auto out1 = waveform::digitize(r.wave("i1_out"), tech.vth());
+  const auto out2 = waveform::digitize(r.wave("i2_out"), tech.vth());
+  ASSERT_EQ(out1.n_transitions(), 1u);
+  ASSERT_EQ(out2.n_transitions(), 1u);
+  EXPECT_GT(out2.transitions()[0], out1.transitions()[0]);
+}
+
+TEST(Transient, RecordsRequestedNodesOnly) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_vsource(a, kGround, 1.0);
+  nl.add_resistor(a, kGround, 1e3);
+  TransientOptions opts;
+  opts.t_end = 1e-9;
+  const auto r = transient_analysis(nl, {"a"}, opts);
+  EXPECT_NO_THROW(r.wave("a"));
+  EXPECT_THROW(r.wave("nonexistent"), ConfigError);
+}
+
+TEST(Transient, RejectsEmptySpan) {
+  Netlist nl;
+  nl.add_vsource(nl.node("a"), kGround, 1.0);
+  TransientOptions opts;
+  opts.t_end = 0.0;
+  EXPECT_THROW(transient_analysis(nl, {}, opts), AssertionError);
+}
+
+}  // namespace
+}  // namespace charlie::spice

@@ -1,0 +1,60 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace charlie::util {
+namespace {
+
+Cli make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, FlagsAndDefaults) {
+  Cli cli = make_cli({"--quick"});
+  EXPECT_TRUE(cli.has_flag("--quick"));
+  EXPECT_FALSE(cli.has_flag("--quick"));  // consumed
+  EXPECT_EQ(cli.get_int("--reps", 5), 5);
+  cli.finish();
+}
+
+TEST(Cli, SeparateValueForm) {
+  Cli cli = make_cli({"--reps", "20"});
+  EXPECT_EQ(cli.get_int("--reps", 5), 20);
+  cli.finish();
+}
+
+TEST(Cli, EqualsValueForm) {
+  Cli cli = make_cli({"--sigma=2.5", "--name=foo"});
+  EXPECT_DOUBLE_EQ(cli.get_double("--sigma", 0.0), 2.5);
+  EXPECT_EQ(cli.get_string("--name", ""), "foo");
+  cli.finish();
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli = make_cli({"--reps"});
+  EXPECT_THROW(cli.get_int("--reps", 5), ConfigError);
+}
+
+TEST(Cli, InvalidNumberThrows) {
+  Cli cli = make_cli({"--reps", "abc"});
+  EXPECT_THROW(cli.get_int("--reps", 5), ConfigError);
+  Cli cli2 = make_cli({"--sigma", "xyz"});
+  EXPECT_THROW(cli2.get_double("--sigma", 0.0), ConfigError);
+}
+
+TEST(Cli, UnknownArgumentRejectedByFinish) {
+  Cli cli = make_cli({"--tpyo"});
+  EXPECT_THROW(cli.finish(), ConfigError);
+}
+
+TEST(Cli, ProgramName) {
+  Cli cli = make_cli({});
+  EXPECT_EQ(cli.program(), "prog");
+  cli.finish();
+}
+
+}  // namespace
+}  // namespace charlie::util

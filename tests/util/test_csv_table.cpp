@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace charlie::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "test_out/csv_basic.csv";
+  {
+    CsvWriter csv(path, {"delta_ps", "delay_ps"});
+    csv.row({-60.0, 37.9});
+    csv.row({0.0, 28.0});
+  }
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("delta_ps,delay_ps\n"), std::string::npos);
+  EXPECT_NE(content.find("-60,37.9"), std::string::npos);
+  std::filesystem::remove_all("test_out");
+}
+
+TEST(CsvWriter, CreatesParentDirectories) {
+  const std::string path = "test_out/nested/deeper/file.csv";
+  { CsvWriter csv(path, {"x"}); }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all("test_out");
+}
+
+TEST(CsvWriter, RejectsMismatchedRowWidth) {
+  CsvWriter csv("test_out/width.csv", {"a", "b"});
+  EXPECT_THROW(csv.row({1.0}), AssertionError);
+  EXPECT_THROW(csv.row_text({"1", "2", "3"}), AssertionError);
+  std::filesystem::remove_all("test_out");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({std::string("x"), std::string("1")});
+  t.add_row({std::string("longer"), std::string("2")});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Both data lines must have the second column starting at the same offset.
+  const auto lines_start = out.find("x ");
+  ASSERT_NE(lines_start, std::string::npos);
+  EXPECT_NE(out.find("longer  2"), std::string::npos);
+  EXPECT_EQ(t.n_rows(), 2u);
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable t({"v"});
+  t.add_row(std::vector<double>{1.23456}, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), AssertionError);
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(-0.2801), "-28.01 %");
+  EXPECT_EQ(fmt_percent(0.0726), "+7.26 %");
+  EXPECT_NE(fmt_sci(1234.5, 3).find("e+03"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace charlie::util

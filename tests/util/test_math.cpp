@@ -1,0 +1,116 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::math {
+namespace {
+
+TEST(AlmostEqual, ExactValuesMatch) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0));
+  EXPECT_TRUE(almost_equal(0.0, 0.0));
+  EXPECT_TRUE(almost_equal(-3.5e-12, -3.5e-12));
+}
+
+TEST(AlmostEqual, RelativeToleranceScalesWithMagnitude) {
+  EXPECT_TRUE(almost_equal(1e12, 1e12 * (1 + 1e-10), 1e-9));
+  EXPECT_FALSE(almost_equal(1e12, 1e12 * (1 + 1e-8), 1e-9));
+}
+
+TEST(AlmostEqual, AbsoluteToleranceNearZero) {
+  EXPECT_TRUE(almost_equal(0.0, 1e-13, 1e-9, 1e-12));
+  EXPECT_FALSE(almost_equal(0.0, 1e-11, 1e-9, 1e-12));
+}
+
+TEST(LerpAt, InterpolatesAndExtrapolates) {
+  EXPECT_DOUBLE_EQ(lerp_at(0.0, 0.0, 1.0, 2.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(lerp_at(0.0, 0.0, 1.0, 2.0, 2.0), 4.0);   // extrapolate
+  EXPECT_DOUBLE_EQ(lerp_at(0.0, 0.0, 1.0, 2.0, -1.0), -2.0);
+}
+
+TEST(LerpAt, DegenerateSegmentThrows) {
+  EXPECT_THROW(lerp_at(1.0, 0.0, 1.0, 2.0, 1.0), AssertionError);
+}
+
+TEST(Clamp, Bounds) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.25, 0.0, 1.0), 0.25);
+  EXPECT_THROW(clamp(0.0, 1.0, 0.0), AssertionError);
+}
+
+TEST(Log1mExp, MatchesDirectFormula) {
+  // The naive formula itself loses precision near 0, so compare with a
+  // relative tolerance (log1mexp is the *more* accurate of the two).
+  for (double x : {-1e-3, -0.1, -0.5, -1.0, -5.0, -40.0}) {
+    const double naive = std::log(1.0 - std::exp(x));
+    EXPECT_NEAR(log1mexp(x), naive, 1e-11 * std::fabs(naive) + 1e-15)
+        << "x=" << x;
+  }
+}
+
+TEST(Log1mExp, RequiresNegativeArgument) {
+  EXPECT_THROW(log1mexp(0.0), AssertionError);
+  EXPECT_THROW(log1mexp(0.5), AssertionError);
+}
+
+TEST(Sign, AllBranches) {
+  EXPECT_EQ(sign(3.0), 1);
+  EXPECT_EQ(sign(-2.0), -1);
+  EXPECT_EQ(sign(0.0), 0);
+}
+
+TEST(Statistics, MeanStddevMedianRms) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+  EXPECT_NEAR(rms(v), std::sqrt(30.0 / 4.0), 1e-12);
+}
+
+TEST(Statistics, OddMedianAndEmptyInputs) {
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+TEST(Linspace, EndpointsExactAndEvenSpacing) {
+  const auto g = linspace(-1.0, 2.0, 7);
+  ASSERT_EQ(g.size(), 7u);
+  EXPECT_DOUBLE_EQ(g.front(), -1.0);
+  EXPECT_DOUBLE_EQ(g.back(), 2.0);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_NEAR(g[i] - g[i - 1], 0.5, 1e-12);
+  }
+}
+
+TEST(Linspace, RejectsSinglePoint) {
+  EXPECT_THROW(linspace(0.0, 1.0, 1), AssertionError);
+}
+
+TEST(RelError, FloorsDenominator) {
+  EXPECT_NEAR(rel_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_LT(rel_error(1e-40, 0.0, 1e-30), 1e-9);
+}
+
+// Property sweep: log1mexp is monotone increasing on (-inf, 0).
+class Log1mExpMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(Log1mExpMonotone, DecreasesWithArgument) {
+  // x up => e^x up => 1 - e^x down => log down.
+  const double x = GetParam();
+  EXPECT_GT(log1mexp(x - 0.01), log1mexp(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Log1mExpMonotone,
+                         ::testing::Values(-0.05, -0.2, -0.69, -0.7, -1.0,
+                                           -3.0, -10.0, -30.0));
+
+}  // namespace
+}  // namespace charlie::math

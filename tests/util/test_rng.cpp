@@ -1,0 +1,97 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace charlie::util {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng(99);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(math::mean(samples), 10.0, 0.1);
+  EXPECT_NEAR(math::stddev(samples), 2.0, 0.1);
+}
+
+TEST(Rng, NormalZeroSigmaIsDeterministic) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(rng.normal(3.0, 0.0), 3.0);
+}
+
+TEST(Rng, NormalAboveRespectsFloor) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GT(rng.normal_above(100e-12, 50e-12, 1e-12), 1e-12);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliProbabilityRoughlyHonored) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+  EXPECT_THROW(rng.bernoulli(1.5), AssertionError);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndReproducible) {
+  Rng parent1(42);
+  Rng parent2(42);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(child1.uniform(0.0, 1.0), child2.uniform(0.0, 1.0));
+  }
+  // The fork advanced the parent identically.
+  EXPECT_DOUBLE_EQ(parent1.uniform(0.0, 1.0), parent2.uniform(0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace charlie::util

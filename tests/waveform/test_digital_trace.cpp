@@ -1,0 +1,84 @@
+#include "waveform/digital_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace charlie::waveform {
+namespace {
+
+TEST(DigitalTrace, ValueFollowsTransitions) {
+  const DigitalTrace t(false, {1.0, 2.0, 3.0});
+  EXPECT_FALSE(t.value_at(0.5));
+  EXPECT_TRUE(t.value_at(1.0));  // effective at its own timestamp
+  EXPECT_TRUE(t.value_at(1.5));
+  EXPECT_FALSE(t.value_at(2.5));
+  EXPECT_TRUE(t.value_at(10.0));
+  EXPECT_TRUE(t.final_value());
+}
+
+TEST(DigitalTrace, InitialHighTrace) {
+  const DigitalTrace t(true, {5.0});
+  EXPECT_TRUE(t.value_at(0.0));
+  EXPECT_FALSE(t.value_at(6.0));
+  EXPECT_FALSE(t.final_value());
+}
+
+TEST(DigitalTrace, IsRisingAlternates) {
+  const DigitalTrace t(false, {1.0, 2.0, 3.0});
+  EXPECT_TRUE(t.is_rising(0));
+  EXPECT_FALSE(t.is_rising(1));
+  EXPECT_TRUE(t.is_rising(2));
+  const DigitalTrace u(true, {1.0, 2.0});
+  EXPECT_FALSE(u.is_rising(0));
+  EXPECT_TRUE(u.is_rising(1));
+}
+
+TEST(DigitalTrace, OrderingEnforced) {
+  EXPECT_THROW(DigitalTrace(false, {2.0, 1.0}), AssertionError);
+  DigitalTrace t(false, {1.0});
+  EXPECT_THROW(t.append_transition(0.5), AssertionError);
+  EXPECT_THROW(t.append_transition(1.0), AssertionError);
+}
+
+TEST(DigitalTrace, WithoutShortPulsesDropsPairs) {
+  // Pulse 1.0..1.05 is short; 3.0..5.0 is wide.
+  const DigitalTrace t(false, {1.0, 1.05, 3.0, 5.0});
+  const DigitalTrace f = t.without_short_pulses(0.2);
+  ASSERT_EQ(f.n_transitions(), 2u);
+  EXPECT_DOUBLE_EQ(f.transitions()[0], 3.0);
+  EXPECT_DOUBLE_EQ(f.transitions()[1], 5.0);
+}
+
+TEST(DigitalTrace, ShortPulseCancellationCascades) {
+  // Removing the middle pair merges neighbours into a new short pulse.
+  const DigitalTrace t(false, {1.0, 1.5, 1.6, 2.0});
+  // gaps: 0.5, 0.1, 0.4. Dropping (1.5,1.6) leaves (1.0, 2.0): gap 1.0 ok.
+  const DigitalTrace f = t.without_short_pulses(0.3);
+  ASSERT_EQ(f.n_transitions(), 2u);
+  EXPECT_DOUBLE_EQ(f.transitions()[0], 1.0);
+  EXPECT_DOUBLE_EQ(f.transitions()[1], 2.0);
+  // With a wider filter the merged pulse dies too.
+  const DigitalTrace g = t.without_short_pulses(1.5);
+  EXPECT_EQ(g.n_transitions(), 0u);
+}
+
+TEST(DigitalTrace, WindowRestriction) {
+  const DigitalTrace t(false, {1.0, 2.0, 3.0, 4.0});
+  const DigitalTrace w = t.window(1.5, 3.5);
+  EXPECT_TRUE(w.initial_value());  // value at 1.5
+  ASSERT_EQ(w.n_transitions(), 2u);
+  EXPECT_DOUBLE_EQ(w.transitions()[0], 2.0);
+  EXPECT_DOUBLE_EQ(w.transitions()[1], 3.0);
+}
+
+TEST(DigitalTrace, EmptyTraceBasics) {
+  const DigitalTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.value_at(100.0));
+  EXPECT_FALSE(t.final_value());
+  EXPECT_EQ(t.without_short_pulses(1.0).n_transitions(), 0u);
+}
+
+}  // namespace
+}  // namespace charlie::waveform

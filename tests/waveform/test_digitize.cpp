@@ -1,0 +1,99 @@
+#include "waveform/digitize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace charlie::waveform {
+namespace {
+
+TEST(Digitize, SimpleRamp) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  const auto crossings = find_crossings(w, 0.5);
+  ASSERT_EQ(crossings.size(), 1u);
+  EXPECT_NEAR(crossings[0].t, 0.5, 1e-12);
+  EXPECT_TRUE(crossings[0].rising);
+}
+
+TEST(Digitize, PulseBothEdges) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  w.append(2.0, 1.0);
+  w.append(3.0, 0.0);
+  const auto trace = digitize(w, 0.5);
+  EXPECT_FALSE(trace.initial_value());
+  ASSERT_EQ(trace.n_transitions(), 2u);
+  EXPECT_NEAR(trace.transitions()[0], 0.5, 1e-12);
+  EXPECT_NEAR(trace.transitions()[1], 2.5, 1e-12);
+}
+
+TEST(Digitize, TouchWithoutCrossingIsIgnored) {
+  // Rises exactly to the threshold and returns: no crossing.
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 0.5);
+  w.append(2.0, 0.0);
+  EXPECT_TRUE(find_crossings(w, 0.5).empty());
+  EXPECT_EQ(digitize(w, 0.5).n_transitions(), 0u);
+}
+
+TEST(Digitize, PlateauOnThresholdResolvedByDeparture) {
+  // Sits on the threshold then rises: one crossing when it departs upward.
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 0.5);
+  w.append(2.0, 0.5);
+  w.append(3.0, 1.0);
+  const auto crossings = find_crossings(w, 0.5);
+  ASSERT_EQ(crossings.size(), 1u);
+  EXPECT_TRUE(crossings[0].rising);
+}
+
+TEST(Digitize, RuntPulseBelowThresholdInvisible) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 0.4);
+  w.append(2.0, 0.0);
+  EXPECT_EQ(digitize(w, 0.5).n_transitions(), 0u);
+}
+
+TEST(Digitize, InitialValueAboveThreshold) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 0.0);
+  const auto trace = digitize(w, 0.5);
+  EXPECT_TRUE(trace.initial_value());
+  ASSERT_EQ(trace.n_transitions(), 1u);
+  EXPECT_FALSE(trace.is_rising(0));
+}
+
+TEST(Digitize, SineWaveCrossingCount) {
+  const Waveform w = Waveform::from_function(
+      [](double t) { return std::sin(t); }, 0.0, 6.0 * M_PI, 6001);
+  // sin crosses 0.5 twice per period over 3 periods.
+  EXPECT_EQ(find_crossings(w, 0.5).size(), 6u);
+}
+
+TEST(Digitize, CrossingTimesInterpolateInsideSegments) {
+  Waveform w;
+  w.append(0.0, 0.2);
+  w.append(10.0, 0.7);  // crosses 0.5 at t = 6
+  const auto crossings = find_crossings(w, 0.5);
+  ASSERT_EQ(crossings.size(), 1u);
+  EXPECT_NEAR(crossings[0].t, 6.0, 1e-12);
+}
+
+TEST(Digitize, AlternatingDirections) {
+  const Waveform w = Waveform::from_function(
+      [](double t) { return std::sin(t); }, 0.0, 4.0 * M_PI, 4001);
+  const auto crossings = find_crossings(w, 0.0);
+  for (std::size_t i = 1; i < crossings.size(); ++i) {
+    EXPECT_NE(crossings[i].rising, crossings[i - 1].rising);
+  }
+}
+
+}  // namespace
+}  // namespace charlie::waveform

@@ -1,0 +1,104 @@
+#include "waveform/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace charlie::waveform {
+namespace {
+
+TEST(DeviationArea, IdenticalTracesZero) {
+  const DigitalTrace a(false, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(deviation_area(a, a, 0.0, 5.0), 0.0);
+}
+
+TEST(DeviationArea, PureTimeShift) {
+  // Same pulse shifted by 0.1: the traces disagree for 0.1 at each edge.
+  const DigitalTrace a(false, {1.0, 2.0});
+  const DigitalTrace b(false, {1.1, 2.1});
+  EXPECT_NEAR(deviation_area(a, b, 0.0, 5.0), 0.2, 1e-12);
+}
+
+TEST(DeviationArea, MissingPulse) {
+  const DigitalTrace a(false, {1.0, 2.5});
+  const DigitalTrace b(false, {});
+  EXPECT_NEAR(deviation_area(a, b, 0.0, 5.0), 1.5, 1e-12);
+}
+
+TEST(DeviationArea, Symmetry) {
+  const DigitalTrace a(false, {1.0, 2.0, 4.0});
+  const DigitalTrace b(false, {1.2, 2.7});
+  EXPECT_DOUBLE_EQ(deviation_area(a, b, 0.0, 6.0),
+                   deviation_area(b, a, 0.0, 6.0));
+}
+
+TEST(DeviationArea, AdditiveOverDisjointWindows) {
+  const DigitalTrace a(false, {1.0, 2.0, 4.0, 5.5});
+  const DigitalTrace b(false, {1.3, 2.0, 4.2, 5.5});
+  const double whole = deviation_area(a, b, 0.0, 6.0);
+  const double split = deviation_area(a, b, 0.0, 3.0) +
+                       deviation_area(a, b, 3.0, 6.0);
+  EXPECT_NEAR(whole, split, 1e-12);
+}
+
+TEST(DeviationArea, DifferentInitialValues) {
+  const DigitalTrace a(true, {});
+  const DigitalTrace b(false, {});
+  EXPECT_DOUBLE_EQ(deviation_area(a, b, 0.0, 2.0), 2.0);
+}
+
+TEST(DeviationArea, WindowClipsContributions) {
+  const DigitalTrace a(false, {1.0});
+  const DigitalTrace b(false, {});
+  // Disagreement starts at 1.0; window [0, 1.5] sees only 0.5 of it.
+  EXPECT_NEAR(deviation_area(a, b, 0.0, 1.5), 0.5, 1e-12);
+  // Window starting inside the disagreement.
+  EXPECT_NEAR(deviation_area(a, b, 2.0, 3.0), 1.0, 1e-12);
+}
+
+TEST(DeviationArea, InvertedWindowThrows) {
+  const DigitalTrace a(false, {});
+  EXPECT_THROW(deviation_area(a, a, 1.0, 0.0), AssertionError);
+}
+
+TEST(PairEdges, PerfectMatch) {
+  const DigitalTrace ref(false, {1.0, 2.0, 3.0});
+  const auto stats = pair_edges(ref, ref, 0.5);
+  EXPECT_EQ(stats.offsets.size(), 3u);
+  EXPECT_EQ(stats.unmatched_reference, 0u);
+  EXPECT_EQ(stats.unmatched_model, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_abs_offset, 0.0);
+}
+
+TEST(PairEdges, ShiftedModel) {
+  const DigitalTrace ref(false, {1.0, 2.0});
+  const DigitalTrace model(false, {1.05, 2.1});
+  const auto stats = pair_edges(ref, model, 0.5);
+  ASSERT_EQ(stats.offsets.size(), 2u);
+  EXPECT_NEAR(stats.offsets[0], 0.05, 1e-12);
+  EXPECT_NEAR(stats.offsets[1], 0.1, 1e-12);
+  EXPECT_NEAR(stats.max_abs_offset, 0.1, 1e-12);
+  EXPECT_NEAR(stats.mean_abs_offset, 0.075, 1e-12);
+}
+
+TEST(PairEdges, DirectionMatters) {
+  // Model's only edge is falling; reference's is rising: no pairing.
+  const DigitalTrace ref(false, {1.0});
+  const DigitalTrace model(true, {1.0});
+  const auto stats = pair_edges(ref, model, 0.5);
+  EXPECT_EQ(stats.offsets.size(), 0u);
+  EXPECT_EQ(stats.unmatched_reference, 1u);
+  EXPECT_EQ(stats.unmatched_model, 1u);
+}
+
+TEST(PairEdges, WindowLimitsPairing) {
+  const DigitalTrace ref(false, {1.0});
+  const DigitalTrace model(false, {3.0});
+  const auto near_stats = pair_edges(ref, model, 5.0);
+  EXPECT_EQ(near_stats.offsets.size(), 1u);
+  const auto far_stats = pair_edges(ref, model, 0.5);
+  EXPECT_EQ(far_stats.offsets.size(), 0u);
+}
+
+}  // namespace
+}  // namespace charlie::waveform

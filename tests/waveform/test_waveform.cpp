@@ -1,0 +1,77 @@
+#include "waveform/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::waveform {
+namespace {
+
+TEST(Waveform, InterpolatesLinearly) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(w.value_at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value_at(0.25), 0.5);
+}
+
+TEST(Waveform, ClampsOutsideSpan) {
+  Waveform w;
+  w.append(1.0, 5.0);
+  w.append(2.0, 7.0);
+  EXPECT_DOUBLE_EQ(w.value_at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(w.value_at(3.0), 7.0);
+}
+
+TEST(Waveform, ExactSamplePoints) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 2.0);
+  w.append(2.0, -1.0);
+  EXPECT_DOUBLE_EQ(w.value_at(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.value_at(2.0), -1.0);
+}
+
+TEST(Waveform, AppendMustAdvanceTime) {
+  Waveform w;
+  w.append(1.0, 0.0);
+  EXPECT_THROW(w.append(1.0, 1.0), AssertionError);
+  EXPECT_THROW(w.append(0.5, 1.0), AssertionError);
+}
+
+TEST(Waveform, ConstructorValidatesOrdering) {
+  EXPECT_THROW(Waveform({{1.0, 0.0}, {0.5, 1.0}}), AssertionError);
+  EXPECT_NO_THROW(Waveform({{0.0, 0.0}, {1.0, 1.0}}));
+}
+
+TEST(Waveform, FromFunctionSamplesEvenly) {
+  const Waveform w = Waveform::from_function(
+      [](double t) { return std::sin(t); }, 0.0, M_PI, 101);
+  EXPECT_EQ(w.size(), 101u);
+  EXPECT_NEAR(w.value_at(M_PI / 2.0), 1.0, 1e-3);
+  EXPECT_NEAR(w.value_at(M_PI), 0.0, 1e-12);
+}
+
+TEST(Waveform, MinMaxAndSpan) {
+  Waveform w;
+  w.append(0.0, 3.0);
+  w.append(1.0, -2.0);
+  w.append(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(w.v_min(), -2.0);
+  EXPECT_DOUBLE_EQ(w.v_max(), 3.0);
+  EXPECT_DOUBLE_EQ(w.t_front(), 0.0);
+  EXPECT_DOUBLE_EQ(w.t_back(), 2.0);
+}
+
+TEST(Waveform, EmptyQueriesThrow) {
+  const Waveform w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_THROW(w.value_at(0.0), AssertionError);
+  EXPECT_THROW(w.t_front(), AssertionError);
+  EXPECT_THROW(w.v_min(), AssertionError);
+}
+
+}  // namespace
+}  // namespace charlie::waveform
