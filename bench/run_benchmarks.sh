@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Build the Release configuration and run the runtime benchmark suites,
+# merging their google-benchmark JSON into BENCH_runtime.json (or $1) at the
+# repo root. See bench/README.md for how to read the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_runtime.json}"
+
+cmake --preset release
+cmake --build --preset release -j"$(nproc)"
+
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+
+./build/bench/bench_runtime_overhead --benchmark_format=json \
+  >"$tmp_dir/runtime.json"
+./build/bench/bench_batch_throughput --benchmark_format=json \
+  >"$tmp_dir/batch.json"
+
+python3 - "$tmp_dir/runtime.json" "$tmp_dir/batch.json" "$out" <<'EOF'
+import json, sys
+runtime, batch, out = sys.argv[1:4]
+with open(runtime) as f:
+    merged = json.load(f)
+with open(batch) as f:
+    merged["benchmarks"] += json.load(f)["benchmarks"]
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+EOF
+
+echo "wrote $out"

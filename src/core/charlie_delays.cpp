@@ -27,28 +27,20 @@ double taylor_crossing_at(double vth, double offset, double k1, double l1,
   return numerator / denominator;
 }
 
-// Dispatch on the expansion-time convention: a caller-given w reproduces
-// the paper's printed one-step form; w = kAutoExpansion iterates the
-// expansion point (Newton's method) starting from `seed`.
+// Internal wrapper around taylor_crossing_solve for the eq (10)-(12)
+// helpers: in debug builds a non-converged solve is an invariant violation
+// (the characteristic-delay trajectories always cross V_th); release builds
+// keep the historical return-last-iterate behaviour.
 double taylor_crossing(double vth, double offset, double k1, double l1,
                        double k2, double l2, double w, double seed,
                        double t_floor) {
-  if (w != kAutoExpansion) {
-    return taylor_crossing_at(vth, offset, k1, l1, k2, l2, w);
-  }
-  const double tau_slow = 1.0 / std::fabs(l1);
-  double t = seed;
-  for (int iter = 0; iter < 60; ++iter) {
-    const double next =
-        taylor_crossing_at(vth, offset, k1, l1, k2, l2, t);
-    // Keep the iterate in a sane range; Newton from a bad seed can
-    // overshoot into the flat tail.
-    const double clamped =
-        std::clamp(next, t_floor, seed + 50.0 * tau_slow);
-    if (std::fabs(clamped - t) < 1e-9 * tau_slow) return clamped;
-    t = clamped;
-  }
-  return t;
+  const TaylorCrossingResult r =
+      taylor_crossing_solve(vth, offset, k1, l1, k2, l2, w, seed, t_floor);
+#ifndef NDEBUG
+  CHARLIE_ASSERT_MSG(r.converged,
+                     "taylor_crossing: Newton iteration did not converge");
+#endif
+  return r.t;
 }
 
 // Constants a, b, l of eqs (11)/(12), in terms of the (0,0) spectrum.
@@ -94,6 +86,46 @@ RiseCoefficients rise_coefficients(const NorParams& p,
 }
 
 }  // namespace
+
+TaylorCrossingResult taylor_crossing_solve(double vth, double offset,
+                                           double k1, double l1, double k2,
+                                           double l2, double w, double seed,
+                                           double t_floor) {
+  TaylorCrossingResult r;
+  if (w != kAutoExpansion) {
+    // The paper's printed one-step form at a fixed expansion point is the
+    // requested answer by definition.
+    r.t = taylor_crossing_at(vth, offset, k1, l1, k2, l2, w);
+    r.converged = true;
+    r.iterations = 1;
+    return r;
+  }
+  const double tau_slow = 1.0 / std::fabs(l1);
+  // Residual scale for the accept test below: a true Newton fixed point has
+  // |V_O(t) - vth| near machine epsilon relative to the coefficient sizes,
+  // while an iterate pinned at a clamp bound (no crossing exists) does not.
+  const double vscale =
+      std::fabs(offset) + std::fabs(k1) + std::fabs(k2) + std::fabs(vth);
+  double t = seed;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double next = taylor_crossing_at(vth, offset, k1, l1, k2, l2, t);
+    // Keep the iterate in a sane range; Newton from a bad seed can
+    // overshoot into the flat tail.
+    const double clamped = std::clamp(next, t_floor, seed + 50.0 * tau_slow);
+    r.iterations = iter + 1;
+    if (std::fabs(clamped - t) < 1e-9 * tau_slow) {
+      const double resid = offset + k1 * std::exp(l1 * clamped) +
+                           k2 * std::exp(l2 * clamped) - vth;
+      r.t = clamped;
+      r.converged = std::fabs(resid) <= 1e-6 * vscale;
+      return r;
+    }
+    t = clamped;
+  }
+  r.t = t;
+  r.converged = false;
+  return r;
+}
 
 CharacteristicDelays characteristic_delays_exact(const NorParams& params,
                                                  double vn0) {

@@ -64,6 +64,29 @@ double paper_fall_minus_inf(const NorParams& params);
 /// Newton error.
 inline constexpr double kAutoExpansion = 0.0;
 
+/// Result of the iterated (Newton) Taylor-crossing solve behind the
+/// w = kAutoExpansion mode of eqs (10)-(12). `converged` is false when the
+/// iteration budget was exhausted, or when the step tolerance was met only
+/// because the iterate saturated at a clamp bound while the trajectory never
+/// actually reaches `vth` (the residual check catches this); `t` is then the
+/// last iterate and must not be trusted as a crossing time.
+struct TaylorCrossingResult {
+  double t = 0.0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Linearized-crossing solver shared by eqs (10)-(12): solves
+///   offset + k1 e^{l1 t} + k2 e^{l2 t} = vth.
+/// With w != kAutoExpansion, evaluates the paper's one-step printed form at
+/// the fixed expansion point w (reported converged, 1 iteration). With
+/// w == kAutoExpansion, iterates the expansion point (Newton) from `seed`,
+/// clamping iterates to [t_floor, seed + 50/|l1|].
+TaylorCrossingResult taylor_crossing_solve(double vth, double offset,
+                                           double k1, double l1, double k2,
+                                           double l2, double w, double seed,
+                                           double t_floor);
+
 /// eq (10): Taylor approximation of delta_fall(+inf).
 double paper_fall_plus_inf(const NorParams& params,
                            double w = kAutoExpansion);

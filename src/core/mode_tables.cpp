@@ -1,0 +1,56 @@
+#include "core/mode_tables.hpp"
+
+#include <algorithm>
+
+namespace charlie::core {
+
+NorModeTables::NorModeTables(const NorParams& params) : params_(params) {
+  params_.validate();
+  vth_ = params_.vth();
+  double slowest = 0.0;
+  for (Mode m : kAllModes) {
+    ModeTable& t = tables_[static_cast<std::size_t>(m)];
+    t.ode = mode_ode(m, params_);
+    t.steady = mode_steady_state(m, params_, 0.0);
+    const ode::Eigen2& eig = t.ode.eigen();
+    for (double lambda : {eig.lambda1, eig.lambda2}) {
+      if (lambda < 0.0) slowest = std::max(slowest, 1.0 / -lambda);
+    }
+    if (t.ode.has_equilibrium()) {
+      t.xp = t.ode.equilibrium();
+      t.d = t.xp.y;
+    }
+    if (eig.kind == ode::EigenKind::kRealDistinct) {
+      t.scalar_valid = true;
+      t.l1 = eig.lambda1;
+      t.l2 = eig.lambda2;
+      const ode::Mat2& a = t.ode.a();
+      const double inv = 1.0 / (t.l1 - t.l2);
+      t.s1 = (a - t.l2 * ode::Mat2::identity()) * inv;
+      t.s2 = ode::Mat2::identity() - t.s1;
+      t.p1c = t.s1.c;
+      t.p1d = t.s1.d;
+    } else if (eig.kind == ode::EigenKind::kRealRepeated) {
+      // A = lambda I: V_O decays independently of V_N, so the projector row
+      // is zero and the whole deviation rides on the l2 exponential.
+      t.scalar_valid = true;
+      t.l1 = 0.0;
+      t.l2 = eig.lambda1;
+      t.s1 = ode::Mat2::zero();
+      t.s2 = ode::Mat2::identity();
+    }
+    t.fold1 = t.scalar_valid && t.l1 == 0.0;
+    t.fold2 = t.scalar_valid && t.l2 == 0.0;
+    const ode::Vec2& g = t.ode.g();
+    t.spectral_valid = t.scalar_valid &&
+                       (t.ode.has_equilibrium() || (g.x == 0.0 && g.y == 0.0));
+  }
+  horizon_ = 60.0 * slowest;
+}
+
+std::shared_ptr<const NorModeTables> NorModeTables::make(
+    const NorParams& params) {
+  return std::make_shared<const NorModeTables>(params);
+}
+
+}  // namespace charlie::core

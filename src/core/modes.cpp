@@ -31,7 +31,6 @@ std::string mode_name(Mode m) {
 }
 
 ode::AffineOde2 mode_ode(Mode mode, const NorParams& p) {
-  p.validate();
   switch (mode) {
     case Mode::kS11: {
       // CN dVN/dt = 0

@@ -40,6 +40,9 @@ bool mode_input_b(Mode m);
 std::string mode_name(Mode m);
 
 /// The affine ODE V' = M V + g for `mode` (paper Section III).
+/// Precondition: `params` is valid (NorParams::validate). Validation happens
+/// once at construction time -- NorModeTables or the channel constructors --
+/// not per call, since this sits on the event-driven hot path.
 ode::AffineOde2 mode_ode(Mode mode, const NorParams& params);
 
 /// Steady state the mode converges to. For (1,1) the V_N component is

@@ -9,7 +9,12 @@ namespace charlie::core {
 
 NorTrajectory::NorTrajectory(const NorParams& params, double t0, Mode mode,
                              const ode::Vec2& x0)
-    : params_(params), mode_(mode), pieces_(t0, x0, mode_ode(mode, params)) {}
+    // mode_ode no longer validates (it sits on the simulation hot path, and
+    // NorModeTables validates at construction); this public entry point must
+    // reject invalid parameters itself, before mode_ode divides by them.
+    : params_((params.validate(), params)),
+      mode_(mode),
+      pieces_(t0, x0, mode_ode(mode, params)) {}
 
 NorTrajectory NorTrajectory::from_steady_state(const NorParams& params,
                                                double t0, Mode mode,

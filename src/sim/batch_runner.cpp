@@ -1,0 +1,158 @@
+#include "sim/batch_runner.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace charlie::sim {
+
+Histogram::Histogram(double lo, double hi, std::size_t n_bins)
+    : lo_(lo), hi_(hi), bins_(n_bins, 0) {
+  CHARLIE_ASSERT(hi > lo);
+  CHARLIE_ASSERT(n_bins >= 1);
+}
+
+void Histogram::add(double x) {
+  // A default-constructed histogram has no bins; letting the in-range path
+  // below run would index an empty vector.
+  CHARLIE_ASSERT_MSG(!bins_.empty(), "histogram: add() without a range");
+  ++count_;
+  sum_ += x;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>(
+      static_cast<double>(bins_.size()) * (x - lo_) / (hi_ - lo_));
+  ++bins_[std::min(bin, bins_.size() - 1)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  CHARLIE_ASSERT(other.lo_ == lo_ && other.hi_ == hi_ &&
+                 other.bins_.size() == bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+BatchRunner::BatchRunner(CircuitFactory factory, std::string output_net,
+                         BatchConfig config)
+    : factory_(std::move(factory)),
+      output_net_(std::move(output_net)),
+      config_(std::move(config)) {
+  CHARLIE_ASSERT(factory_ != nullptr);
+  CHARLIE_ASSERT(config_.n_runs >= 1);
+}
+
+namespace {
+
+struct RunStats {
+  long n_events = 0;
+  long long output_transitions = 0;
+  Histogram pulse_width;
+  Histogram response_delay;
+};
+
+RunStats run_one(Circuit& circuit, Circuit::NetId output,
+                 const BatchConfig& config, std::uint64_t seed,
+                 double pulse_hi, double response_hi) {
+  util::Rng rng(seed);
+  const auto stimuli =
+      waveform::generate_traces(config.trace, circuit.n_inputs(), rng);
+  double t_last = config.trace.t_start;
+  for (const auto& trace : stimuli) {
+    if (!trace.empty()) t_last = std::max(t_last, trace.transitions().back());
+  }
+  const double t_end = t_last + config.t_settle;
+  const auto result = circuit.simulate(stimuli, 0.0, t_end);
+
+  RunStats stats;
+  stats.n_events = result.n_events;
+  stats.pulse_width = Histogram(0.0, pulse_hi, config.histogram_bins);
+  stats.response_delay = Histogram(0.0, response_hi, config.histogram_bins);
+
+  const auto& out = result.trace(output);
+  stats.output_transitions = static_cast<long long>(out.n_transitions());
+  for (std::size_t k = 1; k < out.n_transitions(); ++k) {
+    stats.pulse_width.add(out.transitions()[k] - out.transitions()[k - 1]);
+  }
+
+  // Response delay: output transition time minus the latest stimulus
+  // transition at or before it. Both sequences are time-sorted, so one
+  // merged sweep suffices.
+  std::vector<double> stim_times;
+  for (const auto& trace : stimuli) {
+    stim_times.insert(stim_times.end(), trace.transitions().begin(),
+                      trace.transitions().end());
+  }
+  std::sort(stim_times.begin(), stim_times.end());
+  std::size_t si = 0;
+  for (std::size_t k = 0; k < out.n_transitions(); ++k) {
+    const double t = out.transitions()[k];
+    while (si + 1 < stim_times.size() && stim_times[si + 1] <= t) ++si;
+    if (si < stim_times.size() && stim_times[si] <= t) {
+      stats.response_delay.add(t - stim_times[si]);
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+BatchResult BatchRunner::run() {
+  util::ThreadPool pool(config_.n_threads);
+  const std::size_t n_workers = pool.n_threads();
+
+  // One circuit clone per worker, built up front on this thread (the
+  // factory need not be thread-safe). Circuit::simulate reinitializes all
+  // channel state, so a clone is reused across the runs its worker claims.
+  std::vector<std::unique_ptr<Circuit>> circuits(n_workers);
+  std::vector<Circuit::NetId> outputs(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    circuits[w] = factory_();
+    CHARLIE_ASSERT(circuits[w] != nullptr);
+    // Resolved per clone: a factory is not required to assign net ids in
+    // the same order on every call.
+    outputs[w] = circuits[w]->find_net(output_net_);
+  }
+
+  const double pulse_hi = config_.pulse_width_hi > 0.0
+                              ? config_.pulse_width_hi
+                              : 4.0 * config_.trace.mu;
+  const double response_hi = config_.response_delay_hi > 0.0
+                                 ? config_.response_delay_hi
+                                 : config_.trace.mu;
+
+  std::vector<RunStats> per_run(config_.n_runs);
+  pool.parallel_for(config_.n_runs, [&](std::size_t worker,
+                                        std::size_t run) {
+    per_run[run] = run_one(*circuits[worker], outputs[worker], config_,
+                           config_.base_seed + run, pulse_hi, response_hi);
+  });
+
+  // Sequential reduction in run order: bit-identical for any thread count.
+  BatchResult result;
+  result.n_runs = config_.n_runs;
+  result.n_threads = n_workers;
+  result.events_per_run.reserve(config_.n_runs);
+  result.pulse_width = Histogram(0.0, pulse_hi, config_.histogram_bins);
+  result.response_delay = Histogram(0.0, response_hi, config_.histogram_bins);
+  for (const RunStats& stats : per_run) {
+    result.total_events += stats.n_events;
+    result.total_output_transitions += stats.output_transitions;
+    result.events_per_run.push_back(stats.n_events);
+    result.pulse_width.merge(stats.pulse_width);
+    result.response_delay.merge(stats.response_delay);
+  }
+  return result;
+}
+
+}  // namespace charlie::sim

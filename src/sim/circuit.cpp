@@ -1,38 +1,16 @@
 #include "sim/circuit.hpp"
 
 #include <algorithm>
-#include <queue>
 
+#include "sim/event_heap.hpp"
 #include "util/error.hpp"
 
 namespace charlie::sim {
 
 bool eval_gate(GateKind kind, std::span<const bool> in) {
-  switch (kind) {
-    case GateKind::kBuf:
-      CHARLIE_ASSERT(in.size() == 1);
-      return in[0];
-    case GateKind::kInv:
-      CHARLIE_ASSERT(in.size() == 1);
-      return !in[0];
-    case GateKind::kAnd2:
-      CHARLIE_ASSERT(in.size() == 2);
-      return in[0] && in[1];
-    case GateKind::kOr2:
-      CHARLIE_ASSERT(in.size() == 2);
-      return in[0] || in[1];
-    case GateKind::kNand2:
-      CHARLIE_ASSERT(in.size() == 2);
-      return !(in[0] && in[1]);
-    case GateKind::kNor2:
-      CHARLIE_ASSERT(in.size() == 2);
-      return !(in[0] || in[1]);
-    case GateKind::kXor2:
-      CHARLIE_ASSERT(in.size() == 2);
-      return in[0] != in[1];
-  }
-  CHARLIE_ASSERT_MSG(false, "invalid gate kind");
-  return false;
+  const std::size_t arity = gate_arity(kind);
+  CHARLIE_ASSERT(in.size() == arity);
+  return eval_gate(kind, in[0], arity == 2 ? in[1] : false);
 }
 
 Circuit::NetId Circuit::new_net(const std::string& name) {
@@ -57,16 +35,14 @@ Circuit::NetId Circuit::add_gate(GateKind kind,
                                  std::vector<NetId> inputs,
                                  std::unique_ptr<SisChannel> channel) {
   CHARLIE_ASSERT(channel != nullptr);
-  const std::size_t arity =
-      (kind == GateKind::kBuf || kind == GateKind::kInv) ? 1 : 2;
-  CHARLIE_ASSERT_MSG(inputs.size() == arity, "circuit: wrong gate arity");
+  CHARLIE_ASSERT_MSG(inputs.size() == gate_arity(kind),
+                     "circuit: wrong gate arity");
   const NetId out = new_net(output_name);
   Gate gate;
   gate.kind = kind;
   gate.inputs = std::move(inputs);
   gate.output = out;
   gate.sis = std::move(channel);
-  gate.in_values.assign(gate.inputs.size(), false);
   const std::size_t index = gates_.size();
   for (std::size_t port = 0; port < gate.inputs.size(); ++port) {
     CHARLIE_ASSERT(gate.inputs[port] >= 0 &&
@@ -88,7 +64,6 @@ Circuit::NetId Circuit::add_nor2_mis(const std::string& output_name, NetId a,
   gate.inputs = {a, b};
   gate.output = out;
   gate.mis = std::move(channel);
-  gate.in_values.assign(2, false);
   const std::size_t index = gates_.size();
   fanout_[a].push_back({index, 0});
   fanout_[b].push_back({index, 1});
@@ -114,21 +89,11 @@ const waveform::DigitalTrace& Circuit::SimResult::trace(NetId id) const {
 
 namespace {
 
-struct QueuedEvent {
+// Primary-input transition inside (t_begin, t_end], pre-sorted.
+struct StimulusEvent {
   double t = 0.0;
-  long seq = 0;           // FIFO tie-break
-  bool is_stimulus = false;
-  // Stimulus payload:
   Circuit::NetId net = -1;
   bool value = false;
-  // Gate-fire payload:
-  std::size_t gate = 0;
-  long generation = 0;
-
-  bool operator>(const QueuedEvent& o) const {
-    if (t != o.t) return t > o.t;
-    return seq > o.seq;
-  }
 };
 
 }  // namespace
@@ -141,6 +106,9 @@ Circuit::SimResult Circuit::simulate(
                      "circuit: one stimulus trace per primary input");
 
   // --- steady-state initialization (topological settle) -------------------
+  // Window convention (see header): value_at(t_begin) already includes a
+  // transition at exactly t_begin; only strictly later transitions become
+  // events.
   std::vector<bool> net_value(n_nets(), false);
   for (std::size_t i = 0; i < stimuli.size(); ++i) {
     net_value[primary_inputs_[i]] = stimuli[i].value_at(t_begin);
@@ -149,13 +117,11 @@ Circuit::SimResult Circuit::simulate(
   // settles an acyclic circuit (two passes as a fixpoint safety net).
   for (int pass = 0; pass < 2; ++pass) {
     for (auto& gate : gates_) {
-      bool tmp[2] = {false, false};
       for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
         gate.in_values[p] = net_value[gate.inputs[p]];
-        tmp[p] = gate.in_values[p];
       }
-      gate.zero_time_value = eval_gate(
-          gate.kind, std::span<const bool>(tmp, gate.inputs.size()));
+      gate.zero_time_value =
+          eval_gate(gate.kind, gate.in_values[0], gate.in_values[1]);
       net_value[gate.output] = gate.zero_time_value;
     }
   }
@@ -166,52 +132,59 @@ Circuit::SimResult Circuit::simulate(
       gate.mis->initialize(t_begin,
                            {gate.in_values[0], gate.in_values[1]});
     }
-    gate.generation = 0;
   }
 
-  SimResult result;
-  result.traces.reserve(n_nets());
-  for (std::size_t i = 0; i < n_nets(); ++i) {
-    result.traces.emplace_back(net_value[i], std::vector<double>{});
-  }
-
-  // --- event queue ---------------------------------------------------------
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
-      queue;
-  long seq = 0;
+  // --- stimulus stream -----------------------------------------------------
+  // All primary-input events are known up front: one sorted vector walked by
+  // an index beats pushing them through the gate heap. Equal-time order is
+  // input-declaration order (stable sort over per-input appends), and a
+  // stimulus always precedes gate firings at the same instant -- both as in
+  // the original single-queue engine.
+  std::size_t n_stim = 0;
+  for (const auto& trace : stimuli) n_stim += trace.n_transitions();
+  std::vector<StimulusEvent> stim_events;
+  stim_events.reserve(n_stim);
   for (std::size_t i = 0; i < stimuli.size(); ++i) {
     const auto& trace = stimuli[i];
     for (std::size_t k = 0; k < trace.n_transitions(); ++k) {
       const double t = trace.transitions()[k];
       if (t <= t_begin || t > t_end) continue;
-      QueuedEvent ev;
-      ev.t = t;
-      ev.seq = seq++;
-      ev.is_stimulus = true;
-      ev.net = primary_inputs_[i];
-      ev.value = trace.is_rising(k);
-      queue.push(ev);
+      stim_events.push_back({t, primary_inputs_[i], trace.is_rising(k)});
     }
   }
+  std::stable_sort(stim_events.begin(), stim_events.end(),
+                   [](const StimulusEvent& x, const StimulusEvent& y) {
+                     return x.t < y.t;
+                   });
+
+  // --- result traces, pre-sized from stimulus statistics -------------------
+  SimResult result;
+  result.traces.reserve(n_nets());
+  const std::size_t per_net_estimate =
+      stimuli.empty() ? 0 : stim_events.size() / stimuli.size() + 1;
+  for (std::size_t i = 0; i < n_nets(); ++i) {
+    result.traces.emplace_back(net_value[i], std::vector<double>{});
+    result.traces.back().reserve(per_net_estimate);
+  }
+
+  // --- indexed gate-event heap ---------------------------------------------
+  // One slot per gate; rescheduling moves the slot's key instead of queueing
+  // a duplicate, so no stale events are ever popped.
+  EventHeap heap;
+  heap.reset(gates_.size());
+  long seq = 0;
 
   auto reschedule = [&](std::size_t gate_index) {
     Gate& gate = gates_[gate_index];
-    ++gate.generation;
     const auto pending =
         gate.sis ? gate.sis->pending() : gate.mis->pending();
     if (pending.has_value() && pending->t <= t_end) {
-      QueuedEvent ev;
-      ev.t = pending->t;
-      ev.seq = seq++;
-      ev.is_stimulus = false;
-      ev.gate = gate_index;
-      ev.generation = gate.generation;
-      ev.value = pending->value;
-      queue.push(ev);
+      heap.schedule(gate_index, pending->t, seq++, pending->value);
+    } else {
+      heap.cancel(gate_index);
     }
   };
 
-  // Forward declaration pattern: net toggle -> notify fanout channels.
   auto propagate_net_change = [&](NetId net, double t, bool value) {
     if (net_value[net] == value) return;  // defensive
     net_value[net] = value;
@@ -220,10 +193,8 @@ Circuit::SimResult Circuit::simulate(
       Gate& gate = gates_[gate_index];
       gate.in_values[static_cast<std::size_t>(port)] = value;
       if (gate.sis) {
-        bool tmp[2] = {gate.in_values[0],
-                       gate.in_values.size() > 1 ? gate.in_values[1] : false};
-        const bool nv = eval_gate(
-            gate.kind, std::span<const bool>(tmp, gate.inputs.size()));
+        const bool nv =
+            eval_gate(gate.kind, gate.in_values[0], gate.in_values[1]);
         if (nv != gate.zero_time_value) {
           gate.zero_time_value = nv;
           gate.sis->on_input(t, nv);
@@ -235,29 +206,29 @@ Circuit::SimResult Circuit::simulate(
     }
   };
 
-  while (!queue.empty()) {
-    const QueuedEvent ev = queue.top();
-    queue.pop();
+  std::size_t si = 0;
+  while (si < stim_events.size() || !heap.empty()) {
+    const bool take_stimulus =
+        si < stim_events.size() &&
+        (heap.empty() || stim_events[si].t <= heap.top().t);
     ++result.n_events;
-    if (ev.is_stimulus) {
+    if (take_stimulus) {
+      const StimulusEvent& ev = stim_events[si++];
       propagate_net_change(ev.net, ev.t, ev.value);
       continue;
     }
-    Gate& gate = gates_[ev.gate];
-    if (ev.generation != gate.generation) continue;  // superseded
-    const auto pending =
-        gate.sis ? gate.sis->pending() : gate.mis->pending();
-    if (!pending.has_value() || pending->t != ev.t ||
-        pending->value != ev.value) {
-      continue;  // stale
-    }
+    const std::size_t gate_index = heap.top_slot();
+    const EventHeap::Entry fired = heap.top();
+    heap.pop();
+    Gate& gate = gates_[gate_index];
+    const PendingEvent event{fired.t, fired.value};
     if (gate.sis) {
-      gate.sis->on_fire(*pending);
+      gate.sis->on_fire(event);
     } else {
-      gate.mis->on_fire(*pending);
+      gate.mis->on_fire(event);
     }
-    reschedule(ev.gate);
-    propagate_net_change(gate.output, ev.t, ev.value);
+    reschedule(gate_index);
+    propagate_net_change(gate.output, fired.t, fired.value);
   }
 
   return result;

@@ -9,6 +9,7 @@
 // on the primary inputs.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <span>
 #include <string>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "sim/channel.hpp"
+#include "util/error.hpp"
 #include "waveform/digital_trace.hpp"
 
 namespace charlie::sim {
@@ -30,7 +32,36 @@ enum class GateKind {
   kXor2,
 };
 
-/// Zero-time boolean function of a gate.
+/// Number of inputs of a gate kind.
+inline constexpr std::size_t gate_arity(GateKind kind) {
+  return (kind == GateKind::kBuf || kind == GateKind::kInv) ? 1 : 2;
+}
+
+/// Zero-time boolean function of a gate, fixed two-value form (`b` is
+/// ignored for one-input kinds). This is the event-loop hot path: a plain
+/// switch over the kind, no span/vector<bool> indirection.
+inline bool eval_gate(GateKind kind, bool a, bool b) {
+  switch (kind) {
+    case GateKind::kBuf:
+      return a;
+    case GateKind::kInv:
+      return !a;
+    case GateKind::kAnd2:
+      return a && b;
+    case GateKind::kOr2:
+      return a || b;
+    case GateKind::kNand2:
+      return !(a && b);
+    case GateKind::kNor2:
+      return !(a || b);
+    case GateKind::kXor2:
+      return a != b;
+  }
+  CHARLIE_ASSERT_MSG(false, "invalid gate kind");
+  return false;
+}
+
+/// Zero-time boolean function of a gate (checked, span-based convenience).
 bool eval_gate(GateKind kind, std::span<const bool> inputs);
 
 class Circuit {
@@ -54,6 +85,7 @@ class Circuit {
   const std::string& net_name(NetId id) const;
   std::size_t n_nets() const { return net_names_.size(); }
   std::size_t n_gates() const { return gates_.size(); }
+  std::size_t n_inputs() const { return primary_inputs_.size(); }
 
   struct SimResult {
     std::vector<waveform::DigitalTrace> traces;  // indexed by NetId
@@ -63,7 +95,15 @@ class Circuit {
   };
 
   /// Simulate with `stimuli[i]` driving the i-th declared input (order of
-  /// add_input calls) over [t_begin, t_end].
+  /// add_input calls).
+  ///
+  /// Window convention: the simulated event window is (t_begin, t_end].
+  /// The initial net values are the stimuli evaluated *at* t_begin
+  /// (DigitalTrace transitions take effect at exactly their timestamp), so
+  /// a stimulus transition at exactly t_begin is part of the steady-state
+  /// initialization, not an event -- it appears in no trace and triggers no
+  /// gate activity. Transitions after t_end are ignored; gate output events
+  /// land in the result only if their (channel-delayed) time is <= t_end.
   SimResult simulate(const std::vector<waveform::DigitalTrace>& stimuli,
                      double t_begin, double t_end);
 
@@ -75,10 +115,9 @@ class Circuit {
     // Exactly one of the two channels is set.
     std::unique_ptr<SisChannel> sis;
     std::unique_ptr<GateChannel> mis;
-    // Simulation state:
-    std::vector<bool> in_values;
+    // Simulation state (fixed arity <= 2, no heap-allocated bitfield):
+    std::array<bool, 2> in_values{};
     bool zero_time_value = false;  // boolean gate output (pre-channel)
-    long generation = 0;           // invalidates stale queued firings
   };
 
   NetId new_net(const std::string& name);

@@ -9,16 +9,16 @@
 namespace charlie::sim {
 
 HybridNorChannel::HybridNorChannel(const core::NorParams& params)
-    : params_(params) {
-  params_.validate();
-  double slowest = 0.0;
-  for (core::Mode m : core::kAllModes) {
-    const ode::Eigen2 eig = core::mode_ode(m, params_).eigen();
-    for (double lambda : {eig.lambda1, eig.lambda2}) {
-      if (lambda < 0.0) slowest = std::max(slowest, 1.0 / -lambda);
-    }
-  }
-  horizon_ = 60.0 * slowest;
+    : HybridNorChannel(core::NorModeTables::make(params)) {}
+
+HybridNorChannel::HybridNorChannel(
+    std::shared_ptr<const core::NorModeTables> tables)
+    : tables_(std::move(tables)) {
+  CHARLIE_ASSERT(tables_ != nullptr);
+  mt_ = &tables_->table(mode_);
+  vth_ = tables_->vth();
+  horizon_ = tables_->horizon();
+  delta_min_ = tables_->params().delta_min;
 }
 
 void HybridNorChannel::initialize(double t0, const std::vector<bool>& values) {
@@ -26,11 +26,11 @@ void HybridNorChannel::initialize(double t0, const std::vector<bool>& values) {
   in_a_ = values[0];
   in_b_ = values[1];
   mode_ = core::mode_from_inputs(in_a_, in_b_);
-  ode_ = core::mode_ode(mode_, params_);
+  mt_ = &tables_->table(mode_);
   t_ref_ = t0;
   // Steady state; the isolated V_N of (1,1) defaults to the paper's GND
   // worst case.
-  x_ref_ = core::mode_steady_state(mode_, params_, 0.0);
+  x_ref_ = mt_->steady;
   output_ = core::mode_output(mode_);
   refresh_scalar();
   committed_.clear();
@@ -45,63 +45,38 @@ std::optional<PendingEvent> HybridNorChannel::pending() const {
 ode::Vec2 HybridNorChannel::state_at(double t) const {
   CHARLIE_ASSERT(t >= t_ref_ - 1e-18);
   if (t <= t_ref_) return x_ref_;
-  return ode_.state_at(t - t_ref_, x_ref_);
+  const double tau = t - t_ref_;
+  const core::ModeTable& mt = *mt_;
+  if (mt.spectral_valid) {
+    const ode::Vec2 dev = x_ref_ - mt.xp;
+    return mt.xp + std::exp(mt.l1 * tau) * (mt.s1 * dev) +
+           std::exp(mt.l2 * tau) * (mt.s2 * dev);
+  }
+  return mt.ode.state_at(tau, x_ref_);
 }
 
 void HybridNorChannel::refresh_scalar() {
-  scalar_ = ScalarVo{};
-  const auto& eig = ode_.eigen();
-  const ode::Mat2& a = ode_.a();
-  if (eig.kind == ode::EigenKind::kRealDistinct) {
-    // Spectral projectors: P1 = (A - l2 I)/(l1 - l2), P2 = I - P1.
-    const double l1 = eig.lambda1;
-    const double l2 = eig.lambda2;
-    // Deviation from the particular solution. For singular A (mode (1,1))
-    // one eigenvalue is 0 and g = 0, so the homogeneous form with xp = 0
-    // is exact; otherwise xp is the equilibrium.
-    ode::Vec2 xp{0.0, 0.0};
-    double d = 0.0;
-    if (ode_.has_equilibrium()) {
-      xp = ode_.equilibrium();
-      d = xp.y;
-    }
-    const ode::Vec2 dev = x_ref_ - xp;
-    const double inv = 1.0 / (l1 - l2);
-    const ode::Mat2 p1 =
-        (a - l2 * ode::Mat2::identity()) * inv;
-    const ode::Vec2 c1 = p1 * dev;
-    const ode::Vec2 c2 = dev - c1;
-    scalar_.valid = true;
-    scalar_.d = d;
-    scalar_.a1 = c1.y;
-    scalar_.l1 = l1;
-    scalar_.a2 = c2.y;
-    scalar_.l2 = l2;
-    // A zero eigenvalue folds its (constant) component into d.
-    if (l1 == 0.0) {
-      scalar_.d += scalar_.a1;
-      scalar_.a1 = 0.0;
-    }
-    if (l2 == 0.0) {
-      scalar_.d += scalar_.a2;
-      scalar_.a2 = 0.0;
-    }
-  } else if (eig.kind == ode::EigenKind::kRealRepeated) {
-    // A = lambda I: V_O decays independently.
-    ode::Vec2 xp{0.0, 0.0};
-    double d = 0.0;
-    if (ode_.has_equilibrium()) {
-      xp = ode_.equilibrium();
-      d = xp.y;
-    }
-    scalar_.valid = true;
-    scalar_.d = d;
-    scalar_.a1 = 0.0;
-    scalar_.l1 = 0.0;
-    scalar_.a2 = x_ref_.y - xp.y;
-    scalar_.l2 = eig.lambda1;
+  const core::ModeTable& mt = *mt_;
+  scalar_.valid = mt.scalar_valid;
+  if (!mt.scalar_valid) return;  // defective/complex: use the generic scan
+  const ode::Vec2 dev = x_ref_ - mt.xp;
+  double a1 = mt.p1c * dev.x + mt.p1d * dev.y;
+  double a2 = dev.y - a1;
+  double d = mt.d;
+  // Zero-eigenvalue components are constant and fold into d.
+  if (mt.fold1) {
+    d += a1;
+    a1 = 0.0;
   }
-  // Defective / complex: leave invalid and use the generic scan.
+  if (mt.fold2) {
+    d += a2;
+    a2 = 0.0;
+  }
+  scalar_.d = d;
+  scalar_.a1 = a1;
+  scalar_.l1 = mt.l1;
+  scalar_.a2 = a2;
+  scalar_.l2 = mt.l2;
 }
 
 double HybridNorChannel::vo_scalar(double tau) const {
@@ -109,20 +84,85 @@ double HybridNorChannel::vo_scalar(double tau) const {
          scalar_.a2 * std::exp(scalar_.l2 * tau);
 }
 
+double HybridNorChannel::solve_crossing(double lo, double hi, double flo,
+                                        double seed) const {
+  const double vth = vth_;
+  double a = lo;
+  double b = hi;
+  double fa = flo;
+  if (fa == 0.0) return a;
+  double x = (seed > a && seed < b) ? seed : 0.5 * (a + b);
+  for (int iter = 0; iter < 32; ++iter) {
+    const double e1 = std::exp(scalar_.l1 * x);
+    const double e2 = std::exp(scalar_.l2 * x);
+    const double fx = scalar_.d + scalar_.a1 * e1 + scalar_.a2 * e2 - vth;
+    if (fx == 0.0) return x;
+    if ((fx < 0.0) == (fa < 0.0)) {
+      a = x;
+      fa = fx;
+    } else {
+      b = x;
+    }
+    const double dfx =
+        scalar_.a1 * scalar_.l1 * e1 + scalar_.a2 * scalar_.l2 * e2;
+    double next = dfx != 0.0 ? x - fx / dfx : 0.5 * (a + b);
+    // Newton stepping outside the (shrinking) bracket means the local
+    // slope extrapolates past the root; bisect instead.
+    if (!(next > a && next < b)) next = 0.5 * (a + b);
+    // Stop well below the library's 1e-18 s root tolerance target; the
+    // final Newton step bounds the remaining error (quadratic convergence).
+    if (std::fabs(next - x) <= 1e-17 + 1e-14 * std::fabs(next)) return next;
+    x = next;
+  }
+  // Non-convergence (e.g. near-tangent crossing): Brent on the narrowed
+  // bracket is unconditionally robust.
+  auto f = [&](double tau) { return vo_scalar(tau) - vth; };
+  return fit::brent_root(f, a, b);
+}
+
 std::optional<PendingEvent> HybridNorChannel::next_crossing(
     double t_from) const {
   if (!scalar_.valid) return next_crossing_scan(t_from);
 
-  const double vth = params_.vth();
+  const double vth = vth_;
   auto f = [&](double tau) { return vo_scalar(tau) - vth; };
   const double tau0 = std::max(t_from - t_ref_, 0.0);
   const double tau_end = tau0 + horizon_;
-  const double f0 = f(tau0);
+  // Geometric right-expansion on the scalar form (same scheme as
+  // fit::expand_bracket_right, but monomorphized: no std::function on the
+  // per-event path). Returns the bracket with f(a) so callers don't pay the
+  // two exp() of re-evaluating the left edge.
+  struct Bracket {
+    double a;
+    double b;
+    double fa;
+  };
+  auto expand_right = [&](double a, double b) -> std::optional<Bracket> {
+    double fa = f(a);
+    double fb = f(b);
+    while (fa * fb > 0.0) {
+      if (b >= tau_end) return std::nullopt;
+      const double width = (b - a) * 2.0;
+      a = b;
+      fa = fb;
+      b = std::min(a + width, tau_end);
+      fb = f(b);
+    }
+    return Bracket{a, b, fa};
+  };
+  // The dominant call site searches from the segment start (tau0 = 0),
+  // where exp() is exactly 1 -- no calls needed. Evaluated on the scalar
+  // expansion (not x_ref_.y) so the sign agrees bit-for-bit with the f()
+  // that solve_crossing and expand_right iterate; a disagreement within
+  // rounding error of vth could otherwise hand solve_crossing a
+  // non-bracketing interval.
+  const double f0 =
+      tau0 == 0.0 ? scalar_.d + scalar_.a1 + scalar_.a2 - vth : f(tau0);
   const double fd = scalar_.d - vth;  // asymptotic value (l1, l2 <= 0)
 
-  auto found = [&](double tau_lo, double tau_hi,
-                   bool rising) -> std::optional<PendingEvent> {
-    const double tau_c = fit::brent_root(f, tau_lo, tau_hi);
+  auto found = [&](double tau_lo, double tau_hi, double flo,
+                   double seed, bool rising) -> std::optional<PendingEvent> {
+    const double tau_c = solve_crossing(tau_lo, tau_hi, flo, seed);
     return PendingEvent{t_ref_ + tau_c, rising};
   };
 
@@ -138,7 +178,8 @@ std::optional<PendingEvent> HybridNorChannel::next_crossing(
   if (tau_star > tau0 && tau_star < tau_end) {
     const double f_star = f(tau_star);
     if (f0 != 0.0 && f0 * f_star < 0.0) {
-      return found(tau0, tau_star, f_star > 0.0);
+      return found(tau0, tau_star, f0, 0.5 * (tau0 + tau_star),
+                   f_star > 0.0);
     }
     if (f_star == 0.0) {
       // Tangent touch: not a crossing; continue past it.
@@ -146,23 +187,48 @@ std::optional<PendingEvent> HybridNorChannel::next_crossing(
     // No crossing before the extremum; check the tail beyond it.
     if (f_star * fd < 0.0) {
       // The tail decays monotonically from f_star toward fd: bracket by
-      // expansion.
-      const auto bracket = fit::expand_bracket_right(
-          f, tau_star, tau_star + 1e-12, tau_end);
+      // expansion (the slope vanishes at the extremum, so the analytic
+      // seed below does not apply).
+      const auto bracket = expand_right(tau_star, tau_star + 1e-12);
       if (bracket.has_value()) {
-        return found(bracket->first, bracket->second, fd > 0.0);
+        return found(bracket->a, bracket->b, bracket->fa,
+                     0.5 * (bracket->a + bracket->b), fd > 0.0);
       }
       return std::nullopt;
     }
     return std::nullopt;
   }
 
-  // No interior extremum after tau0: f is monotone toward fd.
+  // No interior extremum after tau0: f decays monotonically toward fd.
   if (f0 != 0.0 && f0 * fd < 0.0) {
-    const auto bracket =
-        fit::expand_bracket_right(f, tau0, tau0 + 1e-12, tau_end);
+    // Seed Newton by matching value and slope at tau0 with one decaying
+    // exponential toward fd:  f ~ fd + (f0-fd) e^{-r (tau-tau0)}.
+    const double df0 =
+        tau0 == 0.0 ? scalar_.a1 * scalar_.l1 + scalar_.a2 * scalar_.l2
+                    : scalar_.a1 * scalar_.l1 * std::exp(scalar_.l1 * tau0) +
+                          scalar_.a2 * scalar_.l2 * std::exp(scalar_.l2 * tau0);
+    const double r = -df0 / (f0 - fd);
+    if (r > 0.0) {
+      // -fd/(f0-fd) = |fd|/(|f0|+|fd|) is in (0,1), so the seed is finite
+      // and to the right of tau0.
+      const double seed = tau0 - std::log(-fd / (f0 - fd)) / r;
+      const double fend = f(tau_end);
+      if (fend == 0.0) {
+        // Crossing exactly at the horizon. The expansion path below treats
+        // fa*fb == 0 as a closed bracket; match its semantics.
+        return PendingEvent{t_ref_ + tau_end, fd > 0.0};
+      }
+      if ((fend < 0.0) != (f0 < 0.0)) {
+        return found(tau0, tau_end, f0, seed, fd > 0.0);
+      }
+      // Crossing beyond the horizon (asymptote grazes the threshold): no
+      // event within the search window.
+      return std::nullopt;
+    }
+    const auto bracket = expand_right(tau0, tau0 + 1e-12);
     if (bracket.has_value()) {
-      return found(bracket->first, bracket->second, fd > 0.0);
+      return found(bracket->a, bracket->b, bracket->fa,
+                   0.5 * (bracket->a + bracket->b), fd > 0.0);
     }
   }
   return std::nullopt;
@@ -170,20 +236,21 @@ std::optional<PendingEvent> HybridNorChannel::next_crossing(
 
 std::optional<PendingEvent> HybridNorChannel::next_crossing_scan(
     double t_from) const {
-  const double vth = params_.vth();
+  const double vth = vth_;
+  const double horizon = horizon_;
   auto f = [&](double t) { return state_at(t).y - vth; };
 
   // Scan at a fraction of the fastest time constant of the current mode,
   // but never more than ~4k evaluations per search window.
-  const auto& eig = ode_.eigen();
+  const auto& eig = mt_->ode.eigen();
   const double fastest =
       std::max(std::fabs(eig.lambda1), std::fabs(eig.lambda2));
-  double step = fastest > 0.0 ? 0.125 / fastest : horizon_ / 64.0;
-  step = std::max(step, horizon_ / 4096.0);
+  double step = fastest > 0.0 ? 0.125 / fastest : horizon / 64.0;
+  step = std::max(step, horizon / 4096.0);
 
   double a = t_from;
   double fa = f(a);
-  const double t_end = t_from + horizon_;
+  const double t_end = t_from + horizon;
   while (a < t_end) {
     const double b = std::min(a + step, t_end);
     const double fb = f(b);
@@ -199,7 +266,7 @@ std::optional<PendingEvent> HybridNorChannel::next_crossing_scan(
 
 void HybridNorChannel::on_input(double t, int port, bool value) {
   CHARLIE_ASSERT(port == 0 || port == 1);
-  const double te = t + params_.delta_min;  // pure delay defers the switch
+  const double te = t + delta_min_;  // pure delay defers the switch
   CHARLIE_ASSERT_MSG(te >= t_ref_ - 1e-18,
                      "hybrid channel: out-of-order input");
 
@@ -233,7 +300,7 @@ void HybridNorChannel::on_input(double t, int port, bool value) {
     in_b_ = value;
   }
   mode_ = core::mode_from_inputs(in_a_, in_b_);
-  ode_ = core::mode_ode(mode_, params_);
+  mt_ = &tables_->table(mode_);
   refresh_scalar();
 
   live_ = next_crossing(search_from);
@@ -242,10 +309,19 @@ void HybridNorChannel::on_input(double t, int port, bool value) {
 void HybridNorChannel::on_fire(const PendingEvent& fired) {
   output_ = fired.value;
   if (!committed_.empty()) {
+    // Desync between the engine's queue and the channel's committed list
+    // would silently corrupt output traces; fail loudly instead.
+    const PendingEvent& front = committed_.front();
+    CHARLIE_ASSERT_MSG(front.t == fired.t && front.value == fired.value,
+                       "hybrid channel: fired event does not match the "
+                       "committed front");
     committed_.pop_front();
     return;
   }
   CHARLIE_ASSERT(live_.has_value());
+  CHARLIE_ASSERT_MSG(live_->t == fired.t && live_->value == fired.value,
+                     "hybrid channel: fired event does not match the live "
+                     "crossing");
   // The waveform may cross again within the same mode (non-monotone V_O);
   // keep looking just past the crossing.
   live_ = next_crossing(fired.t + 1e-18);

@@ -12,20 +12,32 @@
 // switched and *when*, so all the MIS behaviour of Sections III-IV --
 // speed-up for near-simultaneous rising inputs, the V_N history effect --
 // carries over to trace simulation.
+//
+// All mode-level math (ODEs, spectra, projector rows, steady states) is
+// precomputed once per NorParams in a core::NorModeTables that many channel
+// instances share; the per-event work is a handful of multiply-adds plus a
+// Newton crossing solve.
 #pragma once
 
 #include <deque>
+#include <memory>
 
+#include "core/mode_tables.hpp"
 #include "core/modes.hpp"
 #include "core/nor_params.hpp"
-#include "ode/linear_ode2.hpp"
 #include "sim/channel.hpp"
 
 namespace charlie::sim {
 
 class HybridNorChannel final : public GateChannel {
  public:
+  /// Builds a private mode table. For many instances of the same cell,
+  /// precompute one table and use the sharing constructor instead.
   explicit HybridNorChannel(const core::NorParams& params);
+
+  /// Shares an immutable mode table across channel instances.
+  explicit HybridNorChannel(
+      std::shared_ptr<const core::NorModeTables> tables);
 
   int n_inputs() const override { return 2; }
   void initialize(double t0, const std::vector<bool>& values) override;
@@ -37,17 +49,28 @@ class HybridNorChannel final : public GateChannel {
   /// Current analog state (V_N, V_O) at time t >= last event time.
   ode::Vec2 state_at(double t) const;
   core::Mode mode() const { return mode_; }
+  const std::shared_ptr<const core::NorModeTables>& tables() const {
+    return tables_;
+  }
 
  private:
   std::optional<PendingEvent> next_crossing(double t_from) const;
   std::optional<PendingEvent> next_crossing_scan(double t_from) const;
+
+  // Root of vo_scalar(tau) = vth inside the sign-change bracket [lo, hi],
+  // where flo = vo_scalar(lo) - vth is already known: safeguarded Newton on
+  // the two-exponential form (analytic derivative, bisection fallback step)
+  // started from `seed`, Brent only if Newton fails to converge.
+  double solve_crossing(double lo, double hi, double flo, double seed) const;
 
   // Scalar expansion of the output voltage on the current segment:
   //   V_O(t_ref_ + tau) = d + a1 e^{l1 tau} + a2 e^{l2 tau}.
   // A two-exponential-plus-constant has at most one interior extremum and
   // at most two threshold crossings, so the crossing search reduces to a
   // handful of evaluations instead of a linear scan (hot path for
-  // event-driven simulation).
+  // event-driven simulation). The mode-constant pieces (l1, l2, projector
+  // row, particular solution) come precomputed from the shared table; only
+  // the amplitudes depend on the segment's entry state.
   struct ScalarVo {
     bool valid = false;  // false: fall back to the generic scan
     double d = 0.0;
@@ -59,8 +82,12 @@ class HybridNorChannel final : public GateChannel {
   void refresh_scalar();
   double vo_scalar(double tau) const;
 
-  core::NorParams params_;
-  ode::AffineOde2 ode_;     // current mode's system
+  std::shared_ptr<const core::NorModeTables> tables_;
+  const core::ModeTable* mt_ = nullptr;  // current mode's table entry
+  // Cached table scalars, read on every event:
+  double vth_ = 0.0;
+  double horizon_ = 0.0;
+  double delta_min_ = 0.0;
   core::Mode mode_ = core::Mode::kS00;
   ScalarVo scalar_{};
   bool in_a_ = false;       // logical input values (post pure delay)
@@ -73,7 +100,6 @@ class HybridNorChannel final : public GateChannel {
   // of the current mode can. See on_input.
   std::deque<PendingEvent> committed_;
   std::optional<PendingEvent> live_;
-  double horizon_ = 0.0;    // crossing search window (60 slow taus)
 };
 
 }  // namespace charlie::sim

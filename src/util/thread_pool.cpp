@@ -1,0 +1,68 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace charlie::util {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  workers_.reserve(n_threads);
+  for (std::size_t w = 0; w < n_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  job_size_ = n;
+  next_item_ = 0;
+  remaining_ = n;
+  first_error_ = nullptr;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t seen_generation = 0;
+  while (true) {
+    cv_work_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation &&
+                       next_item_ < job_size_);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    while (job_ != nullptr && next_item_ < job_size_) {
+      const std::size_t item = next_item_++;
+      const auto* job = job_;
+      lock.unlock();
+      try {
+        (*job)(worker_index, item);
+        lock.lock();
+      } catch (...) {
+        lock.lock();
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace charlie::util

@@ -1,0 +1,57 @@
+// Fixed pool of worker threads for data-parallel batches.
+//
+// Built for the Monte-Carlo batch runner: N independent work items are
+// claimed dynamically by W persistent workers. Scheduling order is
+// intentionally non-deterministic; callers that need reproducible results
+// must make each item's output depend only on its index (the batch runner
+// stores per-run results by run index and reduces sequentially).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace charlie::util {
+
+class ThreadPool {
+ public:
+  /// n_threads = 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t n_threads() const { return workers_.size(); }
+
+  /// Run fn(worker_index, item_index) for every item in [0, n), items
+  /// claimed dynamically by the workers. Blocks until all items complete.
+  /// worker_index is in [0, n_threads()) and identifies the executing
+  /// worker, e.g. to index per-worker scratch state. If any item throws,
+  /// the remaining items still run and the first exception is rethrown
+  /// here.
+  void parallel_for(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::size_t next_item_ = 0;
+  std::size_t remaining_ = 0;  // items not yet completed
+  std::size_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace charlie::util

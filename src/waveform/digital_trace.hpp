@@ -16,6 +16,10 @@ class DigitalTrace {
   /// Append a transition; must advance time.
   void append_transition(double t);
 
+  /// Pre-size the transition storage (capacity hint, e.g. from stimulus
+  /// statistics in the event-driven simulator).
+  void reserve(std::size_t n) { transitions_.reserve(n); }
+
   /// Signal value at time t (transitions take effect at exactly t).
   bool value_at(double t) const;
 

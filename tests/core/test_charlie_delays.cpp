@@ -142,6 +142,56 @@ TEST_F(CharlieFixture, PaperReportedPercentagesApproximatelyReproduced) {
   EXPECT_NEAR(d.fall_zero / d.fall_plus_inf - 1.0, -0.28, 0.02);
 }
 
+TEST_F(CharlieFixture, TaylorCrossingSolveConvergesOnRealTrajectory) {
+  // The eq (10) trajectory: mode (1,0) from (VDD, VDD). The solver should
+  // land on the same crossing the delay model finds, flagged converged in a
+  // handful of Newton steps.
+  const ModeSpectrum s = spectrum_mode10(raw_);
+  const double vth = raw_.vth();
+  const double c2 = vth * ((s.alpha + s.beta) * raw_.cn * raw_.r2 - 1.0) / s.beta;
+  const double c1 = raw_.vdd * raw_.cn * raw_.r2 - c2;
+  const double tau = 1.0 / std::fabs(s.lambda1);
+  const auto r = taylor_crossing_solve(vth, 0.0, c1 * (s.alpha + s.beta),
+                                       s.lambda1, c2 * (s.alpha - s.beta),
+                                       s.lambda2, kAutoExpansion, 0.5 * tau,
+                                       1e-3 * tau);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 20);
+  EXPECT_NEAR(r.t, raw_model_.falling_sis_a_first(), 1e-15);
+}
+
+TEST_F(CharlieFixture, TaylorCrossingSolveReportsNonConvergence) {
+  // Pathological input: both exponentials decay from positive coefficients,
+  // so V_O(t) stays in (0, k1+k2] and never reaches vth = -1. Newton chases
+  // the flat tail, saturates at the clamp bound, and must NOT be reported
+  // as converged (previously the last iterate was returned silently).
+  const double l1 = -1e9;   // tau_slow = 1 ns
+  const double l2 = -5e9;
+  const auto r = taylor_crossing_solve(/*vth=*/-1.0, /*offset=*/0.0,
+                                       /*k1=*/1.0, l1, /*k2=*/0.5, l2,
+                                       kAutoExpansion, /*seed=*/1e-9,
+                                       /*t_floor=*/1e-12);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GE(r.iterations, 1);
+  // Debug builds escalate the same failure to an assertion in the internal
+  // eq (10)-(12) wrapper; the public solver must stay throw-free so callers
+  // can branch on the status.
+}
+
+TEST_F(CharlieFixture, TaylorCrossingSolveFixedWIsOneStep) {
+  const double exact = raw_model_.falling_sis_a_first();
+  const ModeSpectrum s = spectrum_mode10(raw_);
+  const double vth = raw_.vth();
+  const double c2 = vth * ((s.alpha + s.beta) * raw_.cn * raw_.r2 - 1.0) / s.beta;
+  const double c1 = raw_.vdd * raw_.cn * raw_.r2 - c2;
+  const auto r = taylor_crossing_solve(vth, 0.0, c1 * (s.alpha + s.beta),
+                                       s.lambda1, c2 * (s.alpha - s.beta),
+                                       s.lambda2, /*w=*/exact, 0.0, 0.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 1);
+  EXPECT_NEAR(r.t, exact, 1e-15);
+}
+
 TEST_F(CharlieFixture, RisingParameterDependencies) {
   // Paper Section V: delta_rise(0)/(inf) depend on R1, R2, C_N, C_O but
   // NOT on R3/R4 (for GND history the (1,0) interlude keeps V_N at 0).

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/mode_tables.hpp"
 #include "util/error.hpp"
 
 namespace charlie::core {
@@ -108,12 +109,14 @@ TEST(Modes, SteadyStatesAreEquilibria) {
 }
 
 TEST(Modes, InvalidParamsRejected) {
+  // mode_ode itself no longer validates (hot path); construction-time
+  // entry points do.
   NorParams p = NorParams::paper_table1();
   p.r3 = -1.0;
-  EXPECT_THROW(mode_ode(Mode::kS11, p), ConfigError);
+  EXPECT_THROW(NorModeTables tables(p), ConfigError);
   p = NorParams::paper_table1();
   p.co = 0.0;
-  EXPECT_THROW(mode_ode(Mode::kS00, p), ConfigError);
+  EXPECT_THROW(NorModeTables::make(p), ConfigError);
   p = NorParams::paper_table1();
   p.delta_min = -1e-12;
   EXPECT_THROW(p.validate(), ConfigError);

@@ -9,6 +9,18 @@
 namespace charlie::core {
 namespace {
 
+TEST(Trajectory, RejectsInvalidParameters) {
+  // mode_ode no longer validates on the hot path; the public trajectory
+  // entry points must still reject bad parameters instead of emitting
+  // inf/NaN waveforms.
+  NorParams p = NorParams::paper_table1();
+  p.co = 0.0;
+  EXPECT_THROW(NorTrajectory::from_steady_state(p, 0.0, Mode::kS00),
+               ConfigError);
+  EXPECT_THROW(NorTrajectory(p, 0.0, Mode::kS10, ode::Vec2{0.0, 0.0}),
+               ConfigError);
+}
+
 TEST(Trajectory, SteadyStateStaysPut) {
   const auto p = NorParams::paper_table1();
   const auto traj = NorTrajectory::from_steady_state(p, 0.0, Mode::kS00);

@@ -1,0 +1,121 @@
+#include "sim/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/mode_tables.hpp"
+#include "sim/hybrid_nor_channel.hpp"
+#include "sim/pure_delay.hpp"
+
+namespace charlie::sim {
+namespace {
+
+BatchConfig small_config() {
+  BatchConfig config;
+  config.trace.mu = 150e-12;
+  config.trace.sigma = 60e-12;
+  config.trace.n_transitions = 60;
+  config.n_runs = 8;
+  config.base_seed = 42;
+  config.histogram_bins = 16;
+  return config;
+}
+
+CircuitFactory nor_factory() {
+  const auto tables =
+      core::NorModeTables::make(core::NorParams::paper_table1());
+  return [tables] {
+    auto circuit = std::make_unique<Circuit>();
+    const auto a = circuit->add_input("a");
+    const auto b = circuit->add_input("b");
+    circuit->add_nor2_mis("out", a, b,
+                          std::make_unique<HybridNorChannel>(tables));
+    return circuit;
+  };
+}
+
+TEST(Histogram, BinsAndMerge) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);  // underflow
+  h.add(0.0);
+  h.add(5.5);
+  h.add(10.0);  // hi is exclusive -> overflow
+  h.add(42.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[5], 1u);
+  Histogram other(0.0, 10.0, 10);
+  other.add(5.1);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bins()[5], 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), -1.0 + 0.0 + 5.5 + 10.0 + 42.0 + 5.1);
+}
+
+TEST(BatchRunner, ProducesActivity) {
+  BatchRunner runner(nor_factory(), "out", small_config());
+  const auto result = runner.run();
+  EXPECT_EQ(result.n_runs, 8u);
+  EXPECT_EQ(result.events_per_run.size(), 8u);
+  EXPECT_GT(result.total_events, 0);
+  EXPECT_GT(result.total_output_transitions, 0);
+  EXPECT_GT(result.pulse_width.count(), 0u);
+  EXPECT_GT(result.response_delay.count(), 0u);
+  // Every output transition trails some stimulus edge by at least the pure
+  // delay and the histogram must see it.
+  EXPECT_GT(result.response_delay.mean(), 0.0);
+}
+
+TEST(BatchRunner, BitIdenticalAcrossThreadCounts) {
+  auto run_with = [&](std::size_t n_threads) {
+    BatchConfig config = small_config();
+    config.n_threads = n_threads;
+    BatchRunner runner(nor_factory(), "out", config);
+    return runner.run();
+  };
+  const auto one = run_with(1);
+  for (std::size_t n_threads : {2u, 5u}) {
+    const auto many = run_with(n_threads);
+    EXPECT_EQ(many.n_threads, n_threads);
+    EXPECT_EQ(many.total_events, one.total_events);
+    EXPECT_EQ(many.total_output_transitions, one.total_output_transitions);
+    EXPECT_EQ(many.events_per_run, one.events_per_run);
+    EXPECT_EQ(many.pulse_width.bins(), one.pulse_width.bins());
+    EXPECT_EQ(many.pulse_width.sum(), one.pulse_width.sum());
+    EXPECT_EQ(many.response_delay.bins(), one.response_delay.bins());
+    EXPECT_EQ(many.response_delay.sum(), one.response_delay.sum());
+  }
+}
+
+TEST(BatchRunner, SeedsChangeResults) {
+  BatchConfig config = small_config();
+  BatchRunner a(nor_factory(), "out", config);
+  config.base_seed = 4242;
+  BatchRunner b(nor_factory(), "out", config);
+  EXPECT_NE(a.run().total_events, b.run().total_events);
+}
+
+TEST(BatchRunner, WorksWithSisChannels) {
+  auto factory = [] {
+    auto circuit = std::make_unique<Circuit>();
+    const auto in = circuit->add_input("in");
+    circuit->add_gate(GateKind::kInv, "out", {in},
+                      std::make_unique<PureDelayChannel>(10e-12));
+    return circuit;
+  };
+  BatchConfig config = small_config();
+  config.n_threads = 2;
+  // Keep every gap above the pure delay so no pulse can be swallowed.
+  config.trace.min_width = 20e-12;
+  BatchRunner runner(factory, "out", config);
+  const auto result = runner.run();
+  // A pure-delay inverter then reproduces every input transition.
+  EXPECT_EQ(result.total_output_transitions,
+            static_cast<long long>(config.n_runs * 60));
+}
+
+}  // namespace
+}  // namespace charlie::sim

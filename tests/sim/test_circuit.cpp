@@ -155,6 +155,35 @@ TEST(Circuit, TwoStageNorChain) {
   EXPECT_GT(r.trace(y).transitions()[0], r.trace(x).transitions()[0]);
 }
 
+TEST(Circuit, WindowBoundarySemantics) {
+  // The event window is (t_begin, t_end]: a stimulus transition at exactly
+  // t_begin is folded into the steady-state initialization (value_at
+  // includes it), not replayed as an event.
+  Circuit c;
+  const auto in = c.add_input("in");
+  const auto out = c.add_gate(GateKind::kInv, "out", {in},
+                              std::make_unique<PureDelayChannel>(10e-12));
+  const waveform::DigitalTrace stim(false, {1e-9, 2e-9});
+  const auto result = c.simulate({stim}, 1e-9, 3e-9);
+  // The rising edge at exactly t_begin = 1 ns is initial state: input
+  // starts high, inverter starts low, and no transition is recorded for it.
+  EXPECT_TRUE(result.trace(in).initial_value());
+  EXPECT_EQ(result.trace(in).n_transitions(), 1u);  // only the 2 ns edge
+  EXPECT_FALSE(result.trace(out).initial_value());
+  ASSERT_EQ(result.trace(out).n_transitions(), 1u);
+  EXPECT_NEAR(result.trace(out).transitions()[0], 2e-9 + 10e-12, 1e-15);
+
+  // A transition at exactly t_end is still an event; its delayed gate
+  // response past t_end is dropped.
+  Circuit c2;
+  const auto in2 = c2.add_input("in");
+  c2.add_gate(GateKind::kInv, "out", {in2},
+              std::make_unique<PureDelayChannel>(10e-12));
+  const auto r2 = c2.simulate({stim}, 0.0, 2e-9);
+  EXPECT_EQ(r2.trace(in2).n_transitions(), 2u);
+  EXPECT_EQ(r2.trace(c2.find_net("out")).n_transitions(), 1u);
+}
+
 TEST(Circuit, ValidationErrors) {
   Circuit c;
   const auto in = c.add_input("in");

@@ -112,6 +112,80 @@ TEST_F(HybridChannelFixture, CommittedCrossingSurvivesLateReversal) {
   EXPECT_TRUE(rise->value);
 }
 
+TEST_F(HybridChannelFixture, SharedTablesMatchPrivateTables) {
+  // Channels sharing one precomputed table behave identically to channels
+  // that derive their own.
+  const auto tables = core::NorModeTables::make(params_);
+  HybridNorChannel shared1(tables);
+  HybridNorChannel shared2(tables);
+  HybridNorChannel owned(params_);
+  EXPECT_EQ(shared1.tables().get(), shared2.tables().get());
+  for (HybridNorChannel* ch : {&shared1, &owned}) {
+    ch->initialize(0.0, {false, false});
+    ch->on_input(1e-9, 0, true);
+  }
+  ASSERT_TRUE(shared1.pending().has_value());
+  ASSERT_TRUE(owned.pending().has_value());
+  EXPECT_DOUBLE_EQ(shared1.pending()->t, owned.pending()->t);
+}
+
+TEST_F(HybridChannelFixture, MultipleCommittedCrossingsSurviveLateInput) {
+  // Drive A up (falling crossing fires), then A down (rising crossing
+  // scheduled), then let B arrive only after the rising crossing has
+  // physically happened too: both crossings are past and the second input
+  // promotes the live rising crossing to the committed queue. Every
+  // committed event must then fire in order with matching payloads.
+  HybridNorChannel ch(params_);
+  ch.initialize(0.0, {false, false});
+  ch.on_input(1e-9, 0, true);
+  const auto fall = ch.pending();
+  ASSERT_TRUE(fall.has_value());
+  EXPECT_FALSE(fall->value);
+  ch.on_fire(*fall);
+  ch.on_input(2e-9, 0, false);
+  const auto rise = ch.pending();
+  ASSERT_TRUE(rise.has_value());
+  EXPECT_TRUE(rise->value);
+  // B rises 1 ps before the rising crossing: delta_min defers its effect
+  // past it, so the crossing is committed and survives, followed by the
+  // falling crossing that B itself causes.
+  ch.on_input(rise->t - 1e-12, 1, true);
+  const auto committed = ch.pending();
+  ASSERT_TRUE(committed.has_value());
+  EXPECT_TRUE(committed->value);
+  EXPECT_DOUBLE_EQ(committed->t, rise->t);
+  ch.on_fire(*committed);
+  const auto fall2 = ch.pending();
+  ASSERT_TRUE(fall2.has_value());
+  EXPECT_FALSE(fall2->value);
+  EXPECT_GT(fall2->t, rise->t);
+}
+
+TEST_F(HybridChannelFixture, OnFireMismatchFailsLoudly) {
+  // Engine/channel desync must be detected, not silently absorbed.
+  HybridNorChannel ch(params_);
+  ch.initialize(0.0, {false, false});
+  ch.on_input(1e-9, 0, true);
+  const auto p = ch.pending();
+  ASSERT_TRUE(p.has_value());
+  PendingEvent wrong_time = *p;
+  wrong_time.t += 1e-12;
+  EXPECT_THROW(ch.on_fire(wrong_time), AssertionError);
+  PendingEvent wrong_value = *p;
+  wrong_value.value = !wrong_value.value;
+  EXPECT_THROW(ch.on_fire(wrong_value), AssertionError);
+  // The matching event still fires cleanly.
+  ch.on_fire(*p);
+  // Committed-path mismatch: commit a crossing, then fire a wrong event.
+  ch.on_input(2e-9, 0, false);
+  const auto rise = ch.pending();
+  ASSERT_TRUE(rise.has_value());
+  ch.on_input(rise->t - 1e-12, 1, true);  // promotes to committed_
+  PendingEvent bogus = *ch.pending();
+  bogus.t -= 1e-12;
+  EXPECT_THROW(ch.on_fire(bogus), AssertionError);
+}
+
 TEST_F(HybridChannelFixture, StateQueryEvolvesContinuously) {
   HybridNorChannel ch(params_);
   ch.initialize(0.0, {false, false});

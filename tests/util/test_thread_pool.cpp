@@ -1,0 +1,65 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace charlie::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  for (std::size_t n_threads : {1u, 2u, 4u}) {
+    ThreadPool pool(n_threads);
+    EXPECT_EQ(pool.n_threads(), n_threads);
+    std::vector<std::atomic<int>> hits(101);
+    pool.parallel_for(hits.size(), [&](std::size_t worker, std::size_t item) {
+      EXPECT_LT(worker, n_threads);
+      ++hits[item];
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(10, [&](std::size_t, std::size_t item) {
+      sum += static_cast<long>(item);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50 * 45);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, FirstExceptionIsRethrownAndOthersStillRun) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(20);
+  EXPECT_THROW(
+      pool.parallel_for(hits.size(),
+                        [&](std::size_t, std::size_t item) {
+                          ++hits[item];
+                          if (item == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // The pool survives a failed batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(5, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.n_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace charlie::util
