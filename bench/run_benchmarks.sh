@@ -18,7 +18,10 @@ trap 'rm -rf "$tmp_dir"' EXIT
 ./build/bench/bench_batch_throughput --benchmark_format=json \
   >"$tmp_dir/batch.json"
 
-python3 - "$tmp_dir/runtime.json" "$tmp_dir/batch.json" "$out" <<'EOF'
+# Merge into a temp file and move it into place atomically: a failure
+# anywhere above (set -euo pipefail) or inside the merge leaves any previous
+# $out untouched instead of replacing it with partial JSON.
+python3 - "$tmp_dir/runtime.json" "$tmp_dir/batch.json" "$tmp_dir/merged.json" <<'EOF'
 import json, sys
 runtime, batch, out = sys.argv[1:4]
 with open(runtime) as f:
@@ -29,5 +32,6 @@ with open(out, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")
 EOF
+mv "$tmp_dir/merged.json" "$out"
 
 echo "wrote $out"

@@ -1,0 +1,51 @@
+// Closed-form delay evaluation of the generalized N-input hybrid gate.
+//
+// Drives the precomputed mode tables through a scripted sequence of input
+// switches and root-finds the output V_th crossing -- the generalized
+// analogue of core::NorDelayModel for arbitrary arity and both topologies.
+// Used by the gate parametrization fit (gate_parametrize.hpp) and by tests
+// that validate the event-driven channel against an independent evaluation;
+// not an event-loop hot path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/gate_mode_tables.hpp"
+
+namespace charlie::core {
+
+struct GateInputEvent {
+  double t = 0.0;  // effective switch time (pure delay already applied)
+  int port = 0;
+  bool value = false;
+};
+
+/// First V_th crossing of V_O in the `rising` direction on the trajectory
+/// that starts in the steady state of `s0` at t = 0 (a frozen internal node
+/// starts at `v_int_hold`) and switches modes per `events` (time-sorted,
+/// t >= 0, effective times -- callers add delta_min themselves when
+/// modeling the pure delay). Returns the absolute crossing time; throws
+/// ConvergenceError when the output never crosses within the search
+/// horizon after the last event.
+double gate_output_crossing(const GateModeTables& tables, GateState s0,
+                            double v_int_hold,
+                            std::span<const GateInputEvent> events,
+                            bool rising);
+
+/// Characteristic delays of the generalized gate, *excluding* delta_min
+/// (raw RC trajectories; the pure delay adds to every entry).
+///   fall[i] / rise[i] -- single-input-switching delays: input i alone
+///     causes the output transition, the other inputs held non-controlling.
+///   fall_all / rise_all -- every input switches simultaneously, starting
+///     from the worst-case internal-node history.
+struct GateSisDelays {
+  std::vector<double> fall;
+  std::vector<double> rise;
+  double fall_all = 0.0;
+  double rise_all = 0.0;
+};
+
+GateSisDelays gate_characteristic_delays(const GateModeTables& tables);
+
+}  // namespace charlie::core

@@ -1,0 +1,57 @@
+// Parametrization of the generalized N-input hybrid gate (the Section V
+// workflow for NOR3/NAND2/NAND3 and beyond).
+//
+// Given measured characteristic delays of a real gate -- per-input
+// single-input-switching delays plus the two simultaneous-switching
+// extremes -- find per-input series/parallel resistances and the two node
+// capacitances such that the hybrid model reproduces them. As for the NOR2
+// (core/parametrize.hpp), a pure delay delta_min is first chosen so the
+// measured simultaneous-switching speed-up ratio becomes achievable by the
+// RC network (an n-strong parallel pull can speed up at most n-fold), then
+// the R/C values are fitted by weighted least squares in log space.
+#pragma once
+
+#include <vector>
+
+#include "core/gate_delay.hpp"
+#include "core/gate_params.hpp"
+
+namespace charlie::core {
+
+/// Measured characteristic delays of an n-input gate (all include whatever
+/// pure delay the substrate exhibits; the fit strips delta_min itself).
+/// Layout matches core::GateSisDelays.
+struct GateTargets {
+  std::vector<double> fall;  // per-input SIS delay, output falling [s]
+  std::vector<double> rise;  // per-input SIS delay, output rising [s]
+  double fall_all = 0.0;     // all inputs rise simultaneously
+  double rise_all = 0.0;     // all inputs fall simultaneously
+};
+
+struct GateFitOptions {
+  double vdd = 0.8;
+  // >= 0: pin delta_min to this value. Like every delta_min the fit
+  // chooses, it is still capped at 0.9x the smallest measured target so
+  // the corrected targets stay positive; check GateFitResult::params for
+  // the value actually used.
+  double forced_delta_min = -1.0;
+  double target_ratio = 0.0;  // <= 0: use n (parallel speed-up bound)
+  int nelder_mead_evaluations = 2500;
+};
+
+struct GateFitResult {
+  GateParams params;     // includes the chosen delta_min
+  GateTargets targets;   // what was asked for
+  GateTargets achieved;  // what the fitted model produces (incl. delta_min)
+  double rms_error = 0.0;  // RMS over all 2n+2 targets [s]
+  double objective = 0.0;
+  int evaluations = 0;
+};
+
+/// Fit the generalized hybrid model to measured characteristic delays.
+/// Throws ConfigError when targets are non-positive or inconsistent.
+GateFitResult fit_gate_params(GateTopology topology,
+                              const GateTargets& measured,
+                              const GateFitOptions& options = {});
+
+}  // namespace charlie::core

@@ -1,76 +1,44 @@
 // Precomputed per-mode tables of the hybrid NOR model.
 //
-// Event-driven simulation switches modes on every input transition, but the
-// mode systems themselves depend only on the cell parameters: the four ODEs,
-// their eigendecompositions, equilibria, steady states, and the spectral
-// projector rows behind the scalar V_O expansion never change at runtime.
-// NorModeTables computes all of it once per NorParams; channels share one
-// immutable table through a shared_ptr, so a circuit with thousands of gate
-// instances of the same cell pays the derivation exactly once and the
-// per-event work reduces to a handful of multiply-adds.
+// NorModeTables is the 2-input NOR instance of the generalized
+// core::GateModeTables (see gate_mode_tables.hpp): the four paper modes map
+// onto the 2^2 input states of a kNorLike GateParams, and the derivation --
+// eigendecompositions, equilibria, steady states, spectral projectors, the
+// two-exponential scalar V_O expansion -- is shared. The subclass keeps the
+// Mode-indexed accessors and the NorParams view so existing callers and
+// tests are untouched, and converts to shared_ptr<const GateModeTables>
+// implicitly for the generalized channels.
 #pragma once
 
-#include <array>
 #include <memory>
 
+#include "core/gate_mode_tables.hpp"
 #include "core/modes.hpp"
 #include "core/nor_params.hpp"
-#include "ode/linear_ode2.hpp"
 
 namespace charlie::core {
 
-/// Precomputed quantities of one mode. The scalar expansion writes the
-/// output voltage on a mode segment entered at state x_ref as
-///
-///   V_O(tau) = d + a1 e^{l1 tau} + a2 e^{l2 tau},
-///   dev = x_ref - xp,  a1 = p1c dev.x + p1d dev.y,  a2 = dev.y - a1,
-///
-/// where (p1c, p1d) is the bottom row of the spectral projector
-/// P1 = (A - l2 I)/(l1 - l2). Components with zero eigenvalue are constant
-/// and fold into d (fold1/fold2).
-struct ModeTable {
-  ode::AffineOde2 ode;
-  ode::Vec2 steady{};  // steady state; kS11 holds V_N, reported with vn = 0
-  ode::Vec2 xp{};      // particular solution of the scalar expansion
-  bool scalar_valid = false;  // false: defective/complex spectrum, use scan
-  double d = 0.0;
-  double l1 = 0.0;
-  double l2 = 0.0;
-  double p1c = 0.0;
-  double p1d = 0.0;
-  bool fold1 = false;
-  bool fold2 = false;
-  // Full spectral form of the state evolution,
-  //   x(tau) = xp + e^{l1 tau} S1 (x_ref - xp) + e^{l2 tau} S2 (x_ref - xp),
-  // valid when the spectrum is diagonalizable and either an equilibrium
-  // exists or g = 0 (singular mode (1,1)). Two exp() calls replace the
-  // generic matrix-exponential machinery on the event hot path.
-  bool spectral_valid = false;
-  ode::Mat2 s1{};
-  ode::Mat2 s2{};
-};
-
-class NorModeTables {
+class NorModeTables : public GateModeTables {
  public:
   /// Validates `params` once (throws ConfigError) and derives all four mode
   /// tables plus the crossing-search horizon (60 slowest time constants).
-  explicit NorModeTables(const NorParams& params);
+  explicit NorModeTables(const NorParams& params)
+      : GateModeTables(GateParams::from_nor(params)), params_(params) {}
 
   /// Shared immutable table for reuse across many channel instances.
-  static std::shared_ptr<const NorModeTables> make(const NorParams& params);
+  static std::shared_ptr<const NorModeTables> make(const NorParams& params) {
+    return std::make_shared<const NorModeTables>(params);
+  }
 
   const NorParams& params() const { return params_; }
-  double vth() const { return vth_; }
-  double horizon() const { return horizon_; }
+
+  using GateModeTables::state_table;
   const ModeTable& table(Mode m) const {
-    return tables_[static_cast<std::size_t>(m)];
+    return state_table(gate_state_from_mode(m));
   }
 
  private:
   NorParams params_;
-  double vth_ = 0.0;
-  double horizon_ = 0.0;
-  std::array<ModeTable, 4> tables_{};
 };
 
 }  // namespace charlie::core

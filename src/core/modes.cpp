@@ -30,58 +30,46 @@ std::string mode_name(Mode m) {
   return {};
 }
 
+namespace {
+
+// GateParams view of a NorParams without per-call vector allocations:
+// mode_ode sits inside trajectory construction and the Nelder-Mead fit
+// objective (thousands of evaluations), so reuse one thread-local scratch.
+const GateParams& gate_view(const NorParams& p) {
+  static thread_local GateParams scratch = [] {
+    GateParams g;
+    g.topology = GateTopology::kNorLike;
+    g.r_series.resize(2);
+    g.r_parallel.resize(2);
+    return g;
+  }();
+  scratch.r_series[0] = p.r1;
+  scratch.r_series[1] = p.r2;
+  scratch.r_parallel[0] = p.r3;
+  scratch.r_parallel[1] = p.r4;
+  scratch.c_int = p.cn;
+  scratch.c_out = p.co;
+  scratch.vdd = p.vdd;
+  scratch.delta_min = p.delta_min;
+  return scratch;
+}
+
+}  // namespace
+
+// The per-mode systems transcribed from paper Section III B-E:
+//   (1,1): CN dVN/dt = 0;                   CO dVO/dt = -VO (1/R3 + 1/R4)
+//   (1,0): CN dVN/dt = -(VN - VO)/R2;       CO dVO/dt = -VO/R3 + (VN-VO)/R2
+//   (0,1): CN dVN/dt = (VDD - VN)/R1;       CO dVO/dt = -VO/R4
+//   (0,0): CN dVN/dt = (VDD-VN)/R1 - (VN-VO)/R2; CO dVO/dt = (VN-VO)/R2
+// These are exactly the n = 2 kNorLike instances of the generalized gate
+// network; delegating keeps the two derivations bit-identical.
 ode::AffineOde2 mode_ode(Mode mode, const NorParams& p) {
-  switch (mode) {
-    case Mode::kS11: {
-      // CN dVN/dt = 0
-      // CO dVO/dt = -VO (1/R3 + 1/R4)
-      const ode::Mat2 m{0.0, 0.0,  //
-                        0.0, -(1.0 / (p.co * p.r3) + 1.0 / (p.co * p.r4))};
-      return ode::AffineOde2(m, {0.0, 0.0});
-    }
-    case Mode::kS10: {
-      // CN dVN/dt = -(VN - VO)/R2
-      // CO dVO/dt = -VO/R3 + (VN - VO)/R2
-      const ode::Mat2 m{
-          -1.0 / (p.cn * p.r2), 1.0 / (p.cn * p.r2),  //
-          1.0 / (p.co * p.r2),
-          -(1.0 / (p.co * p.r2) + 1.0 / (p.co * p.r3))};
-      return ode::AffineOde2(m, {0.0, 0.0});
-    }
-    case Mode::kS01: {
-      // CN dVN/dt = (VDD - VN)/R1
-      // CO dVO/dt = -VO/R4
-      const ode::Mat2 m{-1.0 / (p.cn * p.r1), 0.0,  //
-                        0.0, -1.0 / (p.co * p.r4)};
-      return ode::AffineOde2(m, {p.vdd / (p.cn * p.r1), 0.0});
-    }
-    case Mode::kS00: {
-      // CN dVN/dt = (VDD - VN)/R1 - (VN - VO)/R2
-      // CO dVO/dt = (VN - VO)/R2
-      const ode::Mat2 m{
-          -(1.0 / (p.cn * p.r1) + 1.0 / (p.cn * p.r2)),
-          1.0 / (p.cn * p.r2),  //
-          1.0 / (p.co * p.r2), -1.0 / (p.co * p.r2)};
-      return ode::AffineOde2(m, {p.vdd / (p.cn * p.r1), 0.0});
-    }
-  }
-  CHARLIE_ASSERT_MSG(false, "invalid mode");
-  return {};
+  return gate_mode_ode(gate_view(p), gate_state_from_mode(mode));
 }
 
 ode::Vec2 mode_steady_state(Mode mode, const NorParams& p, double vn_hold) {
-  switch (mode) {
-    case Mode::kS00:
-      return {p.vdd, p.vdd};
-    case Mode::kS01:
-      return {p.vdd, 0.0};
-    case Mode::kS10:
-      return {0.0, 0.0};
-    case Mode::kS11:
-      return {vn_hold, 0.0};
-  }
-  CHARLIE_ASSERT_MSG(false, "invalid mode");
-  return {};
+  return gate_mode_steady_state(gate_view(p), gate_state_from_mode(mode),
+                                vn_hold);
 }
 
 bool mode_output(Mode m) { return m == Mode::kS00; }

@@ -13,6 +13,7 @@
 #include <array>
 #include <string>
 
+#include "core/gate_modes.hpp"
 #include "core/nor_params.hpp"
 #include "ode/linear_ode2.hpp"
 
@@ -38,6 +39,17 @@ bool mode_input_b(Mode m);
 
 /// "(1,0)"-style name used in paper figures.
 std::string mode_name(Mode m);
+
+/// Input state of the generalized gate tables for logic levels (a, b)
+/// (bit 0 = input A, bit 1 = input B).
+inline constexpr GateState gate_state_from_inputs(bool a, bool b) {
+  return (a ? 1u : 0u) | (b ? 2u : 0u);
+}
+
+/// Input state encoding of a NOR2 Mode.
+inline GateState gate_state_from_mode(Mode m) {
+  return gate_state_from_inputs(mode_input_a(m), mode_input_b(m));
+}
 
 /// The affine ODE V' = M V + g for `mode` (paper Section III).
 /// Precondition: `params` is valid (NorParams::validate). Validation happens

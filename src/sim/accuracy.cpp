@@ -23,6 +23,15 @@ AccuracyResult evaluate_accuracy(const spice::Technology& tech,
                                  const waveform::TraceConfig& config,
                                  const std::vector<ModelUnderTest>& models,
                                  const AccuracyOptions& options) {
+  return evaluate_gate_accuracy(tech, spice::CellKind::kNor2, config, models,
+                                options);
+}
+
+AccuracyResult evaluate_gate_accuracy(const spice::Technology& tech,
+                                      spice::CellKind cell,
+                                      const waveform::TraceConfig& config,
+                                      const std::vector<ModelUnderTest>& models,
+                                      const AccuracyOptions& options) {
   CHARLIE_ASSERT(!models.empty());
   const auto baseline_it =
       std::find_if(models.begin(), models.end(),
@@ -31,6 +40,8 @@ AccuracyResult evaluate_accuracy(const spice::Technology& tech,
                      "accuracy: a baseline model is required");
   const std::size_t baseline_index =
       static_cast<std::size_t>(baseline_it - models.begin());
+  const std::size_t n_inputs =
+      static_cast<std::size_t>(spice::cell_arity(cell));
 
   util::Rng rng(options.seed);
   std::vector<std::vector<double>> areas(models.size());
@@ -40,10 +51,12 @@ AccuracyResult evaluate_accuracy(const spice::Technology& tech,
 
   for (int rep = 0; rep < options.repetitions; ++rep) {
     util::Rng rep_rng = rng.fork();
-    // Leave room for the first edge's ramp to develop.
+    // Floor t_start so the first edge's ramp can develop from a settled DC
+    // state; never move a caller-specified start earlier (see
+    // AccuracyOptions).
     waveform::TraceConfig cfg = config;
-    cfg.t_start = 2.0 * tech.input_rise_time;
-    const auto traces = waveform::generate_traces(cfg, 2, rep_rng);
+    cfg.t_start = std::max(cfg.t_start, 2.0 * tech.input_rise_time);
+    const auto traces = waveform::generate_traces(cfg, n_inputs, rep_rng);
     double t_last = cfg.t_start;
     for (const auto& trace : traces) {
       if (!trace.empty()) t_last = std::max(t_last, trace.transitions().back());
@@ -52,18 +65,20 @@ AccuracyResult evaluate_accuracy(const spice::Technology& tech,
 
     // Golden analog reference.
     const auto analog =
-        spice::run_nor2(tech, traces[0], traces[1], t_end, options.transient);
+        spice::run_gate_cell(tech, cell, traces, t_end, options.transient);
     const auto golden = waveform::digitize(analog.vo, tech.vth());
     // Digital models see the digitized analog inputs, so runt pulses that
     // never reach V_th are absent for every model consistently.
-    const auto a_dig = waveform::digitize(analog.va, tech.vth());
-    const auto b_dig = waveform::digitize(analog.vb, tech.vth());
+    std::vector<waveform::DigitalTrace> digitized;
+    digitized.reserve(n_inputs);
+    for (const auto& wave : analog.vin) {
+      digitized.push_back(waveform::digitize(wave, tech.vth()));
+    }
     result.golden_transitions += static_cast<long>(golden.n_transitions());
 
     for (std::size_t m = 0; m < models.size(); ++m) {
       auto channel = models[m].make();
-      const auto out =
-          run_gate_channel(*channel, a_dig, b_dig, 0.0, t_end);
+      const auto out = run_gate_channel(*channel, digitized, 0.0, t_end);
       areas[m].push_back(
           waveform::deviation_area(golden, out, 0.0, t_end));
     }

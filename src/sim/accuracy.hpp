@@ -1,8 +1,9 @@
-// Deviation-area accuracy pipeline (the paper's Section VI experiment).
+// Deviation-area accuracy pipeline (the paper's Section VI experiment),
+// generalized over the multi-input cells of spice::CellKind.
 //
 // For each repetition: generate random input traces per the waveform
 // configuration, obtain the golden output by running the transistor-level
-// NOR2 on the analog substrate and digitizing V_O at V_th, run every delay
+// cell on the analog substrate and digitizing V_O at V_th, run every delay
 // model on the digitized analog inputs, and accumulate the deviation area
 // |model - golden|. Results are averaged over repetitions and normalized
 // against the inertial-delay baseline, exactly as in Fig 7.
@@ -32,6 +33,11 @@ struct AccuracyOptions {
   double tail_time = 500e-12;     // observation margin after the last edge
   spice::TransientOptions transient;
 
+  // Note on trace timing: the generator's t_start is floored at
+  // 2 * Technology::input_rise_time so the first edge's analog ramp can
+  // develop from a settled DC state; a caller-specified TraceConfig::t_start
+  // beyond the floor is honored as-is.
+
   AccuracyOptions();
 };
 
@@ -48,10 +54,19 @@ struct AccuracyResult {
   long golden_transitions = 0;   // total golden output transitions
 };
 
-/// Run the experiment for one waveform configuration.
+/// Run the experiment for one waveform configuration on the 2-input NOR
+/// (the paper's setup).
 AccuracyResult evaluate_accuracy(const spice::Technology& tech,
                                  const waveform::TraceConfig& config,
                                  const std::vector<ModelUnderTest>& models,
                                  const AccuracyOptions& options = {});
+
+/// Run the experiment for one waveform configuration on any supported cell;
+/// every model channel must match the cell's arity.
+AccuracyResult evaluate_gate_accuracy(const spice::Technology& tech,
+                                      spice::CellKind cell,
+                                      const waveform::TraceConfig& config,
+                                      const std::vector<ModelUnderTest>& models,
+                                      const AccuracyOptions& options = {});
 
 }  // namespace charlie::sim

@@ -10,7 +10,8 @@ namespace charlie::sim {
 bool eval_gate(GateKind kind, std::span<const bool> in) {
   const std::size_t arity = gate_arity(kind);
   CHARLIE_ASSERT(in.size() == arity);
-  return eval_gate(kind, in[0], arity == 2 ? in[1] : false);
+  return eval_gate(kind, in[0], arity >= 2 ? in[1] : false,
+                   arity >= 3 ? in[2] : false);
 }
 
 Circuit::NetId Circuit::new_net(const std::string& name) {
@@ -56,17 +57,32 @@ Circuit::NetId Circuit::add_gate(GateKind kind,
 Circuit::NetId Circuit::add_nor2_mis(const std::string& output_name, NetId a,
                                      NetId b,
                                      std::unique_ptr<GateChannel> channel) {
+  return add_mis_gate(GateKind::kNor2, output_name, {a, b},
+                      std::move(channel));
+}
+
+Circuit::NetId Circuit::add_mis_gate(GateKind kind,
+                                     const std::string& output_name,
+                                     std::vector<NetId> inputs,
+                                     std::unique_ptr<GateChannel> channel) {
   CHARLIE_ASSERT(channel != nullptr);
-  CHARLIE_ASSERT(channel->n_inputs() == 2);
+  CHARLIE_ASSERT_MSG(inputs.size() == gate_arity(kind),
+                     "circuit: wrong gate arity");
+  CHARLIE_ASSERT_MSG(
+      channel->n_inputs() == static_cast<int>(gate_arity(kind)),
+      "circuit: channel arity does not match the gate kind");
   const NetId out = new_net(output_name);
   Gate gate;
-  gate.kind = GateKind::kNor2;
-  gate.inputs = {a, b};
+  gate.kind = kind;
+  gate.inputs = std::move(inputs);
   gate.output = out;
   gate.mis = std::move(channel);
   const std::size_t index = gates_.size();
-  fanout_[a].push_back({index, 0});
-  fanout_[b].push_back({index, 1});
+  for (std::size_t port = 0; port < gate.inputs.size(); ++port) {
+    CHARLIE_ASSERT(gate.inputs[port] >= 0 &&
+                   gate.inputs[port] < static_cast<NetId>(n_nets()));
+    fanout_[gate.inputs[port]].push_back({index, static_cast<int>(port)});
+  }
   gates_.push_back(std::move(gate));
   return out;
 }
@@ -120,8 +136,8 @@ Circuit::SimResult Circuit::simulate(
       for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
         gate.in_values[p] = net_value[gate.inputs[p]];
       }
-      gate.zero_time_value =
-          eval_gate(gate.kind, gate.in_values[0], gate.in_values[1]);
+      gate.zero_time_value = eval_gate(gate.kind, gate.in_values[0],
+                                       gate.in_values[1], gate.in_values[2]);
       net_value[gate.output] = gate.zero_time_value;
     }
   }
@@ -129,8 +145,10 @@ Circuit::SimResult Circuit::simulate(
     if (gate.sis) {
       gate.sis->initialize(t_begin, gate.zero_time_value);
     } else {
-      gate.mis->initialize(t_begin,
-                           {gate.in_values[0], gate.in_values[1]});
+      gate.mis->initialize(
+          t_begin, std::vector<bool>(gate.in_values.begin(),
+                                     gate.in_values.begin() +
+                                         gate.inputs.size()));
     }
   }
 
@@ -193,8 +211,8 @@ Circuit::SimResult Circuit::simulate(
       Gate& gate = gates_[gate_index];
       gate.in_values[static_cast<std::size_t>(port)] = value;
       if (gate.sis) {
-        const bool nv =
-            eval_gate(gate.kind, gate.in_values[0], gate.in_values[1]);
+        const bool nv = eval_gate(gate.kind, gate.in_values[0],
+                                  gate.in_values[1], gate.in_values[2]);
         if (nv != gate.zero_time_value) {
           gate.zero_time_value = nv;
           gate.sis->on_input(t, nv);

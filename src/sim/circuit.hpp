@@ -30,17 +30,24 @@ enum class GateKind {
   kNand2,
   kNor2,
   kXor2,
+  kNor3,
+  kNand3,
 };
+
+/// Maximum gate arity the engine's fixed-size input arrays support.
+inline constexpr std::size_t kMaxGateArity = 3;
 
 /// Number of inputs of a gate kind.
 inline constexpr std::size_t gate_arity(GateKind kind) {
-  return (kind == GateKind::kBuf || kind == GateKind::kInv) ? 1 : 2;
+  if (kind == GateKind::kBuf || kind == GateKind::kInv) return 1;
+  if (kind == GateKind::kNor3 || kind == GateKind::kNand3) return 3;
+  return 2;
 }
 
-/// Zero-time boolean function of a gate, fixed two-value form (`b` is
-/// ignored for one-input kinds). This is the event-loop hot path: a plain
-/// switch over the kind, no span/vector<bool> indirection.
-inline bool eval_gate(GateKind kind, bool a, bool b) {
+/// Zero-time boolean function of a gate, fixed three-value form (`b`/`c`
+/// are ignored for lower-arity kinds). This is the event-loop hot path: a
+/// plain switch over the kind, no span/vector<bool> indirection.
+inline bool eval_gate(GateKind kind, bool a, bool b, bool c = false) {
   switch (kind) {
     case GateKind::kBuf:
       return a;
@@ -56,6 +63,10 @@ inline bool eval_gate(GateKind kind, bool a, bool b) {
       return !(a || b);
     case GateKind::kXor2:
       return a != b;
+    case GateKind::kNor3:
+      return !(a || b || c);
+    case GateKind::kNand3:
+      return !(a && b && c);
   }
   CHARLIE_ASSERT_MSG(false, "invalid gate kind");
   return false;
@@ -79,6 +90,13 @@ class Circuit {
 
   /// Add a NOR2 with a native two-input gate channel (MIS-aware).
   NetId add_nor2_mis(const std::string& output_name, NetId a, NetId b,
+                     std::unique_ptr<GateChannel> channel);
+
+  /// Add a gate carrying a native multi-input channel (MIS-aware); the
+  /// channel arity must match the gate kind (e.g. a 3-input
+  /// HybridGateChannel on kNor3/kNand3).
+  NetId add_mis_gate(GateKind kind, const std::string& output_name,
+                     std::vector<NetId> inputs,
                      std::unique_ptr<GateChannel> channel);
 
   NetId find_net(const std::string& name) const;
@@ -115,8 +133,9 @@ class Circuit {
     // Exactly one of the two channels is set.
     std::unique_ptr<SisChannel> sis;
     std::unique_ptr<GateChannel> mis;
-    // Simulation state (fixed arity <= 2, no heap-allocated bitfield):
-    std::array<bool, 2> in_values{};
+    // Simulation state (fixed arity <= kMaxGateArity, no heap-allocated
+    // bitfield):
+    std::array<bool, kMaxGateArity> in_values{};
     bool zero_time_value = false;  // boolean gate output (pre-channel)
   };
 

@@ -1,4 +1,4 @@
-#include "sim/hybrid_nor_channel.hpp"
+#include "sim/hybrid_gate_channel.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -8,41 +8,47 @@
 
 namespace charlie::sim {
 
-HybridNorChannel::HybridNorChannel(const core::NorParams& params)
-    : HybridNorChannel(core::NorModeTables::make(params)) {}
+HybridGateChannel::HybridGateChannel(const core::GateParams& params)
+    : HybridGateChannel(core::GateModeTables::make(params)) {}
 
-HybridNorChannel::HybridNorChannel(
-    std::shared_ptr<const core::NorModeTables> tables)
+HybridGateChannel::HybridGateChannel(
+    std::shared_ptr<const core::GateModeTables> tables)
     : tables_(std::move(tables)) {
   CHARLIE_ASSERT(tables_ != nullptr);
-  mt_ = &tables_->table(mode_);
+  mt_ = &tables_->state_table(state_);
   vth_ = tables_->vth();
   horizon_ = tables_->horizon();
-  delta_min_ = tables_->params().delta_min;
+  delta_min_ = tables_->delta_min();
+  n_inputs_ = tables_->n_inputs();
 }
 
-void HybridNorChannel::initialize(double t0, const std::vector<bool>& values) {
-  CHARLIE_ASSERT(values.size() == 2);
-  in_a_ = values[0];
-  in_b_ = values[1];
-  mode_ = core::mode_from_inputs(in_a_, in_b_);
-  mt_ = &tables_->table(mode_);
+void HybridGateChannel::initialize(double t0,
+                                   const std::vector<bool>& values) {
+  CHARLIE_ASSERT(values.size() == static_cast<std::size_t>(n_inputs_));
+  state_ = 0;
+  for (int i = 0; i < n_inputs_; ++i) {
+    state_ = core::gate_state_with(state_, i, values[i]);
+  }
+  mt_ = &tables_->state_table(state_);
   t_ref_ = t0;
-  // Steady state; the isolated V_N of (1,1) defaults to the paper's GND
-  // worst case.
+  // Steady state; an isolated internal stack node defaults to the
+  // worst-case history value (GND for NOR-like, VDD for NAND-like).
   x_ref_ = mt_->steady;
-  output_ = core::mode_output(mode_);
+  if (core::gate_mode_internal_frozen(tables_->gate_params(), state_)) {
+    x_ref_.x = tables_->default_hold();
+  }
+  output_ = tables_->output_value(state_);
   refresh_scalar();
   committed_.clear();
   live_.reset();
 }
 
-std::optional<PendingEvent> HybridNorChannel::pending() const {
+std::optional<PendingEvent> HybridGateChannel::pending() const {
   if (!committed_.empty()) return committed_.front();
   return live_;
 }
 
-ode::Vec2 HybridNorChannel::state_at(double t) const {
+ode::Vec2 HybridGateChannel::state_at(double t) const {
   CHARLIE_ASSERT(t >= t_ref_ - 1e-18);
   if (t <= t_ref_) return x_ref_;
   const double tau = t - t_ref_;
@@ -55,7 +61,7 @@ ode::Vec2 HybridNorChannel::state_at(double t) const {
   return mt.ode.state_at(tau, x_ref_);
 }
 
-void HybridNorChannel::refresh_scalar() {
+void HybridGateChannel::refresh_scalar() {
   const core::ModeTable& mt = *mt_;
   scalar_.valid = mt.scalar_valid;
   if (!mt.scalar_valid) return;  // defective/complex: use the generic scan
@@ -79,13 +85,13 @@ void HybridNorChannel::refresh_scalar() {
   scalar_.l2 = mt.l2;
 }
 
-double HybridNorChannel::vo_scalar(double tau) const {
+double HybridGateChannel::vo_scalar(double tau) const {
   return scalar_.d + scalar_.a1 * std::exp(scalar_.l1 * tau) +
          scalar_.a2 * std::exp(scalar_.l2 * tau);
 }
 
-double HybridNorChannel::solve_crossing(double lo, double hi, double flo,
-                                        double seed) const {
+double HybridGateChannel::solve_crossing(double lo, double hi, double flo,
+                                         double seed) const {
   const double vth = vth_;
   double a = lo;
   double b = hi;
@@ -120,7 +126,7 @@ double HybridNorChannel::solve_crossing(double lo, double hi, double flo,
   return fit::brent_root(f, a, b);
 }
 
-std::optional<PendingEvent> HybridNorChannel::next_crossing(
+std::optional<PendingEvent> HybridGateChannel::next_crossing(
     double t_from) const {
   if (!scalar_.valid) return next_crossing_scan(t_from);
 
@@ -234,7 +240,7 @@ std::optional<PendingEvent> HybridNorChannel::next_crossing(
   return std::nullopt;
 }
 
-std::optional<PendingEvent> HybridNorChannel::next_crossing_scan(
+std::optional<PendingEvent> HybridGateChannel::next_crossing_scan(
     double t_from) const {
   const double vth = vth_;
   const double horizon = horizon_;
@@ -264,8 +270,8 @@ std::optional<PendingEvent> HybridNorChannel::next_crossing_scan(
   return std::nullopt;
 }
 
-void HybridNorChannel::on_input(double t, int port, bool value) {
-  CHARLIE_ASSERT(port == 0 || port == 1);
+void HybridGateChannel::on_input(double t, int port, bool value) {
+  CHARLIE_ASSERT(port >= 0 && port < n_inputs_);
   const double te = t + delta_min_;  // pure delay defers the switch
   CHARLIE_ASSERT_MSG(te >= t_ref_ - 1e-18,
                      "hybrid channel: out-of-order input");
@@ -294,19 +300,14 @@ void HybridNorChannel::on_input(double t, int port, bool value) {
   // Evolve the analog state to the switch instant, then change mode.
   x_ref_ = state_at(te);
   t_ref_ = te;
-  if (port == 0) {
-    in_a_ = value;
-  } else {
-    in_b_ = value;
-  }
-  mode_ = core::mode_from_inputs(in_a_, in_b_);
-  mt_ = &tables_->table(mode_);
+  state_ = core::gate_state_with(state_, port, value);
+  mt_ = &tables_->state_table(state_);
   refresh_scalar();
 
   live_ = next_crossing(search_from);
 }
 
-void HybridNorChannel::on_fire(const PendingEvent& fired) {
+void HybridGateChannel::on_fire(const PendingEvent& fired) {
   output_ = fired.value;
   if (!committed_.empty()) {
     // Desync between the engine's queue and the channel's committed list

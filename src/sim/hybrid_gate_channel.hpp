@@ -1,0 +1,107 @@
+// The paper's contribution generalized to N inputs: a MIS-aware delay
+// channel for series/parallel CMOS gates (NOR2/NOR3/NAND2/NAND3/...),
+// driven by the 2^N-mode hybrid ODE model.
+//
+// The channel integrates the exact closed-form mode trajectories of
+// (V_int, V_O). Every input threshold crossing switches the mode after the
+// pure delay delta_min; output events are V_O = VDD/2 crossings of the
+// resulting piecewise-exponential waveform. Cancellation (glitch
+// suppression) follows automatically: if a mode switch makes a pending
+// crossing unreachable, it simply never happens.
+//
+// Unlike single-input channels, this channel sees *which* input switched
+// and *when*, so all the MIS behaviour of Sections III-IV -- speed-up for
+// near-simultaneous switching on the parallel network, the internal-node
+// history effect of the series stack -- carries over to trace simulation
+// for every arity.
+//
+// All mode-level math (ODEs, spectra, projector rows, steady states) is
+// precomputed once per GateParams in a core::GateModeTables that many
+// channel instances share; the per-event work is a handful of multiply-adds
+// plus a Newton crossing solve.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/gate_mode_tables.hpp"
+#include "sim/channel.hpp"
+
+namespace charlie::sim {
+
+class HybridGateChannel : public GateChannel {
+ public:
+  /// Builds a private mode table. For many instances of the same cell,
+  /// precompute one table and use the sharing constructor instead.
+  explicit HybridGateChannel(const core::GateParams& params);
+
+  /// Shares an immutable mode table across channel instances.
+  explicit HybridGateChannel(
+      std::shared_ptr<const core::GateModeTables> tables);
+
+  int n_inputs() const override { return n_inputs_; }
+  void initialize(double t0, const std::vector<bool>& values) override;
+  void on_input(double t, int port, bool value) override;
+  void on_fire(const PendingEvent& fired) override;
+  std::optional<PendingEvent> pending() const override;
+  bool initial_output() const override { return output_; }
+
+  /// Current analog state (V_int, V_O) at time t >= last event time.
+  ode::Vec2 state_at(double t) const;
+
+  /// Current input state (bit i = logic level of input i, post pure delay).
+  core::GateState input_state() const { return state_; }
+
+  const std::shared_ptr<const core::GateModeTables>& gate_tables() const {
+    return tables_;
+  }
+
+ private:
+  std::optional<PendingEvent> next_crossing(double t_from) const;
+  std::optional<PendingEvent> next_crossing_scan(double t_from) const;
+
+  // Root of vo_scalar(tau) = vth inside the sign-change bracket [lo, hi],
+  // where flo = vo_scalar(lo) - vth is already known: safeguarded Newton on
+  // the two-exponential form (analytic derivative, bisection fallback step)
+  // started from `seed`, Brent only if Newton fails to converge.
+  double solve_crossing(double lo, double hi, double flo, double seed) const;
+
+  // Scalar expansion of the output voltage on the current segment:
+  //   V_O(t_ref_ + tau) = d + a1 e^{l1 tau} + a2 e^{l2 tau}.
+  // A two-exponential-plus-constant has at most one interior extremum and
+  // at most two threshold crossings, so the crossing search reduces to a
+  // handful of evaluations instead of a linear scan (hot path for
+  // event-driven simulation). The mode-constant pieces (l1, l2, projector
+  // row, particular solution) come precomputed from the shared table; only
+  // the amplitudes depend on the segment's entry state.
+  struct ScalarVo {
+    bool valid = false;  // false: fall back to the generic scan
+    double d = 0.0;
+    double a1 = 0.0;
+    double l1 = 0.0;
+    double a2 = 0.0;
+    double l2 = 0.0;
+  };
+  void refresh_scalar();
+  double vo_scalar(double tau) const;
+
+  std::shared_ptr<const core::GateModeTables> tables_;
+  const core::ModeTable* mt_ = nullptr;  // current mode's table entry
+  // Cached table scalars, read on every event:
+  double vth_ = 0.0;
+  double horizon_ = 0.0;
+  double delta_min_ = 0.0;
+  int n_inputs_ = 0;
+  core::GateState state_ = 0;  // logical input levels (post pure delay)
+  ScalarVo scalar_{};
+  double t_ref_ = 0.0;   // time of the state snapshot
+  ode::Vec2 x_ref_{};    // (V_int, V_O) at t_ref_
+  bool output_ = false;
+  // Crossings that precede the effective time of the latest input are
+  // physically decided and can no longer be cancelled; the live crossing
+  // of the current mode can. See on_input.
+  std::deque<PendingEvent> committed_;
+  std::optional<PendingEvent> live_;
+};
+
+}  // namespace charlie::sim

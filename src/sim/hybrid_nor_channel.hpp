@@ -1,105 +1,47 @@
-// The paper's contribution as a simulation channel: a two-input, MIS-aware
-// delay channel for a NOR gate, driven by the four-mode hybrid ODE model.
+// The paper's two-input, MIS-aware NOR delay channel, as the NOR2 instance
+// of the generalized sim::HybridGateChannel.
 //
-// The channel integrates the exact closed-form mode trajectories of
-// (V_N, V_O). Every input threshold crossing switches the mode after the
-// pure delay delta_min; output events are V_O = VDD/2 crossings of the
-// resulting piecewise-exponential waveform. Cancellation (glitch
-// suppression) follows automatically: if a mode switch makes a pending
-// crossing unreachable, it simply never happens.
-//
-// Unlike the single-input Exp-Channel, this channel sees *which* input
-// switched and *when*, so all the MIS behaviour of Sections III-IV --
-// speed-up for near-simultaneous rising inputs, the V_N history effect --
-// carries over to trace simulation.
-//
-// All mode-level math (ODEs, spectra, projector rows, steady states) is
-// precomputed once per NorParams in a core::NorModeTables that many channel
-// instances share; the per-event work is a handful of multiply-adds plus a
-// Newton crossing solve.
+// All crossing machinery (two-exponential scalar expansion, Newton solve
+// with Brent fallback, committed/live event split) lives in the base class;
+// this subclass only pins the arity to 2, keeps the NorParams-based
+// constructors, and preserves the Mode-typed accessors existing callers and
+// tests use.
 #pragma once
 
-#include <deque>
 #include <memory>
 
 #include "core/mode_tables.hpp"
 #include "core/modes.hpp"
 #include "core/nor_params.hpp"
-#include "sim/channel.hpp"
+#include "sim/hybrid_gate_channel.hpp"
 
 namespace charlie::sim {
 
-class HybridNorChannel final : public GateChannel {
+class HybridNorChannel final : public HybridGateChannel {
  public:
   /// Builds a private mode table. For many instances of the same cell,
   /// precompute one table and use the sharing constructor instead.
-  explicit HybridNorChannel(const core::NorParams& params);
+  explicit HybridNorChannel(const core::NorParams& params)
+      : HybridNorChannel(core::NorModeTables::make(params)) {}
 
   /// Shares an immutable mode table across channel instances.
   explicit HybridNorChannel(
-      std::shared_ptr<const core::NorModeTables> tables);
+      std::shared_ptr<const core::NorModeTables> tables)
+      : HybridGateChannel(
+            std::shared_ptr<const core::GateModeTables>(tables)),
+        nor_tables_(std::move(tables)) {}
 
-  int n_inputs() const override { return 2; }
-  void initialize(double t0, const std::vector<bool>& values) override;
-  void on_input(double t, int port, bool value) override;
-  void on_fire(const PendingEvent& fired) override;
-  std::optional<PendingEvent> pending() const override;
-  bool initial_output() const override { return output_; }
-
-  /// Current analog state (V_N, V_O) at time t >= last event time.
-  ode::Vec2 state_at(double t) const;
-  core::Mode mode() const { return mode_; }
+  core::Mode mode() const {
+    const core::GateState s = input_state();
+    return core::mode_from_inputs(core::gate_state_input(s, 0),
+                                  core::gate_state_input(s, 1));
+  }
   const std::shared_ptr<const core::NorModeTables>& tables() const {
-    return tables_;
+    return nor_tables_;
   }
 
  private:
-  std::optional<PendingEvent> next_crossing(double t_from) const;
-  std::optional<PendingEvent> next_crossing_scan(double t_from) const;
-
-  // Root of vo_scalar(tau) = vth inside the sign-change bracket [lo, hi],
-  // where flo = vo_scalar(lo) - vth is already known: safeguarded Newton on
-  // the two-exponential form (analytic derivative, bisection fallback step)
-  // started from `seed`, Brent only if Newton fails to converge.
-  double solve_crossing(double lo, double hi, double flo, double seed) const;
-
-  // Scalar expansion of the output voltage on the current segment:
-  //   V_O(t_ref_ + tau) = d + a1 e^{l1 tau} + a2 e^{l2 tau}.
-  // A two-exponential-plus-constant has at most one interior extremum and
-  // at most two threshold crossings, so the crossing search reduces to a
-  // handful of evaluations instead of a linear scan (hot path for
-  // event-driven simulation). The mode-constant pieces (l1, l2, projector
-  // row, particular solution) come precomputed from the shared table; only
-  // the amplitudes depend on the segment's entry state.
-  struct ScalarVo {
-    bool valid = false;  // false: fall back to the generic scan
-    double d = 0.0;
-    double a1 = 0.0;
-    double l1 = 0.0;
-    double a2 = 0.0;
-    double l2 = 0.0;
-  };
-  void refresh_scalar();
-  double vo_scalar(double tau) const;
-
-  std::shared_ptr<const core::NorModeTables> tables_;
-  const core::ModeTable* mt_ = nullptr;  // current mode's table entry
-  // Cached table scalars, read on every event:
-  double vth_ = 0.0;
-  double horizon_ = 0.0;
-  double delta_min_ = 0.0;
-  core::Mode mode_ = core::Mode::kS00;
-  ScalarVo scalar_{};
-  bool in_a_ = false;       // logical input values (post pure delay)
-  bool in_b_ = false;
-  double t_ref_ = 0.0;      // time of the state snapshot
-  ode::Vec2 x_ref_{};       // (V_N, V_O) at t_ref_
-  bool output_ = false;
-  // Crossings that precede the effective time of the latest input are
-  // physically decided and can no longer be cancelled; the live crossing
-  // of the current mode can. See on_input.
-  std::deque<PendingEvent> committed_;
-  std::optional<PendingEvent> live_;
+  std::shared_ptr<const core::NorModeTables> nor_tables_;
 };
 
 }  // namespace charlie::sim

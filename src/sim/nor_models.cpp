@@ -4,56 +4,14 @@
 
 namespace charlie::sim {
 
-SisNorGate::SisNorGate(std::unique_ptr<SisChannel> channel)
-    : channel_(std::move(channel)) {
-  CHARLIE_ASSERT(channel_ != nullptr);
-}
-
-void SisNorGate::initialize(double t0, const std::vector<bool>& values) {
-  CHARLIE_ASSERT(values.size() == 2);
-  in_a_ = values[0];
-  in_b_ = values[1];
-  nor_value_ = !(in_a_ || in_b_);
-  channel_->initialize(t0, nor_value_);
-}
-
-bool SisNorGate::initial_output() const { return channel_->initial_output(); }
-
-std::optional<PendingEvent> SisNorGate::pending() const {
-  return channel_->pending();
-}
-
-void SisNorGate::on_input(double t, int port, bool value) {
-  CHARLIE_ASSERT(port == 0 || port == 1);
-  if (port == 0) {
-    in_a_ = value;
-  } else {
-    in_b_ = value;
-  }
-  const bool nor_new = !(in_a_ || in_b_);
-  if (nor_new == nor_value_) {
-    // The zero-time gate output is unchanged (the other input still holds
-    // it); nothing reaches the channel.
-    return;
-  }
-  nor_value_ = nor_new;
-  channel_->on_input(t, nor_new);
-}
-
-void SisNorGate::on_fire(const PendingEvent& fired) {
-  channel_->on_fire(fired);
-}
-
 std::unique_ptr<GateChannel> make_inertial_nor(const SisNorDelays& delays) {
-  return std::make_unique<SisNorGate>(
-      std::make_unique<InertialChannel>(delays.rise, delays.fall));
+  return make_inertial_gate(core::GateTopology::kNorLike, 2,
+                            {delays.rise, delays.fall});
 }
 
 std::unique_ptr<GateChannel> make_pure_nor(const SisNorDelays& delays) {
-  // A pure delay must be direction-independent to preserve ordering; use
-  // the mean of the two directions.
-  const double d = 0.5 * (delays.rise + delays.fall);
-  return std::make_unique<SisNorGate>(std::make_unique<PureDelayChannel>(d));
+  return make_pure_gate(core::GateTopology::kNorLike, 2,
+                        {delays.rise, delays.fall});
 }
 
 std::unique_ptr<GateChannel> make_exp_nor(const SisNorDelays& delays,

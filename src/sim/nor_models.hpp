@@ -15,29 +15,19 @@
 #include "core/nor_params.hpp"
 #include "sim/channel.hpp"
 #include "sim/exp_channel.hpp"
+#include "sim/gate_models.hpp"
 #include "sim/inertial.hpp"
 #include "sim/pure_delay.hpp"
 #include "sim/sumexp_channel.hpp"
 
 namespace charlie::sim {
 
-/// Zero-time boolean NOR followed by an owned SIS output channel.
-class SisNorGate final : public GateChannel {
+/// Zero-time boolean NOR followed by an owned SIS output channel: the
+/// 2-input NOR instance of the generalized SisLogicGate.
+class SisNorGate final : public SisLogicGate {
  public:
-  explicit SisNorGate(std::unique_ptr<SisChannel> channel);
-
-  int n_inputs() const override { return 2; }
-  void initialize(double t0, const std::vector<bool>& values) override;
-  void on_input(double t, int port, bool value) override;
-  void on_fire(const PendingEvent& fired) override;
-  std::optional<PendingEvent> pending() const override;
-  bool initial_output() const override;
-
- private:
-  std::unique_ptr<SisChannel> channel_;
-  bool in_a_ = false;
-  bool in_b_ = false;
-  bool nor_value_ = true;
+  explicit SisNorGate(std::unique_ptr<SisChannel> channel)
+      : SisLogicGate(core::GateTopology::kNorLike, 2, std::move(channel)) {}
 };
 
 /// Gate-delay figures used to parametrize the SIS baselines. Following the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -15,33 +16,38 @@ struct InputEvent {
   bool value;
 };
 
-}  // namespace
-
-waveform::DigitalTrace run_gate_channel(GateChannel& channel,
-                                        const waveform::DigitalTrace& a,
-                                        const waveform::DigitalTrace& b,
-                                        double t_begin, double t_end) {
+// Shared implementation over trace pointers, so the two-input convenience
+// overload never copies its (potentially long) traces.
+waveform::DigitalTrace run_gate_channel_impl(
+    GateChannel& channel,
+    std::span<const waveform::DigitalTrace* const> inputs, double t_begin,
+    double t_end) {
   CHARLIE_ASSERT(t_end > t_begin);
-  CHARLIE_ASSERT(channel.n_inputs() == 2);
+  CHARLIE_ASSERT(channel.n_inputs() == static_cast<int>(inputs.size()));
 
-  // Merge the two input traces into one chronological event list.
+  // Merge the input traces into one chronological event list.
+  std::size_t total = 0;
+  for (const auto* trace : inputs) total += trace->n_transitions();
   std::vector<InputEvent> events;
-  events.reserve(a.n_transitions() + b.n_transitions());
-  for (std::size_t i = 0; i < a.n_transitions(); ++i) {
-    const double t = a.transitions()[i];
-    if (t > t_begin && t < t_end) events.push_back({t, 0, a.is_rising(i)});
-  }
-  for (std::size_t i = 0; i < b.n_transitions(); ++i) {
-    const double t = b.transitions()[i];
-    if (t > t_begin && t < t_end) events.push_back({t, 1, b.is_rising(i)});
+  events.reserve(total);
+  for (std::size_t port = 0; port < inputs.size(); ++port) {
+    const auto& trace = *inputs[port];
+    for (std::size_t i = 0; i < trace.n_transitions(); ++i) {
+      const double t = trace.transitions()[i];
+      if (t > t_begin && t < t_end) {
+        events.push_back({t, static_cast<int>(port), trace.is_rising(i)});
+      }
+    }
   }
   std::stable_sort(events.begin(), events.end(),
                    [](const InputEvent& x, const InputEvent& y) {
                      return x.t < y.t;
                    });
 
-  channel.initialize(t_begin,
-                     {a.value_at(t_begin), b.value_at(t_begin)});
+  std::vector<bool> initial;
+  initial.reserve(inputs.size());
+  for (const auto* trace : inputs) initial.push_back(trace->value_at(t_begin));
+  channel.initialize(t_begin, initial);
   waveform::DigitalTrace out(channel.initial_output(), {});
   bool out_value = channel.initial_output();
   double out_last_t = t_begin;
@@ -74,6 +80,25 @@ waveform::DigitalTrace run_gate_channel(GateChannel& channel,
     fire(*pending);
   }
   return out;
+}
+
+}  // namespace
+
+waveform::DigitalTrace run_gate_channel(
+    GateChannel& channel, std::span<const waveform::DigitalTrace> inputs,
+    double t_begin, double t_end) {
+  std::vector<const waveform::DigitalTrace*> refs;
+  refs.reserve(inputs.size());
+  for (const auto& trace : inputs) refs.push_back(&trace);
+  return run_gate_channel_impl(channel, refs, t_begin, t_end);
+}
+
+waveform::DigitalTrace run_gate_channel(GateChannel& channel,
+                                        const waveform::DigitalTrace& a,
+                                        const waveform::DigitalTrace& b,
+                                        double t_begin, double t_end) {
+  const waveform::DigitalTrace* traces[] = {&a, &b};
+  return run_gate_channel_impl(channel, traces, t_begin, t_end);
 }
 
 }  // namespace charlie::sim

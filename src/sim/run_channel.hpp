@@ -1,15 +1,22 @@
-// Trace-level harness: drive a two-input gate channel with digital input
+// Trace-level harness: drive a multi-input gate channel with digital input
 // traces and collect the output trace.
 #pragma once
+
+#include <span>
 
 #include "sim/channel.hpp"
 #include "waveform/digital_trace.hpp"
 
 namespace charlie::sim {
 
-/// Simulate `channel` on inputs (a, b) over [t_begin, t_end]. The channel
-/// is initialized to the inputs' initial values at t_begin; output events
-/// after t_end are discarded.
+/// Simulate `channel` on one input trace per port over [t_begin, t_end].
+/// The channel is initialized to the inputs' initial values at t_begin;
+/// output events after t_end are discarded.
+waveform::DigitalTrace run_gate_channel(
+    GateChannel& channel, std::span<const waveform::DigitalTrace> inputs,
+    double t_begin, double t_end);
+
+/// Two-input convenience overload.
 waveform::DigitalTrace run_gate_channel(GateChannel& channel,
                                         const waveform::DigitalTrace& a,
                                         const waveform::DigitalTrace& b,

@@ -83,4 +83,143 @@ Nand2Nodes build_nand2(Netlist& nl, const Technology& tech,
   return nodes;
 }
 
+Nor3Nodes build_nor3(Netlist& nl, const Technology& tech,
+                     const std::string& prefix) {
+  tech.validate();
+  Nor3Nodes nodes;
+  nodes.vdd = nl.node("vdd");
+  nodes.a = nl.node(prefix + "a");
+  nodes.b = nl.node(prefix + "b");
+  nodes.c = nl.node(prefix + "c");
+  nodes.n1 = nl.node(prefix + "n1");
+  nodes.n2 = nl.node(prefix + "n2");
+  nodes.o = nl.node(prefix + "o");
+
+  // Series pull-up VDD -T1(A)- n1 -T2(B)- n2 -T3(C)- O.
+  nl.add_pmos(nodes.n1, nodes.a, nodes.vdd, tech.pmos);
+  nl.add_pmos(nodes.n2, nodes.b, nodes.n1, tech.pmos);
+  nl.add_pmos(nodes.o, nodes.c, nodes.n2, tech.pmos);
+  // Parallel pull-down.
+  nl.add_nmos(nodes.o, nodes.a, kGround, tech.nmos);
+  nl.add_nmos(nodes.o, nodes.b, kGround, tech.nmos);
+  nl.add_nmos(nodes.o, nodes.c, kGround, tech.nmos);
+
+  nl.add_capacitor(nodes.n1, kGround, tech.c_internal);
+  nl.add_capacitor(nodes.n2, kGround, tech.c_internal);
+  nl.add_capacitor(nodes.o, kGround, tech.c_output);
+
+  // Gate-drain coupling of every device, gate-source of the stack top and
+  // the nMOS row (same pattern as build_nor2).
+  if (tech.c_gd > 0.0) {
+    nl.add_capacitor(nodes.a, nodes.n1, tech.c_gd);
+    nl.add_capacitor(nodes.b, nodes.n2, tech.c_gd);
+    nl.add_capacitor(nodes.c, nodes.o, tech.c_gd);
+    nl.add_capacitor(nodes.a, nodes.o, tech.c_gd);
+    nl.add_capacitor(nodes.b, nodes.o, tech.c_gd);
+    nl.add_capacitor(nodes.c, nodes.o, tech.c_gd);
+  }
+  if (tech.c_gs > 0.0) {
+    nl.add_capacitor(nodes.a, nodes.vdd, tech.c_gs);
+    nl.add_capacitor(nodes.b, nodes.n1, tech.c_gs);
+    nl.add_capacitor(nodes.c, nodes.n2, tech.c_gs);
+    nl.add_capacitor(nodes.a, kGround, tech.c_gs);
+    nl.add_capacitor(nodes.b, kGround, tech.c_gs);
+    nl.add_capacitor(nodes.c, kGround, tech.c_gs);
+  }
+  return nodes;
+}
+
+Nand3Nodes build_nand3(Netlist& nl, const Technology& tech,
+                       const std::string& prefix) {
+  tech.validate();
+  Nand3Nodes nodes;
+  nodes.vdd = nl.node("vdd");
+  nodes.a = nl.node(prefix + "a");
+  nodes.b = nl.node(prefix + "b");
+  nodes.c = nl.node(prefix + "c");
+  nodes.m1 = nl.node(prefix + "m1");
+  nodes.m2 = nl.node(prefix + "m2");
+  nodes.o = nl.node(prefix + "o");
+
+  // Parallel pull-up, series pull-down O -T_A- m1 -T_B- m2 -T_C- GND.
+  nl.add_pmos(nodes.o, nodes.a, nodes.vdd, tech.pmos);
+  nl.add_pmos(nodes.o, nodes.b, nodes.vdd, tech.pmos);
+  nl.add_pmos(nodes.o, nodes.c, nodes.vdd, tech.pmos);
+  nl.add_nmos(nodes.o, nodes.a, nodes.m1, tech.nmos);
+  nl.add_nmos(nodes.m1, nodes.b, nodes.m2, tech.nmos);
+  nl.add_nmos(nodes.m2, nodes.c, kGround, tech.nmos);
+
+  nl.add_capacitor(nodes.m1, kGround, tech.c_internal);
+  nl.add_capacitor(nodes.m2, kGround, tech.c_internal);
+  nl.add_capacitor(nodes.o, kGround, tech.c_output);
+
+  // Gate-drain coupling per device (same pattern as build_nand2).
+  if (tech.c_gd > 0.0) {
+    nl.add_capacitor(nodes.a, nodes.o, 2.0 * tech.c_gd);
+    nl.add_capacitor(nodes.b, nodes.o, tech.c_gd);
+    nl.add_capacitor(nodes.c, nodes.o, tech.c_gd);
+    nl.add_capacitor(nodes.b, nodes.m1, tech.c_gd);
+    nl.add_capacitor(nodes.c, nodes.m2, tech.c_gd);
+  }
+  return nodes;
+}
+
+int cell_arity(CellKind kind) {
+  return (kind == CellKind::kNor3 || kind == CellKind::kNand3) ? 3 : 2;
+}
+
+bool cell_is_nand(CellKind kind) {
+  return kind == CellKind::kNand2 || kind == CellKind::kNand3;
+}
+
+std::string cell_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kNor2:
+      return "NOR2";
+    case CellKind::kNor3:
+      return "NOR3";
+    case CellKind::kNand2:
+      return "NAND2";
+    case CellKind::kNand3:
+      return "NAND3";
+  }
+  return "?";
+}
+
+GateCellNodes build_cell(Netlist& nl, const Technology& tech, CellKind kind,
+                         const std::string& prefix) {
+  GateCellNodes out;
+  switch (kind) {
+    case CellKind::kNor2: {
+      const Nor2Nodes n = build_nor2(nl, tech, prefix);
+      out.vdd = n.vdd;
+      out.inputs = {n.a, n.b};
+      out.o = n.o;
+      break;
+    }
+    case CellKind::kNor3: {
+      const Nor3Nodes n = build_nor3(nl, tech, prefix);
+      out.vdd = n.vdd;
+      out.inputs = {n.a, n.b, n.c};
+      out.o = n.o;
+      break;
+    }
+    case CellKind::kNand2: {
+      const Nand2Nodes n = build_nand2(nl, tech, prefix);
+      out.vdd = n.vdd;
+      out.inputs = {n.a, n.b};
+      out.o = n.o;
+      break;
+    }
+    case CellKind::kNand3: {
+      const Nand3Nodes n = build_nand3(nl, tech, prefix);
+      out.vdd = n.vdd;
+      out.inputs = {n.a, n.b, n.c};
+      out.o = n.o;
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace charlie::spice

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "spice/netlist.hpp"
 #include "spice/technology.hpp"
@@ -48,5 +49,60 @@ struct Nand2Nodes {
 /// NAND2 (dual of the NOR2: series nMOS, parallel pMOS).
 Nand2Nodes build_nand2(Netlist& netlist, const Technology& tech,
                        const std::string& prefix = "");
+
+struct Nor3Nodes {
+  NodeId vdd = 0;
+  NodeId a = 0;
+  NodeId b = 0;
+  NodeId c = 0;
+  NodeId n1 = 0;  // p-stack node between T1 (A) and T2 (B)
+  NodeId n2 = 0;  // p-stack node between T2 (B) and T3 (C)
+  NodeId o = 0;
+};
+
+/// NOR3: three series pMOS (A at VDD, C adjacent to the output) and three
+/// parallel nMOS, with parasitics on both internal stack nodes.
+Nor3Nodes build_nor3(Netlist& netlist, const Technology& tech,
+                     const std::string& prefix = "");
+
+struct Nand3Nodes {
+  NodeId vdd = 0;
+  NodeId a = 0;
+  NodeId b = 0;
+  NodeId c = 0;
+  NodeId m1 = 0;  // n-stack node between T_A (at the output) and T_B
+  NodeId m2 = 0;  // n-stack node between T_B and T_C (at ground)
+  NodeId o = 0;
+};
+
+/// NAND3 (dual of the NOR3: series nMOS with A adjacent to the output,
+/// parallel pMOS).
+Nand3Nodes build_nand3(Netlist& netlist, const Technology& tech,
+                       const std::string& prefix = "");
+
+/// The standard cells the multi-input characterization and accuracy
+/// pipelines know how to build and drive.
+enum class CellKind {
+  kNor2,
+  kNor3,
+  kNand2,
+  kNand3,
+};
+
+int cell_arity(CellKind kind);
+bool cell_is_nand(CellKind kind);
+std::string cell_name(CellKind kind);
+
+/// Uniform view of any cell: input nodes in port order and the output.
+struct GateCellNodes {
+  NodeId vdd = 0;
+  std::vector<NodeId> inputs;
+  NodeId o = 0;
+};
+
+/// Instantiate `kind` into `netlist`; input nodes are named `<prefix>a`,
+/// `<prefix>b` (, `<prefix>c`), the output `<prefix>o`.
+GateCellNodes build_cell(Netlist& netlist, const Technology& tech,
+                         CellKind kind, const std::string& prefix = "");
 
 }  // namespace charlie::spice

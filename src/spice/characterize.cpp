@@ -112,6 +112,134 @@ MisMeasurement measure_rising_delay(const Technology& tech, double delta,
   return m;
 }
 
+GateTransientResult run_gate_cell(const Technology& tech, CellKind cell,
+                                  std::span<const waveform::DigitalTrace> in,
+                                  double t_end,
+                                  const TransientOptions& transient_options) {
+  tech.validate();
+  CHARLIE_ASSERT(static_cast<int>(in.size()) == cell_arity(cell));
+  Netlist nl;
+  const GateCellNodes nodes = build_cell(nl, tech, cell);
+
+  waveform::EdgeParams edges;
+  edges.v_low = 0.0;
+  edges.v_high = tech.vdd;
+  edges.rise_time = tech.input_rise_time;
+
+  nl.add_vsource(nodes.vdd, kGround, tech.vdd);
+  std::vector<std::string> record;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    nl.add_vsource_pwl(
+        nodes.inputs[i], kGround,
+        waveform::slew_limited_waveform(in[i], edges, 0.0, t_end));
+    record.push_back(nl.node_name(nodes.inputs[i]));
+  }
+  const std::string out_name = nl.node_name(nodes.o);
+  record.push_back(out_name);
+
+  TransientOptions opts = transient_options;
+  opts.t_start = 0.0;
+  opts.t_end = t_end;
+  TransientResult tr = transient_analysis(nl, record, opts);
+
+  GateTransientResult result;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    result.vin.push_back(std::move(tr.waves.at(record[i])));
+  }
+  result.vo = std::move(tr.waves.at(out_name));
+  result.n_steps = tr.n_accepted;
+  return result;
+}
+
+GateSisTargets measure_gate_targets(const Technology& tech, CellKind cell,
+                                    const CharacterizeOptions& opts) {
+  const int n = cell_arity(cell);
+  const bool nand = cell_is_nand(cell);
+
+  // Conditioning ladder: staggered early edges that establish the resting
+  // input state and the worst-case internal-stack history (charged for
+  // NAND-like, drained for NOR-like) well before the measured edge.
+  auto t_cond = [&](int k) { return (0.20 + 0.08 * k) * opts.settle_time; };
+  const double t_drop = t_cond(n + 1);  // release rung for NAND fall_all
+  const double t_ref = t_drop + opts.settle_time;
+
+  auto measure = [&](const std::vector<waveform::DigitalTrace>& traces,
+                     bool rising) {
+    const double t_end = t_ref + opts.tail_time;
+    const auto sim = run_gate_cell(tech, cell, traces, t_end, opts.transient);
+    return output_crossing(sim.vo, tech.vth(), rising,
+                           t_ref - tech.input_rise_time) -
+           t_ref;
+  };
+
+  GateSisTargets targets;
+  for (int i = 0; i < n; ++i) {
+    {
+      // fall[i]: resting inputs (high for NAND, low for NOR), input i rises
+      // at t_ref.
+      std::vector<waveform::DigitalTrace> traces;
+      for (int j = 0; j < n; ++j) {
+        waveform::DigitalTrace tr(false, {});
+        if (j == i) {
+          tr.append_transition(t_ref);
+        } else if (nand) {
+          tr.append_transition(t_cond(j));
+        }
+        traces.push_back(std::move(tr));
+      }
+      targets.fall.push_back(measure(traces, /*rising=*/false));
+    }
+    {
+      // rise[i]: input i holds the output low (alone for NOR, with the full
+      // stack for NAND) and falls at t_ref.
+      std::vector<waveform::DigitalTrace> traces;
+      for (int j = 0; j < n; ++j) {
+        waveform::DigitalTrace tr(false, {});
+        if (j == i) {
+          tr.append_transition(nand ? t_cond(j) : t_cond(0));
+          tr.append_transition(t_ref);
+        } else if (nand) {
+          tr.append_transition(t_cond(j));
+        }
+        traces.push_back(std::move(tr));
+      }
+      targets.rise.push_back(measure(traces, /*rising=*/true));
+    }
+  }
+  {
+    // fall_all: every input rises at t_ref. For NAND cells the stack is
+    // preconditioned charged (its worst case): inputs 0..n-2 pulse high
+    // early, connecting the internal nodes to the then-high output, and
+    // release before the measured edge.
+    std::vector<waveform::DigitalTrace> traces;
+    for (int j = 0; j < n; ++j) {
+      waveform::DigitalTrace tr(false, {});
+      if (nand && j < n - 1) {
+        tr.append_transition(t_cond(j));
+        tr.append_transition(t_drop);
+      }
+      tr.append_transition(t_ref);
+      traces.push_back(std::move(tr));
+    }
+    targets.fall_all = measure(traces, /*rising=*/false);
+  }
+  {
+    // rise_all: every input falls at t_ref from all-high. For NOR cells the
+    // stack is preconditioned drained (its worst case): inputs 0..n-2 rise
+    // first so the output-adjacent device empties the stack node into the
+    // already-low output before input n-1 isolates it.
+    std::vector<waveform::DigitalTrace> traces;
+    for (int j = 0; j < n; ++j) {
+      waveform::DigitalTrace tr(false, {});
+      tr.append_transition(j == n - 1 && !nand ? t_drop : t_cond(j));
+      tr.append_transition(t_ref);
+      traces.push_back(std::move(tr));
+    }
+    targets.rise_all = measure(traces, /*rising=*/true);
+  }
+  return targets;
+}
+
 SubstrateCharacteristics measure_characteristics(
     const Technology& tech, double delta_large,
     const CharacterizeOptions& opts) {

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "spice/cells.hpp"
 #include "spice/transient.hpp"
@@ -61,6 +63,32 @@ Nor2TransientResult run_nor2(const Technology& tech,
                              const waveform::DigitalTrace& a,
                              const waveform::DigitalTrace& b, double t_end,
                              const TransientOptions& transient_options);
+
+/// Run any supported cell (spice::CellKind) with arbitrary digital input
+/// traces and record the analog input and output waveforms.
+struct GateTransientResult {
+  std::vector<waveform::Waveform> vin;  // one per input, port order
+  waveform::Waveform vo;
+  long n_steps = 0;
+};
+GateTransientResult run_gate_cell(const Technology& tech, CellKind cell,
+                                  std::span<const waveform::DigitalTrace> in,
+                                  double t_end,
+                                  const TransientOptions& transient_options);
+
+/// Characteristic delays of a substrate cell for the generalized gate fit
+/// (core::fit_gate_params): per-input single-input-switching delays in both
+/// directions plus the two simultaneous-switching extremes, measured with
+/// worst-case internal-stack history. Delay convention as in the paper:
+/// output crossing minus the (last) input crossing.
+struct GateSisTargets {
+  std::vector<double> fall;  // per input, output falling
+  std::vector<double> rise;  // per input, output rising
+  double fall_all = 0.0;     // all inputs rise simultaneously
+  double rise_all = 0.0;     // all inputs fall simultaneously
+};
+GateSisTargets measure_gate_targets(const Technology& tech, CellKind cell,
+                                    const CharacterizeOptions& opts = {});
 
 /// The six characteristic Charlie delays of the substrate gate, measured
 /// at |Delta| = `delta_large` for the SIS values. Rising values use the

@@ -1,8 +1,9 @@
 #include "util/cli.hpp"
 
-#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
+#include "util/csv.hpp"
 #include "util/error.hpp"
 
 namespace charlie::util {
@@ -52,22 +53,21 @@ int Cli::get_int(const std::string& name, int fallback) {
   bool found = false;
   const std::string v = take_value(name, found);
   if (!found) return fallback;
-  try {
-    return std::stoi(v);
-  } catch (const std::exception&) {
-    throw ConfigError("invalid integer for " + name + ": " + v);
+  // Strict whole-field parse: "5x" is a typo, not 5 (std::stoi would
+  // silently accept the prefix).
+  const long value = parse_long_field(v, "invalid integer for " + name);
+  if (value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    throw ConfigError("integer out of range for " + name + ": " + v);
   }
+  return static_cast<int>(value);
 }
 
 double Cli::get_double(const std::string& name, double fallback) {
   bool found = false;
   const std::string v = take_value(name, found);
   if (!found) return fallback;
-  try {
-    return std::stod(v);
-  } catch (const std::exception&) {
-    throw ConfigError("invalid number for " + name + ": " + v);
-  }
+  return parse_double_field(v, "invalid number for " + name);
 }
 
 std::string Cli::get_string(const std::string& name,

@@ -1,11 +1,64 @@
 #include "util/csv.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 
 #include "util/error.hpp"
 
 namespace charlie::util {
+
+namespace {
+
+std::string trimmed(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void malformed(const std::string& context,
+                            const std::string& text, const char* why) {
+  throw ConfigError(context + ": " + why + ": \"" + text + "\"");
+}
+
+}  // namespace
+
+double parse_double_field(const std::string& text,
+                          const std::string& context) {
+  const std::string field = trimmed(text);
+  if (field.empty()) malformed(context, text, "empty numeric field");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size()) {
+    // strtod happily stops at the first non-numeric character; a partial
+    // parse means trailing garbage ("1.5abc") or malformed text ("1.2.3").
+    malformed(context, text, "malformed number");
+  }
+  if (errno == ERANGE) malformed(context, text, "number out of range");
+  if (!std::isfinite(value)) {
+    // strtod also consumes the literal tokens "nan"/"inf"/"infinity",
+    // which are not numbers in any data this library writes or reads.
+    malformed(context, text, "non-finite number");
+  }
+  return value;
+}
+
+long parse_long_field(const std::string& text, const std::string& context) {
+  const std::string field = trimmed(text);
+  if (field.empty()) malformed(context, text, "empty integer field");
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size()) {
+    malformed(context, text, "malformed integer");
+  }
+  if (errno == ERANGE) malformed(context, text, "integer out of range");
+  return value;
+}
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
     : path_(path), n_columns_(columns.size()) {
@@ -42,6 +95,54 @@ void CsvWriter::row_text(const std::vector<std::string>& values) {
     out_ << (i ? "," : "") << values[i];
   }
   out_ << '\n';
+}
+
+CsvData read_numeric_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ConfigError("cannot open CSV input file: " + path);
+  }
+  auto split = [](const std::string& line) {
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = line.find(',', start);
+      if (comma == std::string::npos) {
+        fields.push_back(line.substr(start));
+        return fields;
+      }
+      fields.push_back(line.substr(start, comma - start));
+      start = comma + 1;
+    }
+  };
+
+  CsvData data;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ConfigError(path + ": missing CSV header");
+  }
+  for (const std::string& name : split(line)) {
+    data.columns.push_back(trimmed(name));
+  }
+  long line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trimmed(line).empty()) continue;
+    const auto fields = split(line);
+    if (fields.size() != data.columns.size()) {
+      throw ConfigError(path + ":" + std::to_string(line_no) +
+                        ": expected " + std::to_string(data.columns.size()) +
+                        " fields, got " + std::to_string(fields.size()));
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const std::string& field : fields) {
+      row.push_back(
+          parse_double_field(field, path + ":" + std::to_string(line_no)));
+    }
+    data.rows.push_back(std::move(row));
+  }
+  return data;
 }
 
 std::string ensure_directory(const std::string& path) {

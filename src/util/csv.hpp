@@ -1,4 +1,6 @@
-// Minimal CSV writer used by benches and examples to dump figure data.
+// Minimal CSV writer/reader used by benches and examples to dump and
+// reload figure data, plus the strict numeric field parsing both the reader
+// and the CLI flag parser share.
 #pragma once
 
 #include <fstream>
@@ -6,6 +8,16 @@
 #include <vector>
 
 namespace charlie::util {
+
+/// Strict whole-field parse of a double: leading/trailing whitespace is
+/// tolerated, but the entire remaining field must be consumed -- trailing
+/// garbage after a valid number ("1.5abc", "3e", "1.2.3") is rejected with
+/// ConfigError, as are empty fields, overflow, and the non-finite literals
+/// ("nan", "inf"). `context` names the field in the error message.
+double parse_double_field(const std::string& text, const std::string& context);
+
+/// Strict whole-field parse of a base-10 integer (same rules).
+long parse_long_field(const std::string& text, const std::string& context);
 
 /// Writes rows of doubles with a header line. Files land wherever the caller
 /// points them (benches use ./bench_out). Throws ConfigError if the file
@@ -31,6 +43,18 @@ class CsvWriter {
   std::size_t n_columns_;
   std::ofstream out_;
 };
+
+/// A numeric CSV file read back into memory: the header row plus one
+/// vector of doubles per data row.
+struct CsvData {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Read a CSV written by CsvWriter (header + numeric rows). Every field is
+/// parsed strictly (parse_double_field); malformed fields, ragged rows, and
+/// a missing header throw ConfigError with the offending line number.
+CsvData read_numeric_csv(const std::string& path);
 
 /// Ensure a directory exists (mkdir -p semantics). Returns the path.
 std::string ensure_directory(const std::string& path);

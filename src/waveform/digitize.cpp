@@ -21,7 +21,10 @@ std::vector<Crossing> find_crossings(const Waveform& w, double threshold) {
     if (next_state == state) continue;
     double t_cross;
     if (v1 == v0) {
-      t_cross = s[i].t;  // flat segment ending on the far side (rare)
+      // Flat segment ending on the far side: the level change happened no
+      // later than the segment start (defensive; interpolation below covers
+      // every sloped segment).
+      t_cross = s[i - 1].t;
     } else {
       t_cross = s[i - 1].t + (threshold - v0) / (v1 - v0) *
                                  (s[i].t - s[i - 1].t);

@@ -45,6 +45,19 @@ TEST(Cli, InvalidNumberThrows) {
   EXPECT_THROW(cli2.get_double("--sigma", 0.0), ConfigError);
 }
 
+TEST(Cli, TrailingGarbageAfterNumberRejected) {
+  // std::stoi/stod would silently parse the "5"/"1.5" prefix; the strict
+  // parser treats a typo'd value as an error.
+  Cli cli = make_cli({"--reps", "5x"});
+  EXPECT_THROW(cli.get_int("--reps", 1), ConfigError);
+  Cli cli2 = make_cli({"--sigma", "1.5ps"});
+  EXPECT_THROW(cli2.get_double("--sigma", 0.0), ConfigError);
+  Cli cli3 = make_cli({"--reps", "1.5"});
+  EXPECT_THROW(cli3.get_int("--reps", 1), ConfigError);
+  Cli cli4 = make_cli({"--reps", "99999999999999999999"});
+  EXPECT_THROW(cli4.get_int("--reps", 1), ConfigError);
+}
+
 TEST(Cli, UnknownArgumentRejectedByFinish) {
   Cli cli = make_cli({"--tpyo"});
   EXPECT_THROW(cli.finish(), ConfigError);

@@ -45,6 +45,76 @@ TEST(CsvWriter, RejectsMismatchedRowWidth) {
   std::filesystem::remove_all("test_out");
 }
 
+TEST(CsvParse, StrictDoubleFieldAcceptsValidNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double_field("1.5", "ctx"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double_field("-3e-12", "ctx"), -3e-12);
+  EXPECT_DOUBLE_EQ(parse_double_field("  42 ", "ctx"), 42.0);  // trimmed
+  EXPECT_DOUBLE_EQ(parse_double_field("0x10", "ctx"), 16.0);   // C hex form
+}
+
+TEST(CsvParse, StrictDoubleFieldRejectsMalformedInput) {
+  // Trailing garbage after a valid prefix must be rejected -- a plain
+  // strtod/stod would silently accept "1.5abc" as 1.5.
+  EXPECT_THROW(parse_double_field("1.5abc", "ctx"), ConfigError);
+  EXPECT_THROW(parse_double_field("1.2.3", "ctx"), ConfigError);
+  EXPECT_THROW(parse_double_field("3e", "ctx"), ConfigError);
+  EXPECT_THROW(parse_double_field("", "ctx"), ConfigError);
+  EXPECT_THROW(parse_double_field("   ", "ctx"), ConfigError);
+  EXPECT_THROW(parse_double_field("12 34", "ctx"), ConfigError);
+  EXPECT_THROW(parse_double_field("1e99999", "ctx"), ConfigError);  // range
+  // strtod consumes these literals; the strict parser must not.
+  EXPECT_THROW(parse_double_field("nan", "ctx"), ConfigError);
+  EXPECT_THROW(parse_double_field("inf", "ctx"), ConfigError);
+  EXPECT_THROW(parse_double_field("-infinity", "ctx"), ConfigError);
+}
+
+TEST(CsvParse, StrictLongField) {
+  EXPECT_EQ(parse_long_field("-17", "ctx"), -17);
+  EXPECT_EQ(parse_long_field(" 8 ", "ctx"), 8);
+  EXPECT_THROW(parse_long_field("5x", "ctx"), ConfigError);
+  EXPECT_THROW(parse_long_field("1.5", "ctx"), ConfigError);
+  EXPECT_THROW(parse_long_field("", "ctx"), ConfigError);
+  EXPECT_THROW(parse_long_field("99999999999999999999", "ctx"), ConfigError);
+}
+
+TEST(CsvReader, RoundTripsWriterOutput) {
+  const std::string path = "test_out/csv_roundtrip.csv";
+  {
+    CsvWriter csv(path, {"delta_ps", "delay_ps"});
+    csv.row({-60.0, 37.9});
+    csv.row({0.0, 28.0});
+    csv.row({60.0, 55.25});
+  }
+  const CsvData data = read_numeric_csv(path);
+  ASSERT_EQ(data.columns.size(), 2u);
+  EXPECT_EQ(data.columns[0], "delta_ps");
+  EXPECT_EQ(data.columns[1], "delay_ps");
+  ASSERT_EQ(data.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(data.rows[0][0], -60.0);
+  EXPECT_DOUBLE_EQ(data.rows[2][1], 55.25);
+  std::filesystem::remove_all("test_out");
+}
+
+TEST(CsvReader, RejectsMalformedFilesWithClearErrors) {
+  ensure_directory("test_out");
+  const std::string path = "test_out/csv_bad.csv";
+  auto write = [&](const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  };
+  write("a,b\n1,2garbage\n");
+  EXPECT_THROW(read_numeric_csv(path), ConfigError);
+  write("a,b\n1\n");  // ragged row
+  EXPECT_THROW(read_numeric_csv(path), ConfigError);
+  write("");  // missing header
+  EXPECT_THROW(read_numeric_csv(path), ConfigError);
+  write("a,b\n1,2\n\n3,4\n");  // blank lines are tolerated
+  const CsvData data = read_numeric_csv(path);
+  EXPECT_EQ(data.rows.size(), 2u);
+  EXPECT_THROW(read_numeric_csv("test_out/does_not_exist.csv"), ConfigError);
+  std::filesystem::remove_all("test_out");
+}
+
 TEST(TextTable, AlignsColumns) {
   TextTable t({"name", "value"});
   t.add_row({std::string("x"), std::string("1")});

@@ -95,5 +95,98 @@ TEST(Digitize, AlternatingDirections) {
   }
 }
 
+TEST(Digitize, PlateauDepartureReportsFlatSegmentStart) {
+  // Regression for the flat-segment crossing time: a run of samples sitting
+  // exactly on the threshold that then departs must report the crossing at
+  // the *start* of the departing segment (where the held level last was),
+  // never at a later sample.
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 0.5);
+  w.append(2.0, 0.5);  // flat run exactly on the threshold
+  w.append(3.0, 0.5);
+  w.append(4.0, 0.0);  // departs downward
+  const auto crossings = find_crossings(w, 0.5);
+  ASSERT_EQ(crossings.size(), 1u);
+  EXPECT_FALSE(crossings[0].rising);
+  EXPECT_DOUBLE_EQ(crossings[0].t, 3.0);
+  // And the crossing stays inside its segment (the monotonicity clamp).
+  EXPECT_GE(crossings[0].t, 2.0);
+  EXPECT_LE(crossings[0].t, 4.0);
+}
+
+TEST(Digitize, SamplesExactlyOnThresholdHold) {
+  // The hold rule: a sample landing exactly on the threshold keeps the
+  // previous digital state in both directions.
+  Waveform rising;
+  rising.append(0.0, 0.0);
+  rising.append(1.0, 0.5);  // exactly on: still low
+  rising.append(2.0, 1.0);
+  const auto up = find_crossings(rising, 0.5);
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_TRUE(up[0].rising);
+  EXPECT_DOUBLE_EQ(up[0].t, 1.0);  // departs at the held sample
+
+  Waveform falling;
+  falling.append(0.0, 1.0);
+  falling.append(1.0, 0.5);  // exactly on: still high
+  falling.append(2.0, 0.0);
+  const auto down = find_crossings(falling, 0.5);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_FALSE(down[0].rising);
+  EXPECT_DOUBLE_EQ(down[0].t, 1.0);
+
+  // Dip to exactly the threshold and back: held, so no crossing at all.
+  Waveform dip;
+  dip.append(0.0, 1.0);
+  dip.append(1.0, 0.5);
+  dip.append(2.0, 1.0);
+  EXPECT_TRUE(find_crossings(dip, 0.5).empty());
+  const auto trace = digitize(dip, 0.5);
+  EXPECT_TRUE(trace.initial_value());
+  EXPECT_EQ(trace.n_transitions(), 0u);
+}
+
+TEST(Digitize, DuplicateCrossingTimestampsAreNudgedApart) {
+  // Two crossings interpolating to the same timestamp: digitize must keep
+  // the trace strictly increasing by nudging with nextafter.
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 0.5);   // reaches the threshold (held low)...
+  w.append(2.0, 1.0);   // ...crossing up at t = 1
+  w.append(3.0, 0.5);   // down-crossing interpolates to t = 3...
+  w.append(4.0, 0.4);   // ...resolved on departure at t = 3 again? No:
+  w.append(5.0, 1.0);   // and back up, crossing at some t in (4, 5).
+  const auto trace = digitize(w, 0.5);
+  ASSERT_GE(trace.n_transitions(), 2u);
+  const auto& ts = trace.transitions();
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    EXPECT_LT(ts[i - 1], ts[i]) << "transitions must strictly increase";
+  }
+}
+
+TEST(Digitize, NudgePathKeepsStrictMonotonicity) {
+  // Force the degenerate case deterministically: a spike whose peak sits
+  // one ulp above the threshold. The up-crossing interpolation factor
+  // (0.5 - (-3.5)) / (peak - (-3.5)) rounds to exactly 1.0 (the 1-ulp
+  // excess is far below half an ulp of 4.0), so the rising crossing lands
+  // exactly on the peak timestamp t = 2.0; the falling crossing's factor
+  // (~2.8e-17) vanishes against ulp(2.0), landing on 2.0 as well. digitize
+  // must nudge the second transition by exactly one representable step.
+  const double peak = std::nextafter(0.5, 1.0);
+  Waveform w;
+  w.append(1.0, -3.5);
+  w.append(2.0, peak);
+  w.append(3.0, -3.5);
+  const auto crossings = find_crossings(w, 0.5);
+  ASSERT_EQ(crossings.size(), 2u);
+  EXPECT_DOUBLE_EQ(crossings[0].t, 2.0);
+  EXPECT_DOUBLE_EQ(crossings[1].t, 2.0);  // collides before the nudge
+  const auto trace = digitize(w, 0.5);
+  ASSERT_EQ(trace.n_transitions(), 2u);
+  EXPECT_EQ(trace.transitions()[0], 2.0);
+  EXPECT_EQ(trace.transitions()[1], std::nextafter(2.0, 1e300));
+}
+
 }  // namespace
 }  // namespace charlie::waveform

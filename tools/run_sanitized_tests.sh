@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build the ASan+UBSan preset and run the full ctest suite under it.
+# Any sanitizer report aborts the offending test (-fno-sanitize-recover=all),
+# so a green run means the suite is clean of addressability and UB findings.
+#
+#   $ tools/run_sanitized_tests.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j"$(nproc)"
+ctest --preset asan-ubsan -j"$(nproc)" "$@"
