@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mis_spice.dir/bench_fig2_mis_spice.cpp.o"
+  "CMakeFiles/bench_fig2_mis_spice.dir/bench_fig2_mis_spice.cpp.o.d"
+  "bench_fig2_mis_spice"
+  "bench_fig2_mis_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mis_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

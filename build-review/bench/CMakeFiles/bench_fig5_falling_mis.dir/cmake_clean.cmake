@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_falling_mis.dir/bench_fig5_falling_mis.cpp.o"
+  "CMakeFiles/bench_fig5_falling_mis.dir/bench_fig5_falling_mis.cpp.o.d"
+  "bench_fig5_falling_mis"
+  "bench_fig5_falling_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_falling_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rising_mis.dir/bench_fig6_rising_mis.cpp.o"
+  "CMakeFiles/bench_fig6_rising_mis.dir/bench_fig6_rising_mis.cpp.o.d"
+  "bench_fig6_rising_mis"
+  "bench_fig6_rising_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rising_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_overhead.dir/bench_runtime_overhead.cpp.o"
+  "CMakeFiles/bench_runtime_overhead.dir/bench_runtime_overhead.cpp.o.d"
+  "bench_runtime_overhead"
+  "bench_runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_circuit_timing.dir/circuit_timing.cpp.o"
+  "CMakeFiles/example_circuit_timing.dir/circuit_timing.cpp.o.d"
+  "example_circuit_timing"
+  "example_circuit_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_circuit_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

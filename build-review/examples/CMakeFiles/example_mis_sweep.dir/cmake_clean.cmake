@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mis_sweep.dir/mis_sweep.cpp.o"
+  "CMakeFiles/example_mis_sweep.dir/mis_sweep.cpp.o.d"
+  "example_mis_sweep"
+  "example_mis_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mis_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_monte_carlo.dir/monte_carlo.cpp.o"
+  "CMakeFiles/example_monte_carlo.dir/monte_carlo.cpp.o.d"
+  "example_monte_carlo"
+  "example_monte_carlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parametrize_gate.dir/parametrize_gate.cpp.o"
+  "CMakeFiles/example_parametrize_gate.dir/parametrize_gate.cpp.o.d"
+  "example_parametrize_gate"
+  "example_parametrize_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parametrize_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spice_playground.dir/spice_playground.cpp.o"
+  "CMakeFiles/example_spice_playground.dir/spice_playground.cpp.o.d"
+  "example_spice_playground"
+  "example_spice_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spice_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

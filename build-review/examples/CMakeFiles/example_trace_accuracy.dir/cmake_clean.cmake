@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_accuracy.dir/trace_accuracy.cpp.o"
+  "CMakeFiles/example_trace_accuracy.dir/trace_accuracy.cpp.o.d"
+  "example_trace_accuracy"
+  "example_trace_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

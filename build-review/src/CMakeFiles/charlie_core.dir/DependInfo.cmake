@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/charlie_delays.cpp" "src/CMakeFiles/charlie_core.dir/core/charlie_delays.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/charlie_delays.cpp.o.d"
+  "/root/repo/src/core/crossing.cpp" "src/CMakeFiles/charlie_core.dir/core/crossing.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/crossing.cpp.o.d"
+  "/root/repo/src/core/delay_model.cpp" "src/CMakeFiles/charlie_core.dir/core/delay_model.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/delay_model.cpp.o.d"
+  "/root/repo/src/core/delay_surface.cpp" "src/CMakeFiles/charlie_core.dir/core/delay_surface.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/delay_surface.cpp.o.d"
+  "/root/repo/src/core/gate_delay.cpp" "src/CMakeFiles/charlie_core.dir/core/gate_delay.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/gate_delay.cpp.o.d"
+  "/root/repo/src/core/gate_mode_tables.cpp" "src/CMakeFiles/charlie_core.dir/core/gate_mode_tables.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/gate_mode_tables.cpp.o.d"
+  "/root/repo/src/core/gate_modes.cpp" "src/CMakeFiles/charlie_core.dir/core/gate_modes.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/gate_modes.cpp.o.d"
+  "/root/repo/src/core/gate_parametrize.cpp" "src/CMakeFiles/charlie_core.dir/core/gate_parametrize.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/gate_parametrize.cpp.o.d"
+  "/root/repo/src/core/gate_params.cpp" "src/CMakeFiles/charlie_core.dir/core/gate_params.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/gate_params.cpp.o.d"
+  "/root/repo/src/core/modes.cpp" "src/CMakeFiles/charlie_core.dir/core/modes.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/modes.cpp.o.d"
+  "/root/repo/src/core/nor_params.cpp" "src/CMakeFiles/charlie_core.dir/core/nor_params.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/nor_params.cpp.o.d"
+  "/root/repo/src/core/parametrize.cpp" "src/CMakeFiles/charlie_core.dir/core/parametrize.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/parametrize.cpp.o.d"
+  "/root/repo/src/core/trajectory.cpp" "src/CMakeFiles/charlie_core.dir/core/trajectory.cpp.o" "gcc" "src/CMakeFiles/charlie_core.dir/core/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_fit.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_ode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

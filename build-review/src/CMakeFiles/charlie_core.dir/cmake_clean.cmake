@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_core.dir/core/charlie_delays.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/charlie_delays.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/crossing.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/crossing.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/delay_model.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/delay_model.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/delay_surface.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/delay_surface.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/gate_delay.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/gate_delay.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/gate_mode_tables.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/gate_mode_tables.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/gate_modes.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/gate_modes.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/gate_parametrize.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/gate_parametrize.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/gate_params.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/gate_params.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/modes.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/modes.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/nor_params.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/nor_params.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/parametrize.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/parametrize.cpp.o.d"
+  "CMakeFiles/charlie_core.dir/core/trajectory.cpp.o"
+  "CMakeFiles/charlie_core.dir/core/trajectory.cpp.o.d"
+  "libcharlie_core.a"
+  "libcharlie_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

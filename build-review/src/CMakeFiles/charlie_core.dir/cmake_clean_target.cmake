@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcharlie_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fit/brent_min.cpp" "src/CMakeFiles/charlie_fit.dir/fit/brent_min.cpp.o" "gcc" "src/CMakeFiles/charlie_fit.dir/fit/brent_min.cpp.o.d"
+  "/root/repo/src/fit/brent_root.cpp" "src/CMakeFiles/charlie_fit.dir/fit/brent_root.cpp.o" "gcc" "src/CMakeFiles/charlie_fit.dir/fit/brent_root.cpp.o.d"
+  "/root/repo/src/fit/levenberg_marquardt.cpp" "src/CMakeFiles/charlie_fit.dir/fit/levenberg_marquardt.cpp.o" "gcc" "src/CMakeFiles/charlie_fit.dir/fit/levenberg_marquardt.cpp.o.d"
+  "/root/repo/src/fit/nelder_mead.cpp" "src/CMakeFiles/charlie_fit.dir/fit/nelder_mead.cpp.o" "gcc" "src/CMakeFiles/charlie_fit.dir/fit/nelder_mead.cpp.o.d"
+  "/root/repo/src/fit/param_transform.cpp" "src/CMakeFiles/charlie_fit.dir/fit/param_transform.cpp.o" "gcc" "src/CMakeFiles/charlie_fit.dir/fit/param_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

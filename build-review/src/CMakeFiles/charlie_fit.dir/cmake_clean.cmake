@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_fit.dir/fit/brent_min.cpp.o"
+  "CMakeFiles/charlie_fit.dir/fit/brent_min.cpp.o.d"
+  "CMakeFiles/charlie_fit.dir/fit/brent_root.cpp.o"
+  "CMakeFiles/charlie_fit.dir/fit/brent_root.cpp.o.d"
+  "CMakeFiles/charlie_fit.dir/fit/levenberg_marquardt.cpp.o"
+  "CMakeFiles/charlie_fit.dir/fit/levenberg_marquardt.cpp.o.d"
+  "CMakeFiles/charlie_fit.dir/fit/nelder_mead.cpp.o"
+  "CMakeFiles/charlie_fit.dir/fit/nelder_mead.cpp.o.d"
+  "CMakeFiles/charlie_fit.dir/fit/param_transform.cpp.o"
+  "CMakeFiles/charlie_fit.dir/fit/param_transform.cpp.o.d"
+  "libcharlie_fit.a"
+  "libcharlie_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

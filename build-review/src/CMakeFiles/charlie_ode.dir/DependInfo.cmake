@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/eigen2.cpp" "src/CMakeFiles/charlie_ode.dir/ode/eigen2.cpp.o" "gcc" "src/CMakeFiles/charlie_ode.dir/ode/eigen2.cpp.o.d"
+  "/root/repo/src/ode/expm.cpp" "src/CMakeFiles/charlie_ode.dir/ode/expm.cpp.o" "gcc" "src/CMakeFiles/charlie_ode.dir/ode/expm.cpp.o.d"
+  "/root/repo/src/ode/linear_ode2.cpp" "src/CMakeFiles/charlie_ode.dir/ode/linear_ode2.cpp.o" "gcc" "src/CMakeFiles/charlie_ode.dir/ode/linear_ode2.cpp.o.d"
+  "/root/repo/src/ode/mat2.cpp" "src/CMakeFiles/charlie_ode.dir/ode/mat2.cpp.o" "gcc" "src/CMakeFiles/charlie_ode.dir/ode/mat2.cpp.o.d"
+  "/root/repo/src/ode/piecewise.cpp" "src/CMakeFiles/charlie_ode.dir/ode/piecewise.cpp.o" "gcc" "src/CMakeFiles/charlie_ode.dir/ode/piecewise.cpp.o.d"
+  "/root/repo/src/ode/rk45.cpp" "src/CMakeFiles/charlie_ode.dir/ode/rk45.cpp.o" "gcc" "src/CMakeFiles/charlie_ode.dir/ode/rk45.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_ode.dir/ode/eigen2.cpp.o"
+  "CMakeFiles/charlie_ode.dir/ode/eigen2.cpp.o.d"
+  "CMakeFiles/charlie_ode.dir/ode/expm.cpp.o"
+  "CMakeFiles/charlie_ode.dir/ode/expm.cpp.o.d"
+  "CMakeFiles/charlie_ode.dir/ode/linear_ode2.cpp.o"
+  "CMakeFiles/charlie_ode.dir/ode/linear_ode2.cpp.o.d"
+  "CMakeFiles/charlie_ode.dir/ode/mat2.cpp.o"
+  "CMakeFiles/charlie_ode.dir/ode/mat2.cpp.o.d"
+  "CMakeFiles/charlie_ode.dir/ode/piecewise.cpp.o"
+  "CMakeFiles/charlie_ode.dir/ode/piecewise.cpp.o.d"
+  "CMakeFiles/charlie_ode.dir/ode/rk45.cpp.o"
+  "CMakeFiles/charlie_ode.dir/ode/rk45.cpp.o.d"
+  "libcharlie_ode.a"
+  "libcharlie_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/accuracy.cpp" "src/CMakeFiles/charlie_sim.dir/sim/accuracy.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/accuracy.cpp.o.d"
+  "/root/repo/src/sim/batch_runner.cpp" "src/CMakeFiles/charlie_sim.dir/sim/batch_runner.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/batch_runner.cpp.o.d"
+  "/root/repo/src/sim/channel.cpp" "src/CMakeFiles/charlie_sim.dir/sim/channel.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/channel.cpp.o.d"
+  "/root/repo/src/sim/circuit.cpp" "src/CMakeFiles/charlie_sim.dir/sim/circuit.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/circuit.cpp.o.d"
+  "/root/repo/src/sim/event_heap.cpp" "src/CMakeFiles/charlie_sim.dir/sim/event_heap.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/event_heap.cpp.o.d"
+  "/root/repo/src/sim/exp_channel.cpp" "src/CMakeFiles/charlie_sim.dir/sim/exp_channel.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/exp_channel.cpp.o.d"
+  "/root/repo/src/sim/gate_models.cpp" "src/CMakeFiles/charlie_sim.dir/sim/gate_models.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/gate_models.cpp.o.d"
+  "/root/repo/src/sim/hybrid_gate_channel.cpp" "src/CMakeFiles/charlie_sim.dir/sim/hybrid_gate_channel.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/hybrid_gate_channel.cpp.o.d"
+  "/root/repo/src/sim/inertial.cpp" "src/CMakeFiles/charlie_sim.dir/sim/inertial.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/inertial.cpp.o.d"
+  "/root/repo/src/sim/involution.cpp" "src/CMakeFiles/charlie_sim.dir/sim/involution.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/involution.cpp.o.d"
+  "/root/repo/src/sim/nor_models.cpp" "src/CMakeFiles/charlie_sim.dir/sim/nor_models.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/nor_models.cpp.o.d"
+  "/root/repo/src/sim/pure_delay.cpp" "src/CMakeFiles/charlie_sim.dir/sim/pure_delay.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/pure_delay.cpp.o.d"
+  "/root/repo/src/sim/run_channel.cpp" "src/CMakeFiles/charlie_sim.dir/sim/run_channel.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/run_channel.cpp.o.d"
+  "/root/repo/src/sim/sumexp_channel.cpp" "src/CMakeFiles/charlie_sim.dir/sim/sumexp_channel.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/sumexp_channel.cpp.o.d"
+  "/root/repo/src/sim/surface_nor_channel.cpp" "src/CMakeFiles/charlie_sim.dir/sim/surface_nor_channel.cpp.o" "gcc" "src/CMakeFiles/charlie_sim.dir/sim/surface_nor_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_spice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_waveform.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_fit.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_ode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

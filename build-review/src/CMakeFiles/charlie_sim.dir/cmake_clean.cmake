@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_sim.dir/sim/accuracy.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/accuracy.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/batch_runner.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/batch_runner.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/channel.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/channel.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/circuit.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/circuit.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/event_heap.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/event_heap.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/exp_channel.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/exp_channel.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/gate_models.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/gate_models.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/hybrid_gate_channel.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/hybrid_gate_channel.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/inertial.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/inertial.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/involution.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/involution.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/nor_models.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/nor_models.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/pure_delay.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/pure_delay.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/run_channel.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/run_channel.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/sumexp_channel.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/sumexp_channel.cpp.o.d"
+  "CMakeFiles/charlie_sim.dir/sim/surface_nor_channel.cpp.o"
+  "CMakeFiles/charlie_sim.dir/sim/surface_nor_channel.cpp.o.d"
+  "libcharlie_sim.a"
+  "libcharlie_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/cells.cpp" "src/CMakeFiles/charlie_spice.dir/spice/cells.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/cells.cpp.o.d"
+  "/root/repo/src/spice/characterize.cpp" "src/CMakeFiles/charlie_spice.dir/spice/characterize.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/characterize.cpp.o.d"
+  "/root/repo/src/spice/dcop.cpp" "src/CMakeFiles/charlie_spice.dir/spice/dcop.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/dcop.cpp.o.d"
+  "/root/repo/src/spice/element.cpp" "src/CMakeFiles/charlie_spice.dir/spice/element.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/element.cpp.o.d"
+  "/root/repo/src/spice/elements.cpp" "src/CMakeFiles/charlie_spice.dir/spice/elements.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/elements.cpp.o.d"
+  "/root/repo/src/spice/lu.cpp" "src/CMakeFiles/charlie_spice.dir/spice/lu.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/lu.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/CMakeFiles/charlie_spice.dir/spice/mosfet.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/mosfet.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/CMakeFiles/charlie_spice.dir/spice/netlist.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/newton.cpp" "src/CMakeFiles/charlie_spice.dir/spice/newton.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/newton.cpp.o.d"
+  "/root/repo/src/spice/technology.cpp" "src/CMakeFiles/charlie_spice.dir/spice/technology.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/technology.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/CMakeFiles/charlie_spice.dir/spice/transient.cpp.o" "gcc" "src/CMakeFiles/charlie_spice.dir/spice/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_waveform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

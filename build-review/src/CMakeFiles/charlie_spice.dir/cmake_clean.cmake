@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_spice.dir/spice/cells.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/cells.cpp.o.d"
+  "CMakeFiles/charlie_spice.dir/spice/characterize.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/characterize.cpp.o.d"
+  "CMakeFiles/charlie_spice.dir/spice/dcop.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/dcop.cpp.o.d"
+  "CMakeFiles/charlie_spice.dir/spice/element.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/element.cpp.o.d"
+  "CMakeFiles/charlie_spice.dir/spice/elements.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/elements.cpp.o.d"
+  "CMakeFiles/charlie_spice.dir/spice/lu.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/lu.cpp.o.d"
+  "CMakeFiles/charlie_spice.dir/spice/mosfet.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/mosfet.cpp.o.d"
+  "CMakeFiles/charlie_spice.dir/spice/netlist.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/netlist.cpp.o.d"
+  "CMakeFiles/charlie_spice.dir/spice/newton.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/newton.cpp.o.d"
+  "CMakeFiles/charlie_spice.dir/spice/technology.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/technology.cpp.o.d"
+  "CMakeFiles/charlie_spice.dir/spice/transient.cpp.o"
+  "CMakeFiles/charlie_spice.dir/spice/transient.cpp.o.d"
+  "libcharlie_spice.a"
+  "libcharlie_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

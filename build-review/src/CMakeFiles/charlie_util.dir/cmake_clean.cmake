@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_util.dir/util/cli.cpp.o"
+  "CMakeFiles/charlie_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/charlie_util.dir/util/csv.cpp.o"
+  "CMakeFiles/charlie_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/charlie_util.dir/util/error.cpp.o"
+  "CMakeFiles/charlie_util.dir/util/error.cpp.o.d"
+  "CMakeFiles/charlie_util.dir/util/math.cpp.o"
+  "CMakeFiles/charlie_util.dir/util/math.cpp.o.d"
+  "CMakeFiles/charlie_util.dir/util/rng.cpp.o"
+  "CMakeFiles/charlie_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/charlie_util.dir/util/table.cpp.o"
+  "CMakeFiles/charlie_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/charlie_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/charlie_util.dir/util/thread_pool.cpp.o.d"
+  "CMakeFiles/charlie_util.dir/util/units.cpp.o"
+  "CMakeFiles/charlie_util.dir/util/units.cpp.o.d"
+  "libcharlie_util.a"
+  "libcharlie_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/waveform/digital_trace.cpp" "src/CMakeFiles/charlie_waveform.dir/waveform/digital_trace.cpp.o" "gcc" "src/CMakeFiles/charlie_waveform.dir/waveform/digital_trace.cpp.o.d"
+  "/root/repo/src/waveform/digitize.cpp" "src/CMakeFiles/charlie_waveform.dir/waveform/digitize.cpp.o" "gcc" "src/CMakeFiles/charlie_waveform.dir/waveform/digitize.cpp.o.d"
+  "/root/repo/src/waveform/edges.cpp" "src/CMakeFiles/charlie_waveform.dir/waveform/edges.cpp.o" "gcc" "src/CMakeFiles/charlie_waveform.dir/waveform/edges.cpp.o.d"
+  "/root/repo/src/waveform/generator.cpp" "src/CMakeFiles/charlie_waveform.dir/waveform/generator.cpp.o" "gcc" "src/CMakeFiles/charlie_waveform.dir/waveform/generator.cpp.o.d"
+  "/root/repo/src/waveform/metrics.cpp" "src/CMakeFiles/charlie_waveform.dir/waveform/metrics.cpp.o" "gcc" "src/CMakeFiles/charlie_waveform.dir/waveform/metrics.cpp.o.d"
+  "/root/repo/src/waveform/waveform.cpp" "src/CMakeFiles/charlie_waveform.dir/waveform/waveform.cpp.o" "gcc" "src/CMakeFiles/charlie_waveform.dir/waveform/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_waveform.dir/waveform/digital_trace.cpp.o"
+  "CMakeFiles/charlie_waveform.dir/waveform/digital_trace.cpp.o.d"
+  "CMakeFiles/charlie_waveform.dir/waveform/digitize.cpp.o"
+  "CMakeFiles/charlie_waveform.dir/waveform/digitize.cpp.o.d"
+  "CMakeFiles/charlie_waveform.dir/waveform/edges.cpp.o"
+  "CMakeFiles/charlie_waveform.dir/waveform/edges.cpp.o.d"
+  "CMakeFiles/charlie_waveform.dir/waveform/generator.cpp.o"
+  "CMakeFiles/charlie_waveform.dir/waveform/generator.cpp.o.d"
+  "CMakeFiles/charlie_waveform.dir/waveform/metrics.cpp.o"
+  "CMakeFiles/charlie_waveform.dir/waveform/metrics.cpp.o.d"
+  "CMakeFiles/charlie_waveform.dir/waveform/waveform.cpp.o"
+  "CMakeFiles/charlie_waveform.dir/waveform/waveform.cpp.o.d"
+  "libcharlie_waveform.a"
+  "libcharlie_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_charlie_delays.cpp" "tests/CMakeFiles/charlie_test_core.dir/core/test_charlie_delays.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_core.dir/core/test_charlie_delays.cpp.o.d"
+  "/root/repo/tests/core/test_crossing.cpp" "tests/CMakeFiles/charlie_test_core.dir/core/test_crossing.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_core.dir/core/test_crossing.cpp.o.d"
+  "/root/repo/tests/core/test_delay_model.cpp" "tests/CMakeFiles/charlie_test_core.dir/core/test_delay_model.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_core.dir/core/test_delay_model.cpp.o.d"
+  "/root/repo/tests/core/test_delay_surface.cpp" "tests/CMakeFiles/charlie_test_core.dir/core/test_delay_surface.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_core.dir/core/test_delay_surface.cpp.o.d"
+  "/root/repo/tests/core/test_gate_delay.cpp" "tests/CMakeFiles/charlie_test_core.dir/core/test_gate_delay.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_core.dir/core/test_gate_delay.cpp.o.d"
+  "/root/repo/tests/core/test_gate_modes.cpp" "tests/CMakeFiles/charlie_test_core.dir/core/test_gate_modes.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_core.dir/core/test_gate_modes.cpp.o.d"
+  "/root/repo/tests/core/test_mode_tables.cpp" "tests/CMakeFiles/charlie_test_core.dir/core/test_mode_tables.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_core.dir/core/test_mode_tables.cpp.o.d"
+  "/root/repo/tests/core/test_modes.cpp" "tests/CMakeFiles/charlie_test_core.dir/core/test_modes.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_core.dir/core/test_modes.cpp.o.d"
+  "/root/repo/tests/core/test_parametrize.cpp" "tests/CMakeFiles/charlie_test_core.dir/core/test_parametrize.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_core.dir/core/test_parametrize.cpp.o.d"
+  "/root/repo/tests/core/test_trajectory.cpp" "tests/CMakeFiles/charlie_test_core.dir/core/test_trajectory.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_core.dir/core/test_trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_fit.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_ode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_spice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_waveform.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_test_core.dir/core/test_charlie_delays.cpp.o"
+  "CMakeFiles/charlie_test_core.dir/core/test_charlie_delays.cpp.o.d"
+  "CMakeFiles/charlie_test_core.dir/core/test_crossing.cpp.o"
+  "CMakeFiles/charlie_test_core.dir/core/test_crossing.cpp.o.d"
+  "CMakeFiles/charlie_test_core.dir/core/test_delay_model.cpp.o"
+  "CMakeFiles/charlie_test_core.dir/core/test_delay_model.cpp.o.d"
+  "CMakeFiles/charlie_test_core.dir/core/test_delay_surface.cpp.o"
+  "CMakeFiles/charlie_test_core.dir/core/test_delay_surface.cpp.o.d"
+  "CMakeFiles/charlie_test_core.dir/core/test_gate_delay.cpp.o"
+  "CMakeFiles/charlie_test_core.dir/core/test_gate_delay.cpp.o.d"
+  "CMakeFiles/charlie_test_core.dir/core/test_gate_modes.cpp.o"
+  "CMakeFiles/charlie_test_core.dir/core/test_gate_modes.cpp.o.d"
+  "CMakeFiles/charlie_test_core.dir/core/test_mode_tables.cpp.o"
+  "CMakeFiles/charlie_test_core.dir/core/test_mode_tables.cpp.o.d"
+  "CMakeFiles/charlie_test_core.dir/core/test_modes.cpp.o"
+  "CMakeFiles/charlie_test_core.dir/core/test_modes.cpp.o.d"
+  "CMakeFiles/charlie_test_core.dir/core/test_parametrize.cpp.o"
+  "CMakeFiles/charlie_test_core.dir/core/test_parametrize.cpp.o.d"
+  "CMakeFiles/charlie_test_core.dir/core/test_trajectory.cpp.o"
+  "CMakeFiles/charlie_test_core.dir/core/test_trajectory.cpp.o.d"
+  "charlie_test_core"
+  "charlie_test_core.pdb"
+  "charlie_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_test_fit.dir/fit/test_brent_min.cpp.o"
+  "CMakeFiles/charlie_test_fit.dir/fit/test_brent_min.cpp.o.d"
+  "CMakeFiles/charlie_test_fit.dir/fit/test_brent_root.cpp.o"
+  "CMakeFiles/charlie_test_fit.dir/fit/test_brent_root.cpp.o.d"
+  "CMakeFiles/charlie_test_fit.dir/fit/test_levenberg_marquardt.cpp.o"
+  "CMakeFiles/charlie_test_fit.dir/fit/test_levenberg_marquardt.cpp.o.d"
+  "CMakeFiles/charlie_test_fit.dir/fit/test_nelder_mead.cpp.o"
+  "CMakeFiles/charlie_test_fit.dir/fit/test_nelder_mead.cpp.o.d"
+  "charlie_test_fit"
+  "charlie_test_fit.pdb"
+  "charlie_test_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_test_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/charlie_test_integration.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_model_vs_rk45.cpp" "tests/CMakeFiles/charlie_test_integration.dir/integration/test_model_vs_rk45.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_integration.dir/integration/test_model_vs_rk45.cpp.o.d"
+  "/root/repo/tests/integration/test_multi_input_gates.cpp" "tests/CMakeFiles/charlie_test_integration.dir/integration/test_multi_input_gates.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_integration.dir/integration/test_multi_input_gates.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_consistency.cpp" "tests/CMakeFiles/charlie_test_integration.dir/integration/test_paper_consistency.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_integration.dir/integration/test_paper_consistency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_fit.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_ode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_spice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_waveform.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/charlie_test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/charlie_test_integration.dir/integration/test_model_vs_rk45.cpp.o"
+  "CMakeFiles/charlie_test_integration.dir/integration/test_model_vs_rk45.cpp.o.d"
+  "CMakeFiles/charlie_test_integration.dir/integration/test_multi_input_gates.cpp.o"
+  "CMakeFiles/charlie_test_integration.dir/integration/test_multi_input_gates.cpp.o.d"
+  "CMakeFiles/charlie_test_integration.dir/integration/test_paper_consistency.cpp.o"
+  "CMakeFiles/charlie_test_integration.dir/integration/test_paper_consistency.cpp.o.d"
+  "charlie_test_integration"
+  "charlie_test_integration.pdb"
+  "charlie_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

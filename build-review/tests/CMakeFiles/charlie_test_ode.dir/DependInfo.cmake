@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ode/test_eigen2.cpp" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_eigen2.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_eigen2.cpp.o.d"
+  "/root/repo/tests/ode/test_expm.cpp" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_expm.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_expm.cpp.o.d"
+  "/root/repo/tests/ode/test_linear_ode2.cpp" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_linear_ode2.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_linear_ode2.cpp.o.d"
+  "/root/repo/tests/ode/test_piecewise.cpp" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_piecewise.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_piecewise.cpp.o.d"
+  "/root/repo/tests/ode/test_rk45.cpp" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_rk45.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_rk45.cpp.o.d"
+  "/root/repo/tests/ode/test_vec_mat.cpp" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_vec_mat.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_ode.dir/ode/test_vec_mat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_fit.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_ode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_spice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_waveform.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_test_ode.dir/ode/test_eigen2.cpp.o"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_eigen2.cpp.o.d"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_expm.cpp.o"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_expm.cpp.o.d"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_linear_ode2.cpp.o"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_linear_ode2.cpp.o.d"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_piecewise.cpp.o"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_piecewise.cpp.o.d"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_rk45.cpp.o"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_rk45.cpp.o.d"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_vec_mat.cpp.o"
+  "CMakeFiles/charlie_test_ode.dir/ode/test_vec_mat.cpp.o.d"
+  "charlie_test_ode"
+  "charlie_test_ode.pdb"
+  "charlie_test_ode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_test_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_basic_channels.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_basic_channels.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_basic_channels.cpp.o.d"
+  "/root/repo/tests/sim/test_batch_runner.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_batch_runner.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_batch_runner.cpp.o.d"
+  "/root/repo/tests/sim/test_circuit.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_circuit.cpp.o.d"
+  "/root/repo/tests/sim/test_event_heap.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_event_heap.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_event_heap.cpp.o.d"
+  "/root/repo/tests/sim/test_exp_channel.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_exp_channel.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_exp_channel.cpp.o.d"
+  "/root/repo/tests/sim/test_hybrid_channel.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_hybrid_channel.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_hybrid_channel.cpp.o.d"
+  "/root/repo/tests/sim/test_hybrid_gate_channel.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_hybrid_gate_channel.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_hybrid_gate_channel.cpp.o.d"
+  "/root/repo/tests/sim/test_nor_models.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_nor_models.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_nor_models.cpp.o.d"
+  "/root/repo/tests/sim/test_run_channel.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_run_channel.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_run_channel.cpp.o.d"
+  "/root/repo/tests/sim/test_sumexp_channel.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_sumexp_channel.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_sumexp_channel.cpp.o.d"
+  "/root/repo/tests/sim/test_surface_channel.cpp" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_surface_channel.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_sim.dir/sim/test_surface_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_fit.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_ode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_spice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_waveform.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

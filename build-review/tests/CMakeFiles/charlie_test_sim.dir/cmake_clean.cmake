@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_test_sim.dir/sim/test_basic_channels.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_basic_channels.cpp.o.d"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_batch_runner.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_batch_runner.cpp.o.d"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_circuit.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_circuit.cpp.o.d"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_event_heap.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_event_heap.cpp.o.d"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_exp_channel.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_exp_channel.cpp.o.d"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_hybrid_channel.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_hybrid_channel.cpp.o.d"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_hybrid_gate_channel.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_hybrid_gate_channel.cpp.o.d"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_nor_models.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_nor_models.cpp.o.d"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_run_channel.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_run_channel.cpp.o.d"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_sumexp_channel.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_sumexp_channel.cpp.o.d"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_surface_channel.cpp.o"
+  "CMakeFiles/charlie_test_sim.dir/sim/test_surface_channel.cpp.o.d"
+  "charlie_test_sim"
+  "charlie_test_sim.pdb"
+  "charlie_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

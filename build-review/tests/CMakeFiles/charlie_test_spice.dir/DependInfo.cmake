@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spice/test_cells.cpp" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_cells.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_cells.cpp.o.d"
+  "/root/repo/tests/spice/test_characterize.cpp" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_characterize.cpp.o.d"
+  "/root/repo/tests/spice/test_dcop.cpp" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_dcop.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_dcop.cpp.o.d"
+  "/root/repo/tests/spice/test_linear_circuits.cpp" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_linear_circuits.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_linear_circuits.cpp.o.d"
+  "/root/repo/tests/spice/test_lu.cpp" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_lu.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_lu.cpp.o.d"
+  "/root/repo/tests/spice/test_mosfet.cpp" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_mosfet.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_mosfet.cpp.o.d"
+  "/root/repo/tests/spice/test_transient.cpp" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_transient.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_spice.dir/spice/test_transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_fit.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_ode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_spice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_waveform.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_test_spice.dir/spice/test_cells.cpp.o"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_cells.cpp.o.d"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_characterize.cpp.o"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_characterize.cpp.o.d"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_dcop.cpp.o"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_dcop.cpp.o.d"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_linear_circuits.cpp.o"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_linear_circuits.cpp.o.d"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_lu.cpp.o"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_lu.cpp.o.d"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_mosfet.cpp.o"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_mosfet.cpp.o.d"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_transient.cpp.o"
+  "CMakeFiles/charlie_test_spice.dir/spice/test_transient.cpp.o.d"
+  "charlie_test_spice"
+  "charlie_test_spice.pdb"
+  "charlie_test_spice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_test_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

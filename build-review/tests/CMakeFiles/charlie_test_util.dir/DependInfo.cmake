@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_cli.cpp" "tests/CMakeFiles/charlie_test_util.dir/util/test_cli.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_util.dir/util/test_cli.cpp.o.d"
+  "/root/repo/tests/util/test_csv_table.cpp" "tests/CMakeFiles/charlie_test_util.dir/util/test_csv_table.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_util.dir/util/test_csv_table.cpp.o.d"
+  "/root/repo/tests/util/test_math.cpp" "tests/CMakeFiles/charlie_test_util.dir/util/test_math.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_util.dir/util/test_math.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/charlie_test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/charlie_test_util.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_util.dir/util/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/util/test_units.cpp" "tests/CMakeFiles/charlie_test_util.dir/util/test_units.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_util.dir/util/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_fit.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_ode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_spice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_waveform.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

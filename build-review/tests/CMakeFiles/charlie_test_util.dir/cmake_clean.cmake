@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_test_util.dir/util/test_cli.cpp.o"
+  "CMakeFiles/charlie_test_util.dir/util/test_cli.cpp.o.d"
+  "CMakeFiles/charlie_test_util.dir/util/test_csv_table.cpp.o"
+  "CMakeFiles/charlie_test_util.dir/util/test_csv_table.cpp.o.d"
+  "CMakeFiles/charlie_test_util.dir/util/test_math.cpp.o"
+  "CMakeFiles/charlie_test_util.dir/util/test_math.cpp.o.d"
+  "CMakeFiles/charlie_test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/charlie_test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/charlie_test_util.dir/util/test_thread_pool.cpp.o"
+  "CMakeFiles/charlie_test_util.dir/util/test_thread_pool.cpp.o.d"
+  "CMakeFiles/charlie_test_util.dir/util/test_units.cpp.o"
+  "CMakeFiles/charlie_test_util.dir/util/test_units.cpp.o.d"
+  "charlie_test_util"
+  "charlie_test_util.pdb"
+  "charlie_test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

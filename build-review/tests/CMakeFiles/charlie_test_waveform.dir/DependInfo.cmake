@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/waveform/test_digital_trace.cpp" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_digital_trace.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_digital_trace.cpp.o.d"
+  "/root/repo/tests/waveform/test_digitize.cpp" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_digitize.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_digitize.cpp.o.d"
+  "/root/repo/tests/waveform/test_edges.cpp" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_edges.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_edges.cpp.o.d"
+  "/root/repo/tests/waveform/test_generator.cpp" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_generator.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_generator.cpp.o.d"
+  "/root/repo/tests/waveform/test_metrics.cpp" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_metrics.cpp.o.d"
+  "/root/repo/tests/waveform/test_waveform.cpp" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/charlie_test_waveform.dir/waveform/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/charlie_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_fit.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_ode.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_spice.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_waveform.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/charlie_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_digital_trace.cpp.o"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_digital_trace.cpp.o.d"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_digitize.cpp.o"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_digitize.cpp.o.d"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_edges.cpp.o"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_edges.cpp.o.d"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_generator.cpp.o"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_generator.cpp.o.d"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_metrics.cpp.o"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_metrics.cpp.o.d"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_waveform.cpp.o"
+  "CMakeFiles/charlie_test_waveform.dir/waveform/test_waveform.cpp.o.d"
+  "charlie_test_waveform"
+  "charlie_test_waveform.pdb"
+  "charlie_test_waveform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlie_test_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
