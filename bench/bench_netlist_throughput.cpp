@@ -1,0 +1,104 @@
+// Netlist-front-end throughput: a mixed-arity standard-cell netlist
+// (NOR2/NOR3/NAND2/NAND3 hybrid channels) instantiated by
+// sim::CircuitBuilder and driven through sim::BatchRunner -- the
+// realistic-workload complement to the NOR-mesh numbers in
+// bench_batch_throughput.cpp. Also tracks the front-end itself:
+// parse + validate + instantiate cost per circuit clone.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cell/cell_library.hpp"
+#include "cell/netlist.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/circuit_builder.hpp"
+
+namespace {
+
+using namespace charlie;
+
+// Same topology as examples/netlists/mixed_tree.net: 11 hybrid gates over
+// all four characterized cells, reconvergent so every stage sees real MIS
+// activity. Embedded so the bench binary runs from any directory.
+constexpr const char* kMixedTree = R"(
+input(a, b, c, d, e, f)
+NOR2(g1, a, b)
+NAND2(g2, b, c)
+NOR3(g3, c, d, e)
+NAND3(g4, d, e, f)
+NOR2(g5, g1, g2)
+NAND2(g6, g3, g4)
+NOR3(g7, g1, g3, f)
+NAND3(g8, g2, g4, a)
+NOR2(g9, g5, g7)
+NAND2(g10, g6, g8)
+NOR2(out, g9, g10)
+)";
+
+std::shared_ptr<const cell::CellLibrary> shared_library() {
+  // Reference cells (Table-I regime): the bench measures the engine and the
+  // front-end, not substrate characterization.
+  static const auto library = std::make_shared<const cell::CellLibrary>(
+      cell::CellLibrary::reference());
+  return library;
+}
+
+sim::BatchConfig batch_config(std::size_t n_runs, std::size_t n_threads) {
+  sim::BatchConfig config;
+  config.trace.mu = 150e-12;
+  config.trace.sigma = 60e-12;
+  config.trace.n_transitions = 200;
+  config.n_runs = n_runs;
+  config.base_seed = 7;
+  config.n_threads = n_threads;
+  return config;
+}
+
+// Monte-Carlo batches over the mixed netlist: events/second through the
+// event heap with all four hybrid cell tables live at once.
+void BM_NetlistBatchThroughput(benchmark::State& state) {
+  const auto n_threads = static_cast<std::size_t>(state.range(0));
+  const auto desc = cell::parse_netlist(kMixedTree);
+  const sim::CircuitBuilder builder(shared_library());
+  auto factory = [&builder, &desc] { return builder.build(desc); };
+  long long events = 0;
+  for (auto _ : state) {
+    sim::BatchRunner runner(factory, "out", batch_config(16, n_threads));
+    const auto result = runner.run();
+    events += result.total_events;
+    benchmark::DoNotOptimize(result.total_events);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetlistBatchThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Front-end cost per worker clone: netlist validation + topological sort +
+// channel instantiation against the shared library (the parse is excluded,
+// matching the parse-once/build-many lifecycle of BatchRunner factories).
+void BM_NetlistBuild(benchmark::State& state) {
+  const auto desc = cell::parse_netlist(kMixedTree);
+  const sim::CircuitBuilder builder(shared_library());
+  for (auto _ : state) {
+    auto circuit = builder.build(desc);
+    benchmark::DoNotOptimize(circuit->n_gates());
+  }
+  state.counters["gates/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * desc.n_gates()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetlistBuild);
+
+// Text front door: parse + build together, for the file-driven entry path.
+void BM_NetlistParseAndBuild(benchmark::State& state) {
+  const sim::CircuitBuilder builder(shared_library());
+  for (auto _ : state) {
+    auto circuit = builder.build_text(kMixedTree);
+    benchmark::DoNotOptimize(circuit->n_gates());
+  }
+}
+BENCHMARK(BM_NetlistParseAndBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

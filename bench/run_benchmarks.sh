@@ -7,6 +7,11 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_runtime.json}"
 
+# Pre-commit hygiene gate (fast): refuse to publish numbers from a tree
+# that tracks build artifacts. tools/check_tree.sh (no flag) is the full
+# build+test gate.
+tools/check_tree.sh --hygiene-only
+
 cmake --preset release
 cmake --build --preset release -j"$(nproc)"
 
@@ -17,17 +22,21 @@ trap 'rm -rf "$tmp_dir"' EXIT
   >"$tmp_dir/runtime.json"
 ./build/bench/bench_batch_throughput --benchmark_format=json \
   >"$tmp_dir/batch.json"
+./build/bench/bench_netlist_throughput --benchmark_format=json \
+  >"$tmp_dir/netlist.json"
 
 # Merge into a temp file and move it into place atomically: a failure
 # anywhere above (set -euo pipefail) or inside the merge leaves any previous
 # $out untouched instead of replacing it with partial JSON.
-python3 - "$tmp_dir/runtime.json" "$tmp_dir/batch.json" "$tmp_dir/merged.json" <<'EOF'
+python3 - "$tmp_dir/runtime.json" "$tmp_dir/batch.json" \
+  "$tmp_dir/netlist.json" "$tmp_dir/merged.json" <<'EOF'
 import json, sys
-runtime, batch, out = sys.argv[1:4]
+runtime, *extras, out = sys.argv[1:]
 with open(runtime) as f:
     merged = json.load(f)
-with open(batch) as f:
-    merged["benchmarks"] += json.load(f)["benchmarks"]
+for path in extras:
+    with open(path) as f:
+        merged["benchmarks"] += json.load(f)["benchmarks"]
 with open(out, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")

@@ -1,21 +1,40 @@
-// Monte-Carlo batch simulation demo: N randomized traces through a chain
-// of MIS-aware NOR gates, spread over a worker pool, with aggregated
-// delay histograms. Results are bit-identical for any thread count.
+// Monte-Carlo batch simulation demo: N randomized traces through a
+// netlist-built chain of MIS-aware NOR gates, spread over a worker pool,
+// with aggregated delay histograms. Results are bit-identical for any
+// thread count.
 //
-//   ./example_monte_carlo [n_runs] [n_threads]
+// The circuit comes from the cell-library front-end: a structural netlist
+// (embedded below, or any file in docs/netlist_format.md syntax) is parsed
+// once and re-instantiated per worker clone by sim::CircuitBuilder; all
+// clones share the library's per-cell mode tables, so the mode derivation
+// happens exactly once per cell no matter how many runs or threads.
+//
+//   ./example_monte_carlo [n_runs] [n_threads] [netlist_file]
+//
+// The observed net is the last instance's output.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
-#include "core/mode_tables.hpp"
+#include "cell/cell_library.hpp"
+#include "cell/netlist.hpp"
 #include "sim/batch_runner.hpp"
-#include "sim/hybrid_nor_channel.hpp"
+#include "sim/circuit_builder.hpp"
 #include "util/units.hpp"
 
 using namespace charlie;
 
 namespace {
+
+// The PR-2 four-stage NOR chain, now as a netlist.
+constexpr const char* kNorChain = R"(
+input(a, b)
+NOR2(n0, a, b)
+NOR2(n1, b, n0)
+NOR2(n2, n0, n1)
+NOR2(out, n1, n2)
+)";
 
 void print_histogram(const char* title, const sim::Histogram& h) {
   std::printf("%s: n=%llu mean=%s\n", title,
@@ -48,24 +67,22 @@ int main(int argc, char** argv) {
   const std::size_t n_threads =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 0;
 
-  // One shared mode table for all gate instances in all worker clones.
-  const auto tables =
-      core::NorModeTables::make(core::NorParams::paper_table1());
-  auto factory = [tables] {
-    auto circuit = std::make_unique<sim::Circuit>();
-    auto a = circuit->add_input("a");
-    auto b = circuit->add_input("b");
-    for (int stage = 0; stage < 3; ++stage) {
-      const auto next = circuit->add_nor2_mis(
-          "n" + std::to_string(stage), a, b,
-          std::make_unique<sim::HybridNorChannel>(tables));
-      a = b;
-      b = next;
-    }
-    circuit->add_nor2_mis("out", a, b,
-                          std::make_unique<sim::HybridNorChannel>(tables));
-    return circuit;
-  };
+  // Characterize-once / instantiate-many: the reference library derives
+  // each cell's mode tables a single time; every worker clone below shares
+  // them through the specs.
+  const auto library =
+      std::make_shared<const cell::CellLibrary>(cell::CellLibrary::reference());
+  const cell::NetlistDesc netlist =
+      argc > 3 ? cell::read_netlist_file(argv[3])
+               : cell::parse_netlist(kNorChain);
+  if (netlist.instances.empty()) {
+    std::fprintf(stderr, "netlist has no gates\n");
+    return 1;
+  }
+  const std::string out_net = netlist.instances.back().output;
+
+  sim::CircuitBuilder builder(library);
+  auto factory = [&builder, &netlist] { return builder.build(netlist); };
 
   sim::BatchConfig config;
   config.trace.mu = 150e-12;
@@ -75,9 +92,11 @@ int main(int argc, char** argv) {
   config.n_threads = n_threads;
   config.base_seed = 2022;
 
-  sim::BatchRunner runner(factory, "out", config);
+  sim::BatchRunner runner(factory, out_net, config);
   const auto result = runner.run();
 
+  std::printf("gates           : %zu (observing net \"%s\")\n",
+              netlist.n_gates(), out_net.c_str());
   std::printf("runs            : %zu (threads: %zu)\n", result.n_runs,
               result.n_threads);
   std::printf("engine events   : %lld\n", result.total_events);

@@ -1,0 +1,134 @@
+#include "cell/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace charlie::cell {
+
+namespace {
+
+using util::to_upper_ascii;
+using util::trim_ascii;
+
+[[noreturn]] void syntax_error(int line, const std::string& why) {
+  throw ConfigError("netlist:" + std::to_string(line) + ": " + why);
+}
+
+bool is_identifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  });
+}
+
+// One `head(arg, arg, ...)` statement, already comment-stripped and trimmed.
+struct Statement {
+  std::string head;
+  std::vector<std::string> args;
+};
+
+Statement parse_statement(const std::string& text, int line) {
+  const auto open = text.find('(');
+  if (open == std::string::npos) {
+    syntax_error(line, "expected `cell(out, in, ...)`, got \"" + text + "\"");
+  }
+  Statement s;
+  s.head = trim_ascii(text.substr(0, open));
+  if (!is_identifier(s.head)) {
+    syntax_error(line, "bad cell name \"" + s.head + "\"");
+  }
+  const auto close = text.find(')', open);
+  if (close == std::string::npos) syntax_error(line, "missing `)`");
+  const std::string tail = trim_ascii(text.substr(close + 1));
+  if (!tail.empty() && tail != ";") {
+    syntax_error(line, "trailing text after `)`: \"" + tail + "\"");
+  }
+
+  std::string args = text.substr(open + 1, close - open - 1);
+  std::size_t pos = 0;
+  while (true) {
+    const auto comma = args.find(',', pos);
+    const std::string arg = trim_ascii(
+        comma == std::string::npos ? args.substr(pos)
+                                   : args.substr(pos, comma - pos));
+    if (arg.empty() && comma == std::string::npos && s.args.empty()) {
+      break;  // empty argument list: `cell()`
+    }
+    if (!is_identifier(arg)) {
+      syntax_error(line, "bad net name \"" + arg + "\"");
+    }
+    s.args.push_back(arg);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return s;
+}
+
+}  // namespace
+
+NetlistDesc parse_netlist(const std::string& text) {
+  NetlistDesc desc;
+  std::unordered_set<std::string> declared_inputs;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto eol = text.find('\n', pos);
+    std::string line = eol == std::string::npos
+                           ? text.substr(pos)
+                           : text.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    for (const char* marker : {"#", "//"}) {
+      const auto at = line.find(marker);
+      if (at != std::string::npos) line.erase(at);
+    }
+    line = trim_ascii(line);
+    if (line.empty()) continue;
+
+    const Statement s = parse_statement(line, line_no);
+    if (to_upper_ascii(s.head) == "INPUT") {
+      if (s.args.empty()) {
+        syntax_error(line_no, "input() needs at least one net name");
+      }
+      for (const auto& name : s.args) {
+        if (!declared_inputs.insert(name).second) {
+          syntax_error(line_no, "primary input \"" + name +
+                                    "\" declared twice");
+        }
+        desc.inputs.push_back(name);
+      }
+      continue;
+    }
+    if (s.args.empty()) {
+      syntax_error(line_no,
+                   "instance needs an output net: " + s.head + "(...)");
+    }
+    NetlistInstance inst;
+    inst.cell = to_upper_ascii(s.head);
+    inst.output = s.args.front();
+    inst.inputs.assign(s.args.begin() + 1, s.args.end());
+    inst.line = line_no;
+    desc.instances.push_back(std::move(inst));
+  }
+  return desc;
+}
+
+NetlistDesc read_netlist_file(const std::string& path) {
+  try {
+    return parse_netlist(util::read_text_file(path));
+  } catch (const ConfigError& e) {
+    throw ConfigError(path + ": " + e.what());
+  }
+}
+
+}  // namespace charlie::cell

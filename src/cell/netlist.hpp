@@ -1,0 +1,49 @@
+// Structural netlist description and its text format.
+//
+// A netlist is the cell-library front-end's unit of work: primary inputs
+// plus a list of cell instances (cell name, output net, input nets),
+// decoupled from any characterized library so the same topology can be
+// instantiated against different technologies. sim::CircuitBuilder turns a
+// NetlistDesc + cell::CellLibrary into a validated sim::Circuit.
+//
+// Text grammar (see docs/netlist_format.md for the full description):
+//
+//   # comment (also //); blank lines ignored
+//   input(a, b, c)          # declare primary inputs, repeatable
+//   NAND2(n1, a, b)         # instance: CELL(output, input, ...)
+//   nor3(out, n1, c, d)     # cell names are case-insensitive
+//
+// Net names are case-sensitive identifiers [A-Za-z_][A-Za-z0-9_]*. The
+// parser checks syntax only; semantic validation (cells exist, arities
+// match, nets are driven exactly once, the graph is acyclic) happens in
+// CircuitBuilder, which knows the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace charlie::cell {
+
+struct NetlistInstance {
+  std::string cell;                 // canonical upper-case cell name
+  std::string output;               // net driven by this instance
+  std::vector<std::string> inputs;  // input nets, port order
+  int line = 0;                     // 1-based source line (diagnostics)
+};
+
+struct NetlistDesc {
+  std::vector<std::string> inputs;  // primary inputs, declaration order
+  std::vector<NetlistInstance> instances;
+
+  std::size_t n_gates() const { return instances.size(); }
+};
+
+/// Parse netlist text. Throws ConfigError with a line number on syntax
+/// errors (malformed statements, bad identifiers, empty argument lists,
+/// re-declared primary inputs).
+NetlistDesc parse_netlist(const std::string& text);
+
+/// Read and parse a netlist file (errors are prefixed with the path).
+NetlistDesc read_netlist_file(const std::string& path);
+
+}  // namespace charlie::cell

@@ -68,6 +68,10 @@ GateParams GateParams::from_nor(const NorParams& p) {
   return g;
 }
 
+GateParams GateParams::nor2_reference() {
+  return from_nor(NorParams::paper_table1());
+}
+
 GateParams GateParams::nor3_reference() {
   GateParams g;
   g.topology = GateTopology::kNorLike;

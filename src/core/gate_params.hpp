@@ -73,7 +73,10 @@ struct GateParams {
 
   /// Reference cells in the Table-I regime (per-device resistances of a few
   /// tens of kOhm, attofarad node capacitances) for tests and examples that
-  /// do not fit against an analog substrate.
+  /// do not fit against an analog substrate. nor2_reference() is exactly
+  /// from_nor(NorParams::paper_table1()), so channels built from it stay
+  /// bit-identical to the paper's NOR2.
+  static GateParams nor2_reference();
   static GateParams nor3_reference();
   static GateParams nand2_reference();
   static GateParams nand3_reference();

@@ -7,6 +7,12 @@
 //
 // The circuit must be combinational (acyclic); stimuli are digital traces
 // on the primary inputs.
+//
+// add_input/add_gate/add_mis_gate are the low-level construction API:
+// callers wire channels by hand and must add gates after their input nets.
+// Most circuits should instead come from a structural netlist through
+// sim::CircuitBuilder + cell::CellLibrary (sim/circuit_builder.hpp), which
+// validates the topology and instantiates characterized cells.
 #pragma once
 
 #include <array>
@@ -89,6 +95,11 @@ class Circuit {
                  std::unique_ptr<SisChannel> channel);
 
   /// Add a NOR2 with a native two-input gate channel (MIS-aware).
+  ///
+  /// Legacy alias: exactly add_mis_gate(GateKind::kNor2, ...). Kept for the
+  /// paper-era call sites; new code should build through sim::CircuitBuilder
+  /// (or call add_mis_gate directly). The builder path is bit-identical --
+  /// tests/cell/test_circuit_builder.cpp proves it trace-for-trace.
   NetId add_nor2_mis(const std::string& output_name, NetId a, NetId b,
                      std::unique_ptr<GateChannel> channel);
 

@@ -1,0 +1,138 @@
+#include "sim/circuit_builder.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace charlie::sim {
+
+namespace {
+
+[[noreturn]] void build_error(const cell::NetlistInstance& inst,
+                              const std::string& why) {
+  std::string where = inst.cell + "(" + inst.output + ", ...)";
+  if (inst.line > 0) where += " (line " + std::to_string(inst.line) + ")";
+  throw ConfigError("circuit builder: " + where + ": " + why);
+}
+
+}  // namespace
+
+CircuitBuilder::CircuitBuilder(
+    std::shared_ptr<const cell::CellLibrary> library)
+    : library_(std::move(library)) {
+  CHARLIE_ASSERT(library_ != nullptr);
+}
+
+CircuitBuilder::CircuitBuilder(const cell::CellLibrary& library)
+    : library_(std::make_shared<cell::CellLibrary>(library)) {}
+
+std::unique_ptr<Circuit> CircuitBuilder::build(
+    const cell::NetlistDesc& desc) const {
+  // --- semantic validation -------------------------------------------------
+  // Net name -> driver: -1 for primary inputs, instance index otherwise.
+  std::unordered_map<std::string, int> driver;
+  for (const auto& name : desc.inputs) {
+    if (!driver.emplace(name, -1).second) {
+      throw ConfigError("circuit builder: primary input \"" + name +
+                        "\" declared twice");
+    }
+  }
+  std::vector<const cell::CellSpec*> specs(desc.instances.size(), nullptr);
+  for (std::size_t i = 0; i < desc.instances.size(); ++i) {
+    const auto& inst = desc.instances[i];
+    const cell::CellSpec* spec = library_->find(inst.cell);
+    if (spec == nullptr) {
+      build_error(inst, "unknown cell \"" + inst.cell + "\"");
+    }
+    specs[i] = spec;
+    if (static_cast<int>(inst.inputs.size()) != spec->arity) {
+      build_error(inst, "cell " + spec->name + " takes " +
+                            std::to_string(spec->arity) + " inputs, got " +
+                            std::to_string(inst.inputs.size()));
+    }
+    if (!driver.emplace(inst.output, static_cast<int>(i)).second) {
+      build_error(inst, "net \"" + inst.output + "\" is defined twice");
+    }
+  }
+  for (const auto& inst : desc.instances) {
+    for (const auto& input : inst.inputs) {
+      if (driver.find(input) == driver.end()) {
+        build_error(inst, "input net \"" + input +
+                              "\" is driven by no gate or primary input");
+      }
+    }
+  }
+
+  // --- topological order (Kahn) -------------------------------------------
+  // The engine appends gates after their input nets exist, so instances are
+  // emitted in dependency order regardless of netlist order; leftover
+  // instances sit on a combinational cycle.
+  const std::size_t n = desc.instances.size();
+  std::vector<int> missing_inputs(n, 0);
+  std::unordered_map<int, std::vector<int>> dependents;  // driver -> users
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& input : desc.instances[i].inputs) {
+      const int d = driver.at(input);
+      if (d >= 0) {
+        ++missing_inputs[i];
+        dependents[d].push_back(static_cast<int>(i));
+      }
+    }
+    if (missing_inputs[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const int i = ready[head];
+    order.push_back(i);
+    const auto it = dependents.find(i);
+    if (it == dependents.end()) continue;
+    for (const int user : it->second) {
+      if (--missing_inputs[user] == 0) ready.push_back(user);
+    }
+  }
+  if (order.size() != n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (missing_inputs[i] > 0) {
+        build_error(desc.instances[i],
+                    "combinational cycle through net \"" +
+                        desc.instances[i].output + "\"");
+      }
+    }
+  }
+
+  // --- emission ------------------------------------------------------------
+  auto circuit = std::make_unique<Circuit>();
+  for (const auto& name : desc.inputs) circuit->add_input(name);
+  for (const int i : order) {
+    const auto& inst = desc.instances[i];
+    const cell::CellSpec& spec = *specs[i];
+    std::vector<Circuit::NetId> inputs;
+    inputs.reserve(inst.inputs.size());
+    for (const auto& input : inst.inputs) {
+      inputs.push_back(circuit->find_net(input));
+    }
+    if (spec.hybrid) {
+      circuit->add_mis_gate(spec.kind, inst.output, std::move(inputs),
+                            spec.make_mis_channel());
+    } else {
+      circuit->add_gate(spec.kind, inst.output, std::move(inputs),
+                        spec.make_sis_channel());
+    }
+  }
+  return circuit;
+}
+
+std::unique_ptr<Circuit> CircuitBuilder::build_text(
+    const std::string& netlist_text) const {
+  return build(cell::parse_netlist(netlist_text));
+}
+
+std::unique_ptr<Circuit> CircuitBuilder::build_file(
+    const std::string& path) const {
+  return build(cell::read_netlist_file(path));
+}
+
+}  // namespace charlie::sim

@@ -1,0 +1,56 @@
+// Netlist-driven circuit construction against a characterized cell library.
+//
+// CircuitBuilder is the instantiation half of the characterize-once /
+// instantiate-many lifecycle: it consumes a cell::NetlistDesc (primary
+// inputs + cell instances) and a cell::CellLibrary and emits a validated
+// sim::Circuit -- hybrid MIS cells get HybridGateChannel instances sharing
+// the library's per-cell mode tables, SIS cells get inertial channels with
+// the library's characterized delays. Calling build() repeatedly (e.g. one
+// clone per BatchRunner worker) re-instantiates the circuit without
+// re-deriving anything.
+//
+// build() validates the netlist against the library and throws ConfigError
+// (with the offending net/cell and source line when available) for:
+//   * unknown cell names;
+//   * arity mismatches between an instance and its cell;
+//   * duplicate net definitions (two drivers, or a driver colliding with a
+//     primary input);
+//   * undriven nets (an instance input that nothing defines);
+//   * combinational cycles (the engine requires acyclic circuits).
+// Instances may appear in any order; the builder topologically sorts them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cell/cell_library.hpp"
+#include "cell/netlist.hpp"
+#include "sim/circuit.hpp"
+
+namespace charlie::sim {
+
+class CircuitBuilder {
+ public:
+  /// The library is shared, not copied: every circuit built refers to the
+  /// same characterized specs and mode tables.
+  explicit CircuitBuilder(std::shared_ptr<const cell::CellLibrary> library);
+
+  /// Convenience: wraps `library` in a shared_ptr by copy.
+  explicit CircuitBuilder(const cell::CellLibrary& library);
+
+  /// Validate `desc` against the library and emit the circuit. Primary
+  /// inputs are declared in netlist order (the stimulus order for
+  /// Circuit::simulate and BatchRunner).
+  std::unique_ptr<Circuit> build(const cell::NetlistDesc& desc) const;
+
+  /// Parse-and-build conveniences for netlist text / files.
+  std::unique_ptr<Circuit> build_text(const std::string& netlist_text) const;
+  std::unique_ptr<Circuit> build_file(const std::string& path) const;
+
+  const cell::CellLibrary& library() const { return *library_; }
+
+ private:
+  std::shared_ptr<const cell::CellLibrary> library_;
+};
+
+}  // namespace charlie::sim

@@ -6,6 +6,12 @@
 // this subclass only pins the arity to 2, keeps the NorParams-based
 // constructors, and preserves the Mode-typed accessors existing callers and
 // tests use.
+//
+// Legacy alias: new code should obtain channels from a characterized
+// cell::CellLibrary ("NOR2" spec -> make_mis_channel()), which shares one
+// mode table per cell; constructing from the same parameters either way is
+// bit-identical (cell_library's NOR2 reference is
+// GateParams::nor2_reference() == from_nor(NorParams::paper_table1())).
 #pragma once
 
 #include <memory>

@@ -240,6 +240,42 @@ GateSisTargets measure_gate_targets(const Technology& tech, CellKind cell,
   return targets;
 }
 
+InverterDelays measure_inverter_delays(const Technology& tech,
+                                       const CharacterizeOptions& opts) {
+  tech.validate();
+  const double t_ref = opts.settle_time;
+
+  auto measure = [&](bool input_rises) {
+    Netlist nl;
+    const InverterNodes nodes = build_inverter(nl, tech);
+    waveform::EdgeParams edges;
+    edges.v_low = 0.0;
+    edges.v_high = tech.vdd;
+    edges.rise_time = tech.input_rise_time;
+
+    const double t_end = t_ref + opts.tail_time;
+    waveform::DigitalTrace in(!input_rises, {t_ref});
+    nl.add_vsource(nodes.vdd, kGround, tech.vdd);
+    nl.add_vsource_pwl(nodes.in, kGround,
+                       waveform::slew_limited_waveform(in, edges, 0.0, t_end));
+
+    TransientOptions topts = opts.transient;
+    topts.t_start = 0.0;
+    topts.t_end = t_end;
+    TransientResult tr =
+        transient_analysis(nl, {nl.node_name(nodes.out)}, topts);
+    const auto& vo = tr.waves.at(nl.node_name(nodes.out));
+    return output_crossing(vo, tech.vth(), /*rising=*/!input_rises,
+                           t_ref - tech.input_rise_time) -
+           t_ref;
+  };
+
+  InverterDelays d;
+  d.fall = measure(/*input_rises=*/true);
+  d.rise = measure(/*input_rises=*/false);
+  return d;
+}
+
 SubstrateCharacteristics measure_characteristics(
     const Technology& tech, double delta_large,
     const CharacterizeOptions& opts) {

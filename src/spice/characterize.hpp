@@ -90,6 +90,17 @@ struct GateSisTargets {
 GateSisTargets measure_gate_targets(const Technology& tech, CellKind cell,
                                     const CharacterizeOptions& opts = {});
 
+/// Single-input-switching delays of the substrate inverter, measured like
+/// the gate targets (output V_th crossing minus input V_th crossing). The
+/// cell library derives its SIS-channel cells (INV/BUF/AND2/OR2/XOR2) from
+/// these plus the NAND2/NOR2 gate targets.
+struct InverterDelays {
+  double rise = 0.0;  // output rising (input falls)
+  double fall = 0.0;  // output falling (input rises)
+};
+InverterDelays measure_inverter_delays(const Technology& tech,
+                                       const CharacterizeOptions& opts = {});
+
 /// The six characteristic Charlie delays of the substrate gate, measured
 /// at |Delta| = `delta_large` for the SIS values. Rising values use the
 /// drained history (V_N = GND), matching the paper's choice.

@@ -1,8 +1,24 @@
 #include "spice/technology.hpp"
 
+#include <cstdio>
+
 #include "util/error.hpp"
 
 namespace charlie::spice {
+
+std::string Technology::fingerprint() const {
+  // %.17g round-trips IEEE doubles exactly, so the fingerprint changes iff
+  // some parameter value changes. No commas: the string is embedded in CSV
+  // cell-library caches.
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "vdd=%.17g;nmos=%.17g/%.17g/%.17g;pmos=%.17g/%.17g/%.17g;"
+                "c_int=%.17g;c_out=%.17g;c_gd=%.17g;c_gs=%.17g;t_rise=%.17g",
+                vdd, nmos.vt, nmos.k, nmos.lambda, pmos.vt, pmos.k,
+                pmos.lambda, c_internal, c_output, c_gd, c_gs,
+                input_rise_time);
+  return buf;
+}
 
 void Technology::validate() const {
   CHARLIE_ASSERT(vdd > 0.0);

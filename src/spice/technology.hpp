@@ -28,6 +28,11 @@ struct Technology {
   double vth() const { return 0.5 * vdd; }
   void validate() const;
 
+  /// Value-identity key of every device/parasitic parameter (full-precision
+  /// field dump). Two technologies with equal fingerprints produce identical
+  /// characterization results, so caches (cell::CellLibrary) key on it.
+  std::string fingerprint() const;
+
   /// Default preset tuned to the paper's 15 nm delay regime.
   static Technology freepdk15_like();
 

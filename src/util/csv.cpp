@@ -150,4 +150,13 @@ std::string ensure_directory(const std::string& path) {
   return path;
 }
 
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("read_text_file: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) throw ConfigError("read_text_file: read error on " + path);
+  return text.str();
+}
+
 }  // namespace charlie::util

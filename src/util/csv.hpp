@@ -59,4 +59,8 @@ CsvData read_numeric_csv(const std::string& path);
 /// Ensure a directory exists (mkdir -p semantics). Returns the path.
 std::string ensure_directory(const std::string& path);
 
+/// Read a whole text file into a string. Throws ConfigError if the file
+/// cannot be opened or read.
+std::string read_text_file(const std::string& path);
+
 }  // namespace charlie::util

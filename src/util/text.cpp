@@ -1,0 +1,22 @@
+#include "util/text.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace charlie::util {
+
+std::string to_upper_ascii(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return s;
+}
+
+std::string trim_ascii(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace charlie::util

@@ -1,0 +1,15 @@
+// Small ASCII string helpers shared across layers (CSV parsing, netlist
+// parsing, cell-name canonicalization).
+#pragma once
+
+#include <string>
+
+namespace charlie::util {
+
+/// Copy of `s` with ASCII letters upper-cased (locale-independent).
+std::string to_upper_ascii(std::string s);
+
+/// Copy of `text` with leading/trailing spaces, tabs, CR, and LF removed.
+std::string trim_ascii(const std::string& text);
+
+}  // namespace charlie::util

@@ -1,0 +1,170 @@
+// CellLibrary registry behaviour that needs no analog substrate: the
+// reference preset, spec lookups, channel factories, SIS-delay overrides,
+// and the CSV save/load round trip (bit-exact parameters). The
+// characterize-once pipeline against the real substrate is covered in
+// tests/integration/test_netlist_circuit.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cell/cell_library.hpp"
+#include "core/nor_params.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace charlie {
+namespace {
+
+TEST(CellLibrary, ReferenceRegistryIsComplete) {
+  const auto lib = cell::CellLibrary::reference();
+  EXPECT_TRUE(lib.tech_fingerprint().empty());
+  ASSERT_EQ(lib.specs().size(), cell::CellLibrary::cell_names().size());
+  for (const auto& name : cell::CellLibrary::cell_names()) {
+    const auto& spec = lib.spec(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_GE(spec.arity, 1);
+  }
+  EXPECT_EQ(lib.spec("INV").arity, 1);
+  EXPECT_EQ(lib.spec("NOR2").arity, 2);
+  EXPECT_EQ(lib.spec("NOR3").arity, 3);
+  EXPECT_EQ(lib.spec("NAND3").arity, 3);
+  EXPECT_TRUE(lib.spec("NOR2").hybrid);
+  EXPECT_TRUE(lib.spec("NAND3").hybrid);
+  EXPECT_FALSE(lib.spec("INV").hybrid);
+  EXPECT_FALSE(lib.spec("XOR2").hybrid);
+}
+
+TEST(CellLibrary, ReferenceNor2IsThePaperTable1Model) {
+  const auto lib = cell::CellLibrary::reference();
+  const auto& p = lib.spec("NOR2").params;
+  const auto nor = core::NorParams::paper_table1();
+  ASSERT_EQ(p.n_inputs(), 2);
+  EXPECT_EQ(p.r_series[0], nor.r1);
+  EXPECT_EQ(p.r_series[1], nor.r2);
+  EXPECT_EQ(p.r_parallel[0], nor.r3);
+  EXPECT_EQ(p.r_parallel[1], nor.r4);
+  EXPECT_EQ(p.c_int, nor.cn);
+  EXPECT_EQ(p.c_out, nor.co);
+  EXPECT_EQ(p.delta_min, nor.delta_min);
+}
+
+TEST(CellLibrary, LookupIsCaseInsensitiveAndChecked) {
+  const auto lib = cell::CellLibrary::reference();
+  EXPECT_EQ(lib.spec("nor2").name, "NOR2");
+  EXPECT_EQ(lib.spec("Nand3").name, "NAND3");
+  EXPECT_NE(lib.find("xor2"), nullptr);
+  EXPECT_EQ(lib.find("NOPE4"), nullptr);
+  EXPECT_THROW(lib.spec("NOPE4"), ConfigError);
+}
+
+TEST(CellLibrary, ChannelFactoriesMatchTheFamily) {
+  const auto lib = cell::CellLibrary::reference();
+  EXPECT_NE(lib.spec("NOR3").make_mis_channel(), nullptr);
+  EXPECT_EQ(lib.spec("NOR3").make_mis_channel()->n_inputs(), 3);
+  EXPECT_NE(lib.spec("AND2").make_sis_channel(), nullptr);
+  EXPECT_THROW(lib.spec("AND2").make_mis_channel(), AssertionError);
+  EXPECT_THROW(lib.spec("NOR3").make_sis_channel(), AssertionError);
+}
+
+TEST(CellLibrary, HybridInstancesShareOneModeTable) {
+  const auto lib = cell::CellLibrary::reference();
+  const auto& spec = lib.spec("NAND2");
+  EXPECT_NE(spec.tables, nullptr);
+  // Many channels, one table: the characterize-once/instantiate-many
+  // contract at the spec level.
+  EXPECT_EQ(spec.tables.use_count(), 1);
+  auto c1 = spec.make_mis_channel();
+  auto c2 = spec.make_mis_channel();
+  EXPECT_EQ(spec.tables.use_count(), 3);
+}
+
+TEST(CellLibrary, SisDelayOverrides) {
+  auto lib = cell::CellLibrary::reference();
+  lib.set_sis_delays("inv", 7e-12, 9e-12);
+  EXPECT_EQ(lib.spec("INV").rise_delay, 7e-12);
+  EXPECT_EQ(lib.spec("INV").fall_delay, 9e-12);
+  EXPECT_THROW(lib.set_sis_delays("NOR2", 1e-12, 1e-12), ConfigError);
+  EXPECT_THROW(lib.set_sis_delays("NOPE", 1e-12, 1e-12), ConfigError);
+}
+
+TEST(CellLibrary, DerivedSisDelaysAreConsistentCompositions) {
+  const auto lib = cell::CellLibrary::reference();
+  const auto& inv = lib.spec("INV");
+  const auto& buf = lib.spec("BUF");
+  // BUF = two inverter stages, one falling + one rising, both directions.
+  EXPECT_DOUBLE_EQ(buf.rise_delay, inv.rise_delay + inv.fall_delay);
+  EXPECT_DOUBLE_EQ(buf.fall_delay, buf.rise_delay);
+  // Composites are strictly slower than their first stage alone.
+  EXPECT_GT(lib.spec("AND2").rise_delay, inv.rise_delay);
+  EXPECT_GT(lib.spec("OR2").fall_delay, inv.fall_delay);
+  EXPECT_GT(lib.spec("XOR2").rise_delay, lib.spec("AND2").rise_delay);
+}
+
+TEST(CellLibrary, CsvRoundTripIsBitExact) {
+  const std::string path = ::testing::TempDir() + "cell_library_rt.csv";
+  auto lib = cell::CellLibrary::reference();
+  lib.set_sis_delays("XOR2", 111e-12, 222e-12);  // survives the round trip
+  lib.save_csv(path);
+  const auto loaded = cell::CellLibrary::load_csv(path);
+  EXPECT_EQ(loaded.tech_fingerprint(), lib.tech_fingerprint());
+  ASSERT_EQ(loaded.specs().size(), lib.specs().size());
+  for (std::size_t i = 0; i < lib.specs().size(); ++i) {
+    const auto& a = lib.specs()[i];
+    const auto& b = loaded.specs()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.hybrid, b.hybrid);
+    if (a.hybrid) {
+      EXPECT_EQ(a.params.topology, b.params.topology);
+      EXPECT_EQ(a.params.r_series, b.params.r_series);
+      EXPECT_EQ(a.params.r_parallel, b.params.r_parallel);
+      EXPECT_EQ(a.params.c_int, b.params.c_int);
+      EXPECT_EQ(a.params.c_out, b.params.c_out);
+      EXPECT_EQ(a.params.vdd, b.params.vdd);
+      EXPECT_EQ(a.params.delta_min, b.params.delta_min);
+    } else {
+      EXPECT_EQ(a.rise_delay, b.rise_delay) << a.name;
+      EXPECT_EQ(a.fall_delay, b.fall_delay) << a.name;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CellLibrary, LoadRejectsMalformedFiles) {
+  EXPECT_THROW(cell::CellLibrary::load_csv("/nonexistent/lib.csv"),
+               ConfigError);
+
+  const std::string path = ::testing::TempDir() + "cell_library_bad.csv";
+  auto write = [&](const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  };
+  write("wrong,header,line,here\n");
+  EXPECT_THROW(cell::CellLibrary::load_csv(path), ConfigError);
+  // Header only: every cell is missing.
+  write("cell,field,index,value\n_tech,fingerprint,0,x\n");
+  EXPECT_THROW(cell::CellLibrary::load_csv(path), ConfigError);
+  // No fingerprint row.
+  write("cell,field,index,value\nINV,rise,0,1e-11\nINV,fall,0,1e-11\n");
+  EXPECT_THROW(cell::CellLibrary::load_csv(path), ConfigError);
+  // Duplicate row.
+  write("cell,field,index,value\n_tech,fingerprint,0,x\n"
+        "INV,rise,0,1e-11\nINV,rise,0,2e-11\n");
+  EXPECT_THROW(cell::CellLibrary::load_csv(path), ConfigError);
+  // Non-numeric value where a number is required: corrupt one line of an
+  // otherwise valid save.
+  {
+    cell::CellLibrary::reference().save_csv(path);
+    std::string text = util::read_text_file(path);
+    const auto at = text.find("\nINV,rise,0,");
+    ASSERT_NE(at, std::string::npos);
+    const auto eol = text.find('\n', at + 1);
+    text.replace(at, eol - at, "\nINV,rise,0,oops");
+    write(text);
+    EXPECT_THROW(cell::CellLibrary::load_csv(path), ConfigError);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace charlie

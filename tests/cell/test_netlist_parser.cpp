@@ -1,0 +1,112 @@
+// Syntax coverage of the structural netlist text format (cell/netlist.hpp):
+// the happy path (comments, case folding, repeatable input declarations)
+// and every parser-level error.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cell/netlist.hpp"
+#include "util/error.hpp"
+
+namespace charlie {
+namespace {
+
+TEST(NetlistParser, ParsesInputsAndInstances) {
+  const auto desc = cell::parse_netlist(
+      "# a comment line\n"
+      "input(a, b)\n"
+      "input(c)\n"
+      "\n"
+      "nand2(n1, a, b)   // cell names fold to upper case\n"
+      "NOR3(out, n1, b, c);\n");
+  ASSERT_EQ(desc.inputs.size(), 3u);
+  EXPECT_EQ(desc.inputs[0], "a");
+  EXPECT_EQ(desc.inputs[1], "b");
+  EXPECT_EQ(desc.inputs[2], "c");
+  ASSERT_EQ(desc.n_gates(), 2u);
+  EXPECT_EQ(desc.instances[0].cell, "NAND2");
+  EXPECT_EQ(desc.instances[0].output, "n1");
+  EXPECT_EQ(desc.instances[0].inputs,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(desc.instances[0].line, 5);
+  EXPECT_EQ(desc.instances[1].cell, "NOR3");
+  EXPECT_EQ(desc.instances[1].inputs,
+            (std::vector<std::string>{"n1", "b", "c"}));
+}
+
+TEST(NetlistParser, WhitespaceAndCaseAreFlexible) {
+  const auto desc = cell::parse_netlist("  INPUT ( x )\n  inv( y ,x )  \n");
+  ASSERT_EQ(desc.inputs.size(), 1u);
+  ASSERT_EQ(desc.n_gates(), 1u);
+  EXPECT_EQ(desc.instances[0].cell, "INV");
+  EXPECT_EQ(desc.instances[0].output, "y");
+  EXPECT_EQ(desc.instances[0].inputs, (std::vector<std::string>{"x"}));
+}
+
+TEST(NetlistParser, NetNamesAreCaseSensitive) {
+  const auto desc = cell::parse_netlist("input(A, a)\nNOR2(out, A, a)\n");
+  EXPECT_EQ(desc.inputs[0], "A");
+  EXPECT_EQ(desc.inputs[1], "a");
+}
+
+TEST(NetlistParser, SyntaxErrorsCarryLineNumbers) {
+  // Statement without parentheses.
+  EXPECT_THROW(cell::parse_netlist("input(a)\nnonsense\n"), ConfigError);
+  try {
+    cell::parse_netlist("input(a)\nnonsense\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos)
+        << e.what();
+  }
+  // Missing close paren.
+  EXPECT_THROW(cell::parse_netlist("NOR2(out, a, b\n"), ConfigError);
+  // Trailing garbage after the argument list.
+  EXPECT_THROW(cell::parse_netlist("NOR2(out, a, b) extra\n"), ConfigError);
+  // Bad net identifier.
+  EXPECT_THROW(cell::parse_netlist("NOR2(out, 2x, b)\n"), ConfigError);
+  // Empty argument.
+  EXPECT_THROW(cell::parse_netlist("NOR2(out, , b)\n"), ConfigError);
+  EXPECT_THROW(cell::parse_netlist("NOR2(out, a,)\n"), ConfigError);
+  // Instance with no output net.
+  EXPECT_THROW(cell::parse_netlist("NOR2()\n"), ConfigError);
+  // input() with no nets.
+  EXPECT_THROW(cell::parse_netlist("input()\n"), ConfigError);
+  // Primary input declared twice.
+  EXPECT_THROW(cell::parse_netlist("input(a)\ninput(a)\n"), ConfigError);
+}
+
+TEST(NetlistParser, SemicolonOnlyAsTrailer) {
+  EXPECT_NO_THROW(cell::parse_netlist("input(a); \nINV(y, a) ;\n"));
+  EXPECT_THROW(cell::parse_netlist("INV(y, a); INV(z, y)\n"), ConfigError);
+}
+
+TEST(NetlistParser, ReadsFilesAndPrefixesErrorsWithThePath) {
+  EXPECT_THROW(cell::read_netlist_file("/nonexistent/file.net"),
+               ConfigError);
+
+  const std::string path =
+      ::testing::TempDir() + "netlist_parser_roundtrip.net";
+  {
+    std::ofstream out(path);
+    out << "input(a, b)\nNAND2(y, a, b)\n";
+  }
+  const auto desc = cell::read_netlist_file(path);
+  EXPECT_EQ(desc.n_gates(), 1u);
+
+  {
+    std::ofstream out(path);
+    out << "input(a)\nbroken line\n";
+  }
+  try {
+    cell::read_netlist_file(path);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace charlie
