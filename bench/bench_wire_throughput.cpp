@@ -1,0 +1,118 @@
+// Interconnect throughput: the hybrid wire channel's per-event cost (the
+// two-exponential crossing solve on the collapsed RC ladder), the
+// WireModeTables collapse cost, and a wired netlist -- every gate-to-gate
+// net an RC section -- through sim::BatchRunner. The wired batch is the
+// number to watch: it prices the analog handoff against the zero-delay
+// nets of bench_netlist_throughput.cpp.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cell/cell_library.hpp"
+#include "cell/netlist.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/circuit_builder.hpp"
+#include "sim/wire_channel.hpp"
+#include "wire/wire_tables.hpp"
+
+namespace {
+
+using namespace charlie;
+
+// The mixed tree of bench_netlist_throughput.cpp with an RC wire on every
+// internal net (reference geometry, ~63 ps Elmore -- comparable to the
+// cell delays, so the wires shape real event activity).
+constexpr const char* kWiredTree = R"(
+input(a, b, c, d, e, f)
+output(out)
+NOR2(g1, a, b)
+NAND2(g2, b, c)
+NOR3(g3, c, d, e)
+NAND3(g4, d, e, f)
+WIRE(w1, g1, r=15e3, c=3e-15, sections=8, rdrive=10e3, cload=300e-18)
+WIRE(w2, g2, r=15e3, c=3e-15, sections=8, rdrive=10e3, cload=300e-18)
+WIRE(w3, g3, r=15e3, c=3e-15, sections=8, rdrive=10e3, cload=300e-18)
+WIRE(w4, g4, r=15e3, c=3e-15, sections=8, rdrive=10e3, cload=300e-18)
+NOR2(g5, w1, w2)
+NAND2(g6, w3, w4)
+NOR3(g7, w1, w3, f)
+NAND3(g8, w2, w4, a)
+NOR2(g9, g5, g7)
+NAND2(g10, g6, g8)
+NOR2(out, g9, g10)
+)";
+
+std::shared_ptr<const cell::CellLibrary> shared_library() {
+  static const auto library = std::make_shared<const cell::CellLibrary>(
+      cell::CellLibrary::reference());
+  return library;
+}
+
+sim::BatchConfig batch_config(std::size_t n_runs, std::size_t n_threads) {
+  sim::BatchConfig config;
+  config.trace.mu = 150e-12;
+  config.trace.sigma = 60e-12;
+  config.trace.n_transitions = 200;
+  config.n_runs = n_runs;
+  config.base_seed = 7;
+  config.n_threads = n_threads;
+  return config;
+}
+
+// Single wire event: drive flip + analog handoff + crossing solve. The
+// direct counterpart of BM_HybridSingleEvent for interconnect.
+void BM_WireSingleEvent(benchmark::State& state) {
+  const auto tables =
+      wire::WireModeTables::make(wire::WireParams::reference());
+  sim::WireChannel channel(tables);
+  channel.initialize(0.0, false);
+  double t = 0.0;
+  bool value = true;
+  for (auto _ : state) {
+    t += 500e-12;  // beyond the previous flight: full charge/discharge
+    channel.on_input(t, value);
+    const auto pending = channel.pending();
+    benchmark::DoNotOptimize(pending);
+    if (pending.has_value()) channel.on_fire(*pending);
+    value = !value;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireSingleEvent);
+
+// The collapse itself: moments + Pade + both drive tables. Paid once per
+// wire geometry per process (the builder memoizes), so this is setup cost,
+// not hot path.
+void BM_WireTableCollapse(benchmark::State& state) {
+  wire::WireParams params = wire::WireParams::reference();
+  params.n_sections = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const wire::WireModeTables tables(params);
+    benchmark::DoNotOptimize(tables.b2());
+  }
+}
+BENCHMARK(BM_WireTableCollapse)->Arg(1)->Arg(8)->Arg(64);
+
+// Monte-Carlo batches over the wired tree: events/second with four live
+// wire channels per circuit plus the hybrid gates they couple.
+void BM_WireBatchThroughput(benchmark::State& state) {
+  const auto n_threads = static_cast<std::size_t>(state.range(0));
+  const auto desc = cell::parse_netlist(kWiredTree);
+  const sim::CircuitBuilder builder(shared_library());
+  auto factory = [&builder, &desc] { return builder.build(desc); };
+  long long events = 0;
+  for (auto _ : state) {
+    sim::BatchRunner runner(factory, desc.outputs,
+                            batch_config(16, n_threads));
+    const auto result = runner.run();
+    events += result.total_events;
+    benchmark::DoNotOptimize(result.total_events);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WireBatchThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

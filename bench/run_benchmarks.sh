@@ -24,12 +24,14 @@ trap 'rm -rf "$tmp_dir"' EXIT
   >"$tmp_dir/batch.json"
 ./build/bench/bench_netlist_throughput --benchmark_format=json \
   >"$tmp_dir/netlist.json"
+./build/bench/bench_wire_throughput --benchmark_format=json \
+  >"$tmp_dir/wire.json"
 
 # Merge into a temp file and move it into place atomically: a failure
 # anywhere above (set -euo pipefail) or inside the merge leaves any previous
 # $out untouched instead of replacing it with partial JSON.
 python3 - "$tmp_dir/runtime.json" "$tmp_dir/batch.json" \
-  "$tmp_dir/netlist.json" "$tmp_dir/merged.json" <<'EOF'
+  "$tmp_dir/netlist.json" "$tmp_dir/wire.json" "$tmp_dir/merged.json" <<'EOF'
 import json, sys
 runtime, *extras, out = sys.argv[1:]
 with open(runtime) as f:

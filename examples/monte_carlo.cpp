@@ -11,7 +11,10 @@
 //
 //   ./example_monte_carlo [n_runs] [n_threads] [netlist_file]
 //
-// The observed net is the last instance's output.
+// The observed nets are the netlist's `output(...)` declarations (all of
+// them -- each gets its own aggregate); a netlist without declarations
+// falls back to the last instance's output. Try
+// examples/netlists/c432.net for a large multi-output workload.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -79,7 +82,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "netlist has no gates\n");
     return 1;
   }
-  const std::string out_net = netlist.instances.back().output;
+  std::vector<std::string> out_nets = netlist.outputs;
+  if (out_nets.empty()) out_nets.push_back(netlist.instances.back().output);
 
   sim::CircuitBuilder builder(library);
   auto factory = [&builder, &netlist] { return builder.build(netlist); };
@@ -92,15 +96,22 @@ int main(int argc, char** argv) {
   config.n_threads = n_threads;
   config.base_seed = 2022;
 
-  sim::BatchRunner runner(factory, out_net, config);
+  sim::BatchRunner runner(factory, out_nets, config);
   const auto result = runner.run();
 
-  std::printf("gates           : %zu (observing net \"%s\")\n",
-              netlist.n_gates(), out_net.c_str());
+  std::printf("gates           : %zu (observing %zu net%s)\n",
+              netlist.n_gates(), out_nets.size(),
+              out_nets.size() == 1 ? "" : "s");
   std::printf("runs            : %zu (threads: %zu)\n", result.n_runs,
               result.n_threads);
   std::printf("engine events   : %lld\n", result.total_events);
-  std::printf("out transitions : %lld\n", result.total_output_transitions);
+  for (const auto& agg : result.nets) {
+    std::printf("net %-12s: %lld transitions, mean pulse %s, mean response "
+                "%s\n",
+                agg.net.c_str(), agg.transitions,
+                units::format_time(agg.pulse_width.mean()).c_str(),
+                units::format_time(agg.response_delay.mean()).c_str());
+  }
   print_histogram("output pulse width", result.pulse_width);
   print_histogram("response delay", result.response_delay);
   return 0;

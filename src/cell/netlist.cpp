@@ -29,10 +29,18 @@ bool is_identifier(const std::string& name) {
   });
 }
 
-// One `head(arg, arg, ...)` statement, already comment-stripped and trimmed.
+// One `head(arg, arg, ...)` statement, already comment-stripped and
+// trimmed. Arguments are either net identifiers or `key=value` parameter
+// assignments (WIRE statements only; validated by the caller).
+struct Argument {
+  std::string text;   // identifier, or the key for assignments
+  std::string value;  // assignment value; empty means plain identifier
+  bool is_assignment = false;
+};
+
 struct Statement {
   std::string head;
-  std::vector<std::string> args;
+  std::vector<Argument> args;
 };
 
 Statement parse_statement(const std::string& text, int line) {
@@ -62,14 +70,93 @@ Statement parse_statement(const std::string& text, int line) {
     if (arg.empty() && comma == std::string::npos && s.args.empty()) {
       break;  // empty argument list: `cell()`
     }
-    if (!is_identifier(arg)) {
-      syntax_error(line, "bad net name \"" + arg + "\"");
+    Argument parsed;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      parsed.is_assignment = true;
+      parsed.text = trim_ascii(arg.substr(0, eq));
+      parsed.value = trim_ascii(arg.substr(eq + 1));
+      if (!is_identifier(parsed.text)) {
+        syntax_error(line, "bad parameter name \"" + parsed.text + "\"");
+      }
+      if (parsed.value.empty()) {
+        syntax_error(line,
+                     "parameter \"" + parsed.text + "\" needs a value");
+      }
+    } else {
+      parsed.text = arg;
+      if (!is_identifier(parsed.text)) {
+        syntax_error(line, "bad net name \"" + arg + "\"");
+      }
     }
-    s.args.push_back(arg);
+    s.args.push_back(std::move(parsed));
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
   return s;
+}
+
+// The i-th argument as a plain net identifier (rejects assignments).
+const std::string& net_argument(const Statement& s, std::size_t i, int line) {
+  const Argument& arg = s.args[i];
+  if (arg.is_assignment) {
+    syntax_error(line, "expected a net name, got parameter assignment \"" +
+                           arg.text + "=" + arg.value + "\"");
+  }
+  return arg.text;
+}
+
+NetlistWire parse_wire(const Statement& s, int line) {
+  if (s.args.size() < 2) {
+    syntax_error(line, "WIRE needs two nets: WIRE(out, in, r=.., c=..)");
+  }
+  NetlistWire wire;
+  wire.output = net_argument(s, 0, line);
+  wire.input = net_argument(s, 1, line);
+  wire.line = line;
+  bool have_r = false;
+  bool have_c = false;
+  std::unordered_set<std::string> seen;
+  for (std::size_t i = 2; i < s.args.size(); ++i) {
+    const Argument& arg = s.args[i];
+    if (!arg.is_assignment) {
+      syntax_error(line, "WIRE takes key=value parameters after the two "
+                         "nets, got net name \"" +
+                             arg.text + "\"");
+    }
+    const std::string key = util::to_lower_ascii(arg.text);
+    if (!seen.insert(key).second) {
+      syntax_error(line, "WIRE parameter \"" + key + "\" given twice");
+    }
+    const std::string context =
+        "netlist:" + std::to_string(line) + ": WIRE parameter " + key;
+    if (key == "r") {
+      wire.r_total = util::parse_double_field(arg.value, context);
+      have_r = true;
+    } else if (key == "c") {
+      wire.c_total = util::parse_double_field(arg.value, context);
+      have_c = true;
+    } else if (key == "sections") {
+      wire.sections = static_cast<int>(
+          util::parse_long_field(arg.value, context));
+    } else if (key == "rdrive") {
+      wire.r_drive = util::parse_double_field(arg.value, context);
+    } else if (key == "cload") {
+      wire.c_load = util::parse_double_field(arg.value, context);
+    } else if (key == "tdrive") {
+      wire.t_drive = util::parse_double_field(arg.value, context);
+    } else if (key == "vdd") {
+      wire.vdd = util::parse_double_field(arg.value, context);
+    } else {
+      syntax_error(line, "unknown WIRE parameter \"" + key +
+                             "\" (expected r, c, sections, rdrive, cload, "
+                             "tdrive, vdd)");
+    }
+  }
+  if (!have_r || !have_c) {
+    syntax_error(line, "WIRE requires both r= and c= parameters");
+  }
+  return wire;
 }
 
 }  // namespace
@@ -77,6 +164,7 @@ Statement parse_statement(const std::string& text, int line) {
 NetlistDesc parse_netlist(const std::string& text) {
   NetlistDesc desc;
   std::unordered_set<std::string> declared_inputs;
+  std::unordered_set<std::string> declared_outputs;
 
   int line_no = 0;
   std::size_t pos = 0;
@@ -96,11 +184,13 @@ NetlistDesc parse_netlist(const std::string& text) {
     if (line.empty()) continue;
 
     const Statement s = parse_statement(line, line_no);
-    if (to_upper_ascii(s.head) == "INPUT") {
+    const std::string head = to_upper_ascii(s.head);
+    if (head == "INPUT") {
       if (s.args.empty()) {
         syntax_error(line_no, "input() needs at least one net name");
       }
-      for (const auto& name : s.args) {
+      for (std::size_t i = 0; i < s.args.size(); ++i) {
+        const std::string& name = net_argument(s, i, line_no);
         if (!declared_inputs.insert(name).second) {
           syntax_error(line_no, "primary input \"" + name +
                                     "\" declared twice");
@@ -109,14 +199,35 @@ NetlistDesc parse_netlist(const std::string& text) {
       }
       continue;
     }
+    if (head == "OUTPUT") {
+      if (s.args.empty()) {
+        syntax_error(line_no, "output() needs at least one net name");
+      }
+      for (std::size_t i = 0; i < s.args.size(); ++i) {
+        const std::string& name = net_argument(s, i, line_no);
+        if (!declared_outputs.insert(name).second) {
+          syntax_error(line_no, "primary output \"" + name +
+                                    "\" declared twice");
+        }
+        desc.outputs.push_back(name);
+      }
+      continue;
+    }
+    if (head == "WIRE") {
+      desc.wires.push_back(parse_wire(s, line_no));
+      continue;
+    }
     if (s.args.empty()) {
       syntax_error(line_no,
                    "instance needs an output net: " + s.head + "(...)");
     }
     NetlistInstance inst;
-    inst.cell = to_upper_ascii(s.head);
-    inst.output = s.args.front();
-    inst.inputs.assign(s.args.begin() + 1, s.args.end());
+    inst.cell = head;
+    inst.output = net_argument(s, 0, line_no);
+    inst.inputs.reserve(s.args.size() - 1);
+    for (std::size_t i = 1; i < s.args.size(); ++i) {
+      inst.inputs.push_back(net_argument(s, i, line_no));
+    }
     inst.line = line_no;
     desc.instances.push_back(std::move(inst));
   }

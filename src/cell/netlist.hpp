@@ -1,22 +1,29 @@
 // Structural netlist description and its text format.
 //
-// A netlist is the cell-library front-end's unit of work: primary inputs
-// plus a list of cell instances (cell name, output net, input nets),
-// decoupled from any characterized library so the same topology can be
-// instantiated against different technologies. sim::CircuitBuilder turns a
-// NetlistDesc + cell::CellLibrary into a validated sim::Circuit.
+// A netlist is the cell-library front-end's unit of work: primary inputs,
+// primary outputs, cell instances (cell name, output net, input nets), and
+// RC wires, decoupled from any characterized library so the same topology
+// can be instantiated against different technologies. sim::CircuitBuilder
+// turns a NetlistDesc + cell::CellLibrary into a validated sim::Circuit.
 //
 // Text grammar (see docs/netlist_format.md for the full description):
 //
 //   # comment (also //); blank lines ignored
 //   input(a, b, c)          # declare primary inputs, repeatable
+//   output(out1, out2)      # declare observed primary outputs, repeatable
 //   NAND2(n1, a, b)         # instance: CELL(output, input, ...)
 //   nor3(out, n1, c, d)     # cell names are case-insensitive
+//   WIRE(n1w, n1, r=12e3, c=2.5e-15, sections=8)   # RC interconnect
+//
+// WIRE statements take two nets (driven net first, driving net second) and
+// key=value parameters: `r` and `c` (total line resistance/capacitance,
+// required), `sections`, `rdrive`, `cload`, `tdrive`, `vdd` (optional).
 //
 // Net names are case-sensitive identifiers [A-Za-z_][A-Za-z0-9_]*. The
-// parser checks syntax only; semantic validation (cells exist, arities
-// match, nets are driven exactly once, the graph is acyclic) happens in
-// CircuitBuilder, which knows the library.
+// parser checks syntax only (including duplicate input/output
+// declarations); semantic validation (cells exist, arities match, nets are
+// driven exactly once, the graph is acyclic) happens in CircuitBuilder,
+// which knows the library.
 #pragma once
 
 #include <string>
@@ -31,16 +38,35 @@ struct NetlistInstance {
   int line = 0;                     // 1-based source line (diagnostics)
 };
 
+/// One `WIRE(out, in, r=.., c=.., ...)` statement: an RC interconnect
+/// segment driving `output` from `input` (wire::WireParams semantics).
+struct NetlistWire {
+  std::string output;      // far-end net the wire drives
+  std::string input;       // near-end net driving the wire
+  double r_total = 0.0;    // [ohm], required in the text format
+  double c_total = 0.0;    // [farad], required in the text format
+  int sections = 8;
+  double r_drive = 0.0;    // [ohm]
+  double c_load = 0.0;     // [farad]
+  double t_drive = 0.0;    // driver edge time constant [s]; 0 = ideal step
+  double vdd = 0.8;        // [volt]
+  int line = 0;            // 1-based source line (diagnostics)
+};
+
 struct NetlistDesc {
-  std::vector<std::string> inputs;  // primary inputs, declaration order
+  std::vector<std::string> inputs;   // primary inputs, declaration order
+  std::vector<std::string> outputs;  // declared primary outputs, in order
   std::vector<NetlistInstance> instances;
+  std::vector<NetlistWire> wires;
 
   std::size_t n_gates() const { return instances.size(); }
+  std::size_t n_wires() const { return wires.size(); }
 };
 
 /// Parse netlist text. Throws ConfigError with a line number on syntax
 /// errors (malformed statements, bad identifiers, empty argument lists,
-/// re-declared primary inputs).
+/// re-declared primary inputs/outputs, malformed or missing WIRE
+/// parameters, key=value arguments outside WIRE statements).
 NetlistDesc parse_netlist(const std::string& text);
 
 /// Read and parse a netlist file (errors are prefixed with the path).

@@ -6,6 +6,56 @@
 
 namespace charlie::core {
 
+ModeTable derive_mode_table(const ode::AffineOde2& mode_ode) {
+  ModeTable t;
+  t.ode = mode_ode;
+  const ode::Eigen2& eig = t.ode.eigen();
+  const ode::Vec2& g = t.ode.g();
+  bool xp_valid = false;
+  if (t.ode.has_equilibrium()) {
+    t.xp = t.ode.equilibrium();
+    xp_valid = true;
+  } else if (g.x == 0.0 && g.y == 0.0) {
+    // Source-free singular mode (e.g. the NOR stack fully isolated):
+    // xp = 0 trivially solves A xp = -g.
+    xp_valid = true;
+  } else {
+    // Frozen internal node with a driven output (NAND-like stacks): the
+    // V_int row of A is zero with g.x = 0, so A xp = -g stays consistent
+    // and any solution serves as the particular point of the expansion.
+    const ode::Mat2& a = t.ode.a();
+    if (a.a == 0.0 && a.b == 0.0 && g.x == 0.0 && a.d != 0.0) {
+      t.xp = {0.0, -g.y / a.d};
+      xp_valid = true;
+    }
+  }
+  if (xp_valid) t.d = t.xp.y;
+  if (eig.kind == ode::EigenKind::kRealDistinct) {
+    t.scalar_valid = true;
+    t.l1 = eig.lambda1;
+    t.l2 = eig.lambda2;
+    const ode::Mat2& a = t.ode.a();
+    const double inv = 1.0 / (t.l1 - t.l2);
+    t.s1 = (a - t.l2 * ode::Mat2::identity()) * inv;
+    t.s2 = ode::Mat2::identity() - t.s1;
+    t.p1c = t.s1.c;
+    t.p1d = t.s1.d;
+  } else if (eig.kind == ode::EigenKind::kRealRepeated) {
+    // A = lambda I: V_O decays independently of V_int, so the projector
+    // row is zero and the whole deviation rides on the l2 exponential.
+    t.scalar_valid = true;
+    t.l1 = 0.0;
+    t.l2 = eig.lambda1;
+    t.s1 = ode::Mat2::zero();
+    t.s2 = ode::Mat2::identity();
+  }
+  t.scalar_valid = t.scalar_valid && xp_valid;
+  t.fold1 = t.scalar_valid && t.l1 == 0.0;
+  t.fold2 = t.scalar_valid && t.l2 == 0.0;
+  t.spectral_valid = t.scalar_valid;
+  return t;
+}
+
 GateModeTables::GateModeTables(const GateParams& params) : params_(params) {
   params_.validate();
   vth_ = params_.vth();
@@ -13,55 +63,12 @@ GateModeTables::GateModeTables(const GateParams& params) : params_(params) {
   double slowest = 0.0;
   for (GateState s = 0; s < tables_.size(); ++s) {
     ModeTable& t = tables_[s];
-    t.ode = gate_mode_ode(params_, s);
+    t = derive_mode_table(gate_mode_ode(params_, s));
     t.steady = gate_mode_steady_state(params_, s, 0.0);
     const ode::Eigen2& eig = t.ode.eigen();
     for (double lambda : {eig.lambda1, eig.lambda2}) {
       if (lambda < 0.0) slowest = std::max(slowest, 1.0 / -lambda);
     }
-    const ode::Vec2& g = t.ode.g();
-    bool xp_valid = false;
-    if (t.ode.has_equilibrium()) {
-      t.xp = t.ode.equilibrium();
-      xp_valid = true;
-    } else if (g.x == 0.0 && g.y == 0.0) {
-      // Source-free singular mode (e.g. the NOR stack fully isolated):
-      // xp = 0 trivially solves A xp = -g.
-      xp_valid = true;
-    } else {
-      // Frozen internal node with a driven output (NAND-like stacks): the
-      // V_int row of A is zero with g.x = 0, so A xp = -g stays consistent
-      // and any solution serves as the particular point of the expansion.
-      const ode::Mat2& a = t.ode.a();
-      if (a.a == 0.0 && a.b == 0.0 && g.x == 0.0 && a.d != 0.0) {
-        t.xp = {0.0, -g.y / a.d};
-        xp_valid = true;
-      }
-    }
-    if (xp_valid) t.d = t.xp.y;
-    if (eig.kind == ode::EigenKind::kRealDistinct) {
-      t.scalar_valid = true;
-      t.l1 = eig.lambda1;
-      t.l2 = eig.lambda2;
-      const ode::Mat2& a = t.ode.a();
-      const double inv = 1.0 / (t.l1 - t.l2);
-      t.s1 = (a - t.l2 * ode::Mat2::identity()) * inv;
-      t.s2 = ode::Mat2::identity() - t.s1;
-      t.p1c = t.s1.c;
-      t.p1d = t.s1.d;
-    } else if (eig.kind == ode::EigenKind::kRealRepeated) {
-      // A = lambda I: V_O decays independently of V_int, so the projector
-      // row is zero and the whole deviation rides on the l2 exponential.
-      t.scalar_valid = true;
-      t.l1 = 0.0;
-      t.l2 = eig.lambda1;
-      t.s1 = ode::Mat2::zero();
-      t.s2 = ode::Mat2::identity();
-    }
-    t.scalar_valid = t.scalar_valid && xp_valid;
-    t.fold1 = t.scalar_valid && t.l1 == 0.0;
-    t.fold2 = t.scalar_valid && t.l2 == 0.0;
-    t.spectral_valid = t.scalar_valid;
   }
   horizon_ = 60.0 * slowest;
 }

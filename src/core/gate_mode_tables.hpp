@@ -56,6 +56,14 @@ struct ModeTable {
   ode::Mat2 s2{};
 };
 
+/// Derive every expansion field of a ModeTable (particular solution, scalar
+/// two-exponential coefficients, spectral projectors) from its affine ODE.
+/// `steady` is left default -- it encodes model-specific conventions (frozen
+/// internal nodes, hold values) the caller owns. Shared by GateModeTables
+/// and the interconnect tables (wire::WireModeTables), which collapse RC
+/// lines to the same affine 2-state form.
+ModeTable derive_mode_table(const ode::AffineOde2& mode_ode);
+
 class GateModeTables {
  public:
   /// Validates `params` once (throws ConfigError) and derives all 2^N mode

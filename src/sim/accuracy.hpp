@@ -17,6 +17,7 @@
 #include "sim/channel.hpp"
 #include "spice/characterize.hpp"
 #include "waveform/generator.hpp"
+#include "wire/wire_params.hpp"
 
 namespace charlie::sim {
 
@@ -68,5 +69,33 @@ AccuracyResult evaluate_gate_accuracy(const spice::Technology& tech,
                                       const waveform::TraceConfig& config,
                                       const std::vector<ModelUnderTest>& models,
                                       const AccuracyOptions& options = {});
+
+/// Single-input delay model under test for the interconnect experiment.
+struct WireModelUnderTest {
+  std::string name;
+  /// Fresh channel per repetition (channels are stateful).
+  std::function<std::unique_ptr<SisChannel>()> make;
+  bool is_baseline = false;  // normalization reference (inertial lumped load)
+};
+
+struct WireAccuracyOptions {
+  int repetitions = 3;
+  std::uint64_t seed = 20240316;  // follow-up paper's arXiv date
+  double tail_time = 500e-12;     // observation margin after the last edge
+  double drive_rise_time = 20e-12;  // slew of the PWL drive edges
+  spice::TransientOptions transient;
+
+  WireAccuracyOptions();
+};
+
+/// Fig-7-style deviation-area experiment for the interconnect model: the
+/// golden output is the transient of the *full* N-section ladder
+/// (spice::build_rc_line) under slew-limited random drive, digitized at
+/// V_th; each model runs on the digitized drive and accumulates
+/// |model - golden| deviation area, normalized against the baseline.
+AccuracyResult evaluate_wire_accuracy(
+    const wire::WireParams& params, const waveform::TraceConfig& config,
+    const std::vector<WireModelUnderTest>& models,
+    const WireAccuracyOptions& options = {});
 
 }  // namespace charlie::sim

@@ -43,25 +43,45 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+const NetAggregate& BatchResult::net(const std::string& name) const {
+  for (const auto& agg : nets) {
+    if (agg.net == name) return agg;
+  }
+  throw ConfigError("batch result: net \"" + name + "\" was not observed");
+}
+
 BatchRunner::BatchRunner(CircuitFactory factory, std::string output_net,
                          BatchConfig config)
+    : BatchRunner(std::move(factory),
+                  std::vector<std::string>{std::move(output_net)},
+                  std::move(config)) {}
+
+BatchRunner::BatchRunner(CircuitFactory factory,
+                         std::vector<std::string> output_nets,
+                         BatchConfig config)
     : factory_(std::move(factory)),
-      output_net_(std::move(output_net)),
+      output_nets_(std::move(output_nets)),
       config_(std::move(config)) {
   CHARLIE_ASSERT(factory_ != nullptr);
   CHARLIE_ASSERT(config_.n_runs >= 1);
+  CHARLIE_ASSERT_MSG(!output_nets_.empty(),
+                     "batch runner: at least one observed net");
 }
 
 namespace {
 
-struct RunStats {
-  long n_events = 0;
-  long long output_transitions = 0;
+struct NetStats {
+  long long transitions = 0;
   Histogram pulse_width;
   Histogram response_delay;
 };
 
-RunStats run_one(Circuit& circuit, Circuit::NetId output,
+struct RunStats {
+  long n_events = 0;
+  std::vector<NetStats> nets;  // parallel to the observed-net list
+};
+
+RunStats run_one(Circuit& circuit, const std::vector<Circuit::NetId>& outputs,
                  const BatchConfig& config, std::uint64_t seed,
                  double pulse_hi, double response_hi) {
   util::Rng rng(seed);
@@ -76,31 +96,40 @@ RunStats run_one(Circuit& circuit, Circuit::NetId output,
 
   RunStats stats;
   stats.n_events = result.n_events;
-  stats.pulse_width = Histogram(0.0, pulse_hi, config.histogram_bins);
-  stats.response_delay = Histogram(0.0, response_hi, config.histogram_bins);
 
-  const auto& out = result.trace(output);
-  stats.output_transitions = static_cast<long long>(out.n_transitions());
-  for (std::size_t k = 1; k < out.n_transitions(); ++k) {
-    stats.pulse_width.add(out.transitions()[k] - out.transitions()[k - 1]);
-  }
-
-  // Response delay: output transition time minus the latest stimulus
-  // transition at or before it. Both sequences are time-sorted, so one
-  // merged sweep suffices.
+  // Stimulus transitions, merged and sorted once per run; every observed
+  // net's response delays sweep the same sequence.
   std::vector<double> stim_times;
   for (const auto& trace : stimuli) {
     stim_times.insert(stim_times.end(), trace.transitions().begin(),
                       trace.transitions().end());
   }
   std::sort(stim_times.begin(), stim_times.end());
-  std::size_t si = 0;
-  for (std::size_t k = 0; k < out.n_transitions(); ++k) {
-    const double t = out.transitions()[k];
-    while (si + 1 < stim_times.size() && stim_times[si + 1] <= t) ++si;
-    if (si < stim_times.size() && stim_times[si] <= t) {
-      stats.response_delay.add(t - stim_times[si]);
+
+  stats.nets.reserve(outputs.size());
+  for (const Circuit::NetId output : outputs) {
+    NetStats net;
+    net.pulse_width = Histogram(0.0, pulse_hi, config.histogram_bins);
+    net.response_delay = Histogram(0.0, response_hi, config.histogram_bins);
+
+    const auto& out = result.trace(output);
+    net.transitions = static_cast<long long>(out.n_transitions());
+    for (std::size_t k = 1; k < out.n_transitions(); ++k) {
+      net.pulse_width.add(out.transitions()[k] - out.transitions()[k - 1]);
     }
+
+    // Response delay: output transition time minus the latest stimulus
+    // transition at or before it. Both sequences are time-sorted, so one
+    // merged sweep suffices.
+    std::size_t si = 0;
+    for (std::size_t k = 0; k < out.n_transitions(); ++k) {
+      const double t = out.transitions()[k];
+      while (si + 1 < stim_times.size() && stim_times[si + 1] <= t) ++si;
+      if (si < stim_times.size() && stim_times[si] <= t) {
+        net.response_delay.add(t - stim_times[si]);
+      }
+    }
+    stats.nets.push_back(std::move(net));
   }
   return stats;
 }
@@ -115,13 +144,16 @@ BatchResult BatchRunner::run() {
   // factory need not be thread-safe). Circuit::simulate reinitializes all
   // channel state, so a clone is reused across the runs its worker claims.
   std::vector<std::unique_ptr<Circuit>> circuits(n_workers);
-  std::vector<Circuit::NetId> outputs(n_workers);
+  std::vector<std::vector<Circuit::NetId>> outputs(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
     circuits[w] = factory_();
     CHARLIE_ASSERT(circuits[w] != nullptr);
     // Resolved per clone: a factory is not required to assign net ids in
     // the same order on every call.
-    outputs[w] = circuits[w]->find_net(output_net_);
+    outputs[w].reserve(output_nets_.size());
+    for (const auto& name : output_nets_) {
+      outputs[w].push_back(circuits[w]->find_net(name));
+    }
   }
 
   const double pulse_hi = config_.pulse_width_hi > 0.0
@@ -143,15 +175,27 @@ BatchResult BatchRunner::run() {
   result.n_runs = config_.n_runs;
   result.n_threads = n_workers;
   result.events_per_run.reserve(config_.n_runs);
-  result.pulse_width = Histogram(0.0, pulse_hi, config_.histogram_bins);
-  result.response_delay = Histogram(0.0, response_hi, config_.histogram_bins);
+  result.nets.reserve(output_nets_.size());
+  for (const auto& name : output_nets_) {
+    NetAggregate agg;
+    agg.net = name;
+    agg.pulse_width = Histogram(0.0, pulse_hi, config_.histogram_bins);
+    agg.response_delay = Histogram(0.0, response_hi, config_.histogram_bins);
+    result.nets.push_back(std::move(agg));
+  }
   for (const RunStats& stats : per_run) {
     result.total_events += stats.n_events;
-    result.total_output_transitions += stats.output_transitions;
     result.events_per_run.push_back(stats.n_events);
-    result.pulse_width.merge(stats.pulse_width);
-    result.response_delay.merge(stats.response_delay);
+    for (std::size_t n = 0; n < result.nets.size(); ++n) {
+      result.nets[n].transitions += stats.nets[n].transitions;
+      result.nets[n].pulse_width.merge(stats.nets[n].pulse_width);
+      result.nets[n].response_delay.merge(stats.nets[n].response_delay);
+    }
   }
+  // Single-net compatibility view: the first observed net.
+  result.total_output_transitions = result.nets.front().transitions;
+  result.pulse_width = result.nets.front().pulse_width;
+  result.response_delay = result.nets.front().response_delay;
   return result;
 }
 

@@ -61,17 +61,31 @@ struct BatchConfig {
   double response_delay_hi = 0.0;
 };
 
+/// Aggregates of one observed net across the whole batch.
+struct NetAggregate {
+  std::string net;
+  long long transitions = 0;
+  // Width of every pulse on this net.
+  Histogram pulse_width;
+  // Latency of every transition relative to the latest stimulus transition
+  // at or before it (input-to-output response proxy).
+  Histogram response_delay;
+};
+
 struct BatchResult {
   std::size_t n_runs = 0;
   std::size_t n_threads = 0;
   long long total_events = 0;              // engine events across all runs
-  long long total_output_transitions = 0;  // on the observed net
+  long long total_output_transitions = 0;  // on the first observed net
   std::vector<long> events_per_run;        // indexed by run (= seed offset)
-  // Width of every pulse on the observed output net.
+  // Aggregates of the first observed net (single-net compatibility view;
+  // identical to nets.front()).
   Histogram pulse_width;
-  // Latency of every output transition relative to the latest stimulus
-  // transition at or before it (input-to-output response proxy).
   Histogram response_delay;
+  // Per-net aggregates, one entry per observed net in declaration order.
+  std::vector<NetAggregate> nets;
+
+  const NetAggregate& net(const std::string& name) const;
 };
 
 /// Builds one circuit instance per worker. Called from the coordinating
@@ -84,13 +98,19 @@ class BatchRunner {
   BatchRunner(CircuitFactory factory, std::string output_net,
               BatchConfig config);
 
+  /// Observe several named nets (e.g. a netlist's `output(...)`
+  /// declarations): every net gets its own NetAggregate; the legacy
+  /// single-net fields mirror the first entry.
+  BatchRunner(CircuitFactory factory, std::vector<std::string> output_nets,
+              BatchConfig config);
+
   /// Runs the batch. Deterministic for a fixed (factory, config): the
   /// aggregate is bit-identical for any n_threads.
   BatchResult run();
 
  private:
   CircuitFactory factory_;
-  std::string output_net_;
+  std::vector<std::string> output_nets_;
   BatchConfig config_;
 };
 

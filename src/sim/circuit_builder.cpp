@@ -1,8 +1,10 @@
 #include "sim/circuit_builder.hpp"
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "sim/wire_channel.hpp"
 #include "util/error.hpp"
 
 namespace charlie::sim {
@@ -16,21 +18,70 @@ namespace {
   throw ConfigError("circuit builder: " + where + ": " + why);
 }
 
+[[noreturn]] void wire_error(const cell::NetlistWire& wire,
+                             const std::string& why) {
+  std::string where = "WIRE(" + wire.output + ", " + wire.input + ")";
+  if (wire.line > 0) where += " (line " + std::to_string(wire.line) + ")";
+  throw ConfigError("circuit builder: " + where + ": " + why);
+}
+
+wire::WireParams wire_params_of(const cell::NetlistWire& wire) {
+  wire::WireParams params;
+  params.r_total = wire.r_total;
+  params.c_total = wire.c_total;
+  params.n_sections = wire.sections;
+  params.r_drive = wire.r_drive;
+  params.c_load = wire.c_load;
+  params.t_drive = wire.t_drive;
+  params.vdd = wire.vdd;
+  return params;
+}
+
 }  // namespace
 
 CircuitBuilder::CircuitBuilder(
     std::shared_ptr<const cell::CellLibrary> library)
-    : library_(std::move(library)) {
+    : library_(std::move(library)),
+      wire_cache_(std::make_shared<WireTableCache>()) {
   CHARLIE_ASSERT(library_ != nullptr);
 }
 
 CircuitBuilder::CircuitBuilder(const cell::CellLibrary& library)
-    : library_(std::make_shared<cell::CellLibrary>(library)) {}
+    : library_(std::make_shared<cell::CellLibrary>(library)),
+      wire_cache_(std::make_shared<WireTableCache>()) {}
+
+std::size_t CircuitBuilder::n_wire_tables() const {
+  std::lock_guard<std::mutex> lock(wire_cache_->mutex);
+  return wire_cache_->tables.size();
+}
+
+std::shared_ptr<const wire::WireModeTables> CircuitBuilder::wire_tables_for(
+    const cell::NetlistWire& wire) const {
+  const wire::WireParams params = wire_params_of(wire);
+  const std::string key = params.fingerprint();
+  std::lock_guard<std::mutex> lock(wire_cache_->mutex);
+  auto it = wire_cache_->tables.find(key);
+  if (it == wire_cache_->tables.end()) {
+    it = wire_cache_->tables.emplace(key, wire::WireModeTables::make(params))
+             .first;
+  }
+  return it->second;
+}
 
 std::unique_ptr<Circuit> CircuitBuilder::build(
     const cell::NetlistDesc& desc) const {
   // --- semantic validation -------------------------------------------------
-  // Net name -> driver: -1 for primary inputs, instance index otherwise.
+  // Unified element list: gates first, wires after, so one driver map and
+  // one topological pass cover both. Element e >= n_gates is wire
+  // e - n_gates.
+  const std::size_t n_gates = desc.instances.size();
+  const std::size_t n_elems = n_gates + desc.wires.size();
+  auto is_wire = [&](std::size_t e) { return e >= n_gates; };
+  auto wire_of = [&](std::size_t e) -> const cell::NetlistWire& {
+    return desc.wires[e - n_gates];
+  };
+
+  // Net name -> driver: -1 for primary inputs, element index otherwise.
   std::unordered_map<std::string, int> driver;
   for (const auto& name : desc.inputs) {
     if (!driver.emplace(name, -1).second) {
@@ -38,8 +89,8 @@ std::unique_ptr<Circuit> CircuitBuilder::build(
                         "\" declared twice");
     }
   }
-  std::vector<const cell::CellSpec*> specs(desc.instances.size(), nullptr);
-  for (std::size_t i = 0; i < desc.instances.size(); ++i) {
+  std::vector<const cell::CellSpec*> specs(n_gates, nullptr);
+  for (std::size_t i = 0; i < n_gates; ++i) {
     const auto& inst = desc.instances[i];
     const cell::CellSpec* spec = library_->find(inst.cell);
     if (spec == nullptr) {
@@ -55,50 +106,85 @@ std::unique_ptr<Circuit> CircuitBuilder::build(
       build_error(inst, "net \"" + inst.output + "\" is defined twice");
     }
   }
+  for (std::size_t w = 0; w < desc.wires.size(); ++w) {
+    const auto& wire = desc.wires[w];
+    try {
+      wire_params_of(wire).validate();
+    } catch (const ConfigError& e) {
+      wire_error(wire, e.what());
+    }
+    if (!driver.emplace(wire.output, static_cast<int>(n_gates + w)).second) {
+      wire_error(wire, "net \"" + wire.output + "\" is defined twice");
+    }
+  }
   for (const auto& inst : desc.instances) {
     for (const auto& input : inst.inputs) {
       if (driver.find(input) == driver.end()) {
         build_error(inst, "input net \"" + input +
-                              "\" is driven by no gate or primary input");
+                              "\" is driven by no gate, wire, or primary "
+                              "input");
       }
+    }
+  }
+  for (const auto& wire : desc.wires) {
+    if (driver.find(wire.input) == driver.end()) {
+      wire_error(wire, "input net \"" + wire.input +
+                           "\" is driven by no gate, wire, or primary "
+                           "input");
+    }
+  }
+  for (const auto& name : desc.outputs) {
+    if (driver.find(name) == driver.end()) {
+      throw ConfigError("circuit builder: declared primary output \"" + name +
+                        "\" is driven by no gate, wire, or primary input");
     }
   }
 
   // --- topological order (Kahn) -------------------------------------------
-  // The engine appends gates after their input nets exist, so instances are
+  // The engine appends gates after their input nets exist, so elements are
   // emitted in dependency order regardless of netlist order; leftover
-  // instances sit on a combinational cycle.
-  const std::size_t n = desc.instances.size();
-  std::vector<int> missing_inputs(n, 0);
+  // elements sit on a combinational cycle.
+  auto element_inputs = [&](std::size_t e, auto&& visit) {
+    if (is_wire(e)) {
+      visit(wire_of(e).input);
+    } else {
+      for (const auto& input : desc.instances[e].inputs) visit(input);
+    }
+  };
+  std::vector<int> missing_inputs(n_elems, 0);
   std::unordered_map<int, std::vector<int>> dependents;  // driver -> users
   std::vector<int> ready;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (const auto& input : desc.instances[i].inputs) {
+  for (std::size_t e = 0; e < n_elems; ++e) {
+    element_inputs(e, [&](const std::string& input) {
       const int d = driver.at(input);
       if (d >= 0) {
-        ++missing_inputs[i];
-        dependents[d].push_back(static_cast<int>(i));
+        ++missing_inputs[e];
+        dependents[d].push_back(static_cast<int>(e));
       }
-    }
-    if (missing_inputs[i] == 0) ready.push_back(static_cast<int>(i));
+    });
+    if (missing_inputs[e] == 0) ready.push_back(static_cast<int>(e));
   }
   std::vector<int> order;
-  order.reserve(n);
+  order.reserve(n_elems);
   for (std::size_t head = 0; head < ready.size(); ++head) {
-    const int i = ready[head];
-    order.push_back(i);
-    const auto it = dependents.find(i);
+    const int e = ready[head];
+    order.push_back(e);
+    const auto it = dependents.find(e);
     if (it == dependents.end()) continue;
     for (const int user : it->second) {
       if (--missing_inputs[user] == 0) ready.push_back(user);
     }
   }
-  if (order.size() != n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (missing_inputs[i] > 0) {
-        build_error(desc.instances[i],
+  if (order.size() != n_elems) {
+    for (std::size_t e = 0; e < n_elems; ++e) {
+      if (missing_inputs[e] > 0) {
+        if (is_wire(e)) {
+          wire_error(wire_of(e), "combinational cycle through net \"" +
+                                     wire_of(e).output + "\"");
+        }
+        build_error(desc.instances[e],
                     "combinational cycle through net \"" +
-                        desc.instances[i].output + "\"");
+                        desc.instances[e].output + "\"");
       }
     }
   }
@@ -106,9 +192,16 @@ std::unique_ptr<Circuit> CircuitBuilder::build(
   // --- emission ------------------------------------------------------------
   auto circuit = std::make_unique<Circuit>();
   for (const auto& name : desc.inputs) circuit->add_input(name);
-  for (const int i : order) {
-    const auto& inst = desc.instances[i];
-    const cell::CellSpec& spec = *specs[i];
+  for (const int e : order) {
+    if (is_wire(static_cast<std::size_t>(e))) {
+      const auto& wire = wire_of(static_cast<std::size_t>(e));
+      circuit->add_gate(
+          GateKind::kBuf, wire.output, {circuit->find_net(wire.input)},
+          std::make_unique<WireChannel>(wire_tables_for(wire)));
+      continue;
+    }
+    const auto& inst = desc.instances[static_cast<std::size_t>(e)];
+    const cell::CellSpec& spec = *specs[static_cast<std::size_t>(e)];
     std::vector<Circuit::NetId> inputs;
     inputs.reserve(inst.inputs.size());
     for (const auto& input : inst.inputs) {

@@ -2,30 +2,39 @@
 //
 // CircuitBuilder is the instantiation half of the characterize-once /
 // instantiate-many lifecycle: it consumes a cell::NetlistDesc (primary
-// inputs + cell instances) and a cell::CellLibrary and emits a validated
-// sim::Circuit -- hybrid MIS cells get HybridGateChannel instances sharing
-// the library's per-cell mode tables, SIS cells get inertial channels with
-// the library's characterized delays. Calling build() repeatedly (e.g. one
-// clone per BatchRunner worker) re-instantiates the circuit without
-// re-deriving anything.
+// inputs, primary outputs, cell instances, RC wires) and a
+// cell::CellLibrary and emits a validated sim::Circuit -- hybrid MIS cells
+// get HybridGateChannel instances sharing the library's per-cell mode
+// tables, SIS cells get inertial channels with the library's characterized
+// delays, and WIRE statements get hybrid WireChannel instances sharing one
+// collapsed wire::WireModeTables per distinct wire geometry (memoized
+// inside the builder, so BatchRunner's per-worker build() clones never
+// re-derive a collapse). Calling build() repeatedly re-instantiates the
+// circuit without re-deriving anything.
 //
 // build() validates the netlist against the library and throws ConfigError
 // (with the offending net/cell and source line when available) for:
 //   * unknown cell names;
 //   * arity mismatches between an instance and its cell;
-//   * duplicate net definitions (two drivers, or a driver colliding with a
-//     primary input);
-//   * undriven nets (an instance input that nothing defines);
+//   * duplicate net definitions (two drivers -- gate or wire -- or a
+//     driver colliding with a primary input);
+//   * undriven nets (an instance or wire input that nothing defines);
+//   * invalid wire parameters (wire::WireParams::validate);
+//   * declared primary outputs that no net defines;
 //   * combinational cycles (the engine requires acyclic circuits).
-// Instances may appear in any order; the builder topologically sorts them.
+// Instances and wires may appear in any order; the builder topologically
+// sorts them.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "cell/cell_library.hpp"
 #include "cell/netlist.hpp"
 #include "sim/circuit.hpp"
+#include "wire/wire_tables.hpp"
 
 namespace charlie::sim {
 
@@ -40,7 +49,8 @@ class CircuitBuilder {
 
   /// Validate `desc` against the library and emit the circuit. Primary
   /// inputs are declared in netlist order (the stimulus order for
-  /// Circuit::simulate and BatchRunner).
+  /// Circuit::simulate and BatchRunner). Wires are emitted as single-input
+  /// buffer gates carrying a WireChannel.
   std::unique_ptr<Circuit> build(const cell::NetlistDesc& desc) const;
 
   /// Parse-and-build conveniences for netlist text / files.
@@ -49,8 +59,26 @@ class CircuitBuilder {
 
   const cell::CellLibrary& library() const { return *library_; }
 
+  /// Number of distinct wire geometries collapsed so far (testing hook for
+  /// the collapse-once guarantee across repeated build() calls).
+  std::size_t n_wire_tables() const;
+
  private:
+  std::shared_ptr<const wire::WireModeTables> wire_tables_for(
+      const cell::NetlistWire& wire) const;
+
   std::shared_ptr<const cell::CellLibrary> library_;
+  // One collapsed table per distinct WireParams fingerprint, shared by
+  // every WireChannel instance across all circuits this builder emits (and
+  // across builder copies, which share the cache object). Guarded so
+  // factory clones may be built from concurrent threads.
+  struct WireTableCache {
+    std::mutex mutex;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const wire::WireModeTables>>
+        tables;
+  };
+  std::shared_ptr<WireTableCache> wire_cache_;
 };
 
 }  // namespace charlie::sim

@@ -26,6 +26,7 @@
 
 #include "core/gate_mode_tables.hpp"
 #include "sim/channel.hpp"
+#include "sim/two_exp_crossing.hpp"
 
 namespace charlie::sim {
 
@@ -59,31 +60,7 @@ class HybridGateChannel : public GateChannel {
  private:
   std::optional<PendingEvent> next_crossing(double t_from) const;
   std::optional<PendingEvent> next_crossing_scan(double t_from) const;
-
-  // Root of vo_scalar(tau) = vth inside the sign-change bracket [lo, hi],
-  // where flo = vo_scalar(lo) - vth is already known: safeguarded Newton on
-  // the two-exponential form (analytic derivative, bisection fallback step)
-  // started from `seed`, Brent only if Newton fails to converge.
-  double solve_crossing(double lo, double hi, double flo, double seed) const;
-
-  // Scalar expansion of the output voltage on the current segment:
-  //   V_O(t_ref_ + tau) = d + a1 e^{l1 tau} + a2 e^{l2 tau}.
-  // A two-exponential-plus-constant has at most one interior extremum and
-  // at most two threshold crossings, so the crossing search reduces to a
-  // handful of evaluations instead of a linear scan (hot path for
-  // event-driven simulation). The mode-constant pieces (l1, l2, projector
-  // row, particular solution) come precomputed from the shared table; only
-  // the amplitudes depend on the segment's entry state.
-  struct ScalarVo {
-    bool valid = false;  // false: fall back to the generic scan
-    double d = 0.0;
-    double a1 = 0.0;
-    double l1 = 0.0;
-    double a2 = 0.0;
-    double l2 = 0.0;
-  };
   void refresh_scalar();
-  double vo_scalar(double tau) const;
 
   std::shared_ptr<const core::GateModeTables> tables_;
   const core::ModeTable* mt_ = nullptr;  // current mode's table entry
@@ -93,7 +70,10 @@ class HybridGateChannel : public GateChannel {
   double delta_min_ = 0.0;
   int n_inputs_ = 0;
   core::GateState state_ = 0;  // logical input levels (post pure delay)
-  ScalarVo scalar_{};
+  // Scalar two-exponential expansion of V_O on the current segment (see
+  // sim/two_exp_crossing.hpp); the crossing search runs on it instead of a
+  // linear scan (hot path for event-driven simulation).
+  TwoExpVo scalar_{};
   double t_ref_ = 0.0;   // time of the state snapshot
   ode::Vec2 x_ref_{};    // (V_int, V_O) at t_ref_
   bool output_ = false;

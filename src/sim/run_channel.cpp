@@ -101,4 +101,41 @@ waveform::DigitalTrace run_gate_channel(GateChannel& channel,
   return run_gate_channel_impl(channel, traces, t_begin, t_end);
 }
 
+waveform::DigitalTrace run_sis_channel(SisChannel& channel,
+                                       const waveform::DigitalTrace& input,
+                                       double t_begin, double t_end) {
+  CHARLIE_ASSERT(t_end > t_begin);
+  channel.initialize(t_begin, input.value_at(t_begin));
+  waveform::DigitalTrace out(channel.initial_output(), {});
+  bool out_value = channel.initial_output();
+  double out_last_t = t_begin;
+
+  auto fire = [&](const PendingEvent& ev) {
+    channel.on_fire(ev);
+    if (ev.t >= t_end) return;
+    if (ev.value == out_value) return;  // defensive, as in the gate harness
+    const double t = std::max(ev.t, std::nextafter(out_last_t, 1e300));
+    out.append_transition(t);
+    out_value = ev.value;
+    out_last_t = t;
+  };
+
+  for (std::size_t i = 0; i < input.n_transitions(); ++i) {
+    const double t = input.transitions()[i];
+    if (t <= t_begin || t >= t_end) continue;
+    while (true) {
+      const auto pending = channel.pending();
+      if (!pending.has_value() || pending->t > t) break;
+      fire(*pending);
+    }
+    channel.on_input(t, input.is_rising(i));
+  }
+  while (true) {
+    const auto pending = channel.pending();
+    if (!pending.has_value() || pending->t >= t_end) break;
+    fire(*pending);
+  }
+  return out;
+}
+
 }  // namespace charlie::sim

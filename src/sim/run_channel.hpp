@@ -22,4 +22,11 @@ waveform::DigitalTrace run_gate_channel(GateChannel& channel,
                                         const waveform::DigitalTrace& b,
                                         double t_begin, double t_end);
 
+/// Simulate a single-input channel (e.g. a WireChannel or an inertial
+/// baseline) on one input trace over [t_begin, t_end]; same semantics as
+/// run_gate_channel.
+waveform::DigitalTrace run_sis_channel(SisChannel& channel,
+                                       const waveform::DigitalTrace& input,
+                                       double t_begin, double t_end);
+
 }  // namespace charlie::sim

@@ -1,0 +1,70 @@
+#include "spice/rc_line.hpp"
+
+#include "util/error.hpp"
+#include "waveform/edges.hpp"
+
+namespace charlie::spice {
+
+RcLineNodes build_rc_line(Netlist& nl, const RcLineSpec& spec,
+                          const std::string& prefix) {
+  if (!(spec.r_total > 0.0) || !(spec.c_total > 0.0)) {
+    throw ConfigError("rc line: r_total and c_total must be positive");
+  }
+  if (spec.n_sections < 1) {
+    throw ConfigError("rc line: n_sections must be >= 1");
+  }
+  if (spec.r_drive < 0.0 || spec.c_load < 0.0) {
+    throw ConfigError("rc line: r_drive and c_load must be non-negative");
+  }
+
+  RcLineNodes nodes;
+  nodes.in = nl.node(prefix + "in");
+  const double r_sec = spec.r_total / spec.n_sections;
+  const double c_sec = spec.c_total / spec.n_sections;
+  NodeId prev = nodes.in;
+  for (int k = 1; k <= spec.n_sections; ++k) {
+    const NodeId tap = nl.node(prefix + "t" + std::to_string(k));
+    // The driver resistance folds into the first segment so a zero r_drive
+    // never stamps a zero-ohm resistor.
+    nl.add_resistor(prev, tap, r_sec + (k == 1 ? spec.r_drive : 0.0));
+    double cap = c_sec + (k == spec.n_sections ? spec.c_load : 0.0);
+    nl.add_capacitor(tap, kGround, cap);
+    nodes.taps.push_back(tap);
+    prev = tap;
+  }
+  nodes.out = nodes.taps.back();
+  return nodes;
+}
+
+RcLineTransientResult run_rc_line(const RcLineSpec& spec,
+                                  const waveform::DigitalTrace& drive,
+                                  double rise_time, double t_end,
+                                  const TransientOptions& transient_options) {
+  CHARLIE_ASSERT(rise_time > 0.0);
+  CHARLIE_ASSERT(t_end > 0.0);
+  Netlist nl;
+  const RcLineNodes nodes = build_rc_line(nl, spec);
+
+  waveform::EdgeParams edges;
+  edges.v_low = 0.0;
+  edges.v_high = spec.vdd;
+  edges.rise_time = rise_time;
+  nl.add_vsource_pwl(nodes.in, kGround,
+                     waveform::slew_limited_waveform(drive, edges, 0.0, t_end));
+
+  const std::string in_name = nl.node_name(nodes.in);
+  const std::string out_name = nl.node_name(nodes.out);
+
+  TransientOptions opts = transient_options;
+  opts.t_start = 0.0;
+  opts.t_end = t_end;
+  TransientResult tr = transient_analysis(nl, {in_name, out_name}, opts);
+
+  RcLineTransientResult result;
+  result.vin = std::move(tr.waves.at(in_name));
+  result.vout = std::move(tr.waves.at(out_name));
+  result.n_steps = tr.n_accepted;
+  return result;
+}
+
+}  // namespace charlie::spice

@@ -1,0 +1,58 @@
+// RC transmission-line golden reference for the hybrid interconnect model.
+//
+// build_rc_line instantiates the *full* N-section lumped ladder -- driver
+// resistance, N series/shunt sections, receiver load -- into an analog
+// netlist. The wire model (wire/wire_tables.hpp) collapses the same ladder
+// to two states; this is the uncollapsed circuit the collapse is validated
+// against, the way spice::build_nor2 is the gate model's substrate truth.
+//
+// RcLineSpec mirrors wire::WireParams field-for-field but lives in the
+// spice layer (which sits below core/wire in the build graph) so the
+// substrate does not depend on the model it validates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "spice/transient.hpp"
+#include "waveform/digital_trace.hpp"
+
+namespace charlie::spice {
+
+struct RcLineSpec {
+  double r_total = 0.0;  // total line resistance [ohm]
+  double c_total = 0.0;  // total line capacitance [farad]
+  int n_sections = 8;    // lumped ladder sections
+  double r_drive = 0.0;  // driver output resistance [ohm], may be 0
+  double c_load = 0.0;   // receiver pin capacitance [farad], may be 0
+  double vdd = 0.8;      // rail for the PWL drive [volt]
+};
+
+struct RcLineNodes {
+  NodeId in = 0;               // source-side node (attach the driver here)
+  std::vector<NodeId> taps;    // ladder nodes, source to load order
+  NodeId out = 0;              // far end (= taps.back())
+};
+
+/// Instantiate the ladder into `netlist`. Nodes are named `<prefix>in`,
+/// `<prefix>t1` ... `<prefix>tN`; the output is the last tap. r_drive = 0
+/// connects the first section directly to `in`.
+RcLineNodes build_rc_line(Netlist& netlist, const RcLineSpec& spec,
+                          const std::string& prefix = "w");
+
+struct RcLineTransientResult {
+  waveform::Waveform vin;   // the applied drive
+  waveform::Waveform vout;  // far-end response
+  long n_steps = 0;
+};
+
+/// Drive the full ladder with a slew-limited PWL rendering of `drive`
+/// (edges of duration `rise_time`, V_th crossings at the transition times)
+/// and record the input/output waveforms over [0, t_end].
+RcLineTransientResult run_rc_line(const RcLineSpec& spec,
+                                  const waveform::DigitalTrace& drive,
+                                  double rise_time, double t_end,
+                                  const TransientOptions& transient_options);
+
+}  // namespace charlie::spice

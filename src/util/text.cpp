@@ -12,6 +12,13 @@ std::string to_upper_ascii(std::string s) {
   return s;
 }
 
+std::string to_lower_ascii(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
 std::string trim_ascii(const std::string& text) {
   const auto begin = text.find_first_not_of(" \t\r\n");
   if (begin == std::string::npos) return {};

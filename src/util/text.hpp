@@ -9,6 +9,9 @@ namespace charlie::util {
 /// Copy of `s` with ASCII letters upper-cased (locale-independent).
 std::string to_upper_ascii(std::string s);
 
+/// Copy of `s` with ASCII letters lower-cased (locale-independent).
+std::string to_lower_ascii(std::string s);
+
 /// Copy of `text` with leading/trailing spaces, tabs, CR, and LF removed.
 std::string trim_ascii(const std::string& text);
 

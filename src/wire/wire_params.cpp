@@ -1,0 +1,71 @@
+#include "wire/wire_params.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "wire/wire_tables.hpp"
+
+namespace charlie::wire {
+
+double WireParams::elmore_delay() const {
+  // The first ladder moment is minus the Elmore delay; one recursion
+  // serves both this and the collapse, so they can never disagree.
+  return -wire_moments(*this).m1;
+}
+
+void WireParams::validate() const {
+  if (!(r_total > 0.0)) {
+    throw ConfigError("wire: r_total must be positive, got " +
+                      std::to_string(r_total));
+  }
+  if (!(c_total > 0.0)) {
+    throw ConfigError("wire: c_total must be positive, got " +
+                      std::to_string(c_total));
+  }
+  if (n_sections < 1 || n_sections > kMaxWireSections) {
+    throw ConfigError("wire: n_sections must be in [1, " +
+                      std::to_string(kMaxWireSections) + "], got " +
+                      std::to_string(n_sections));
+  }
+  if (!(r_drive >= 0.0)) {
+    throw ConfigError("wire: r_drive must be non-negative");
+  }
+  if (!(c_load >= 0.0)) {
+    throw ConfigError("wire: c_load must be non-negative");
+  }
+  if (!(vdd > 0.0)) {
+    throw ConfigError("wire: vdd must be positive");
+  }
+  if (!(t_drive >= 0.0)) {
+    throw ConfigError("wire: t_drive must be non-negative");
+  }
+}
+
+std::string WireParams::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "wire{r=%.4g ohm, c=%.4g F, sections=%d, r_drive=%.4g ohm, "
+                "c_load=%.4g F, vdd=%.4g V, t_drive=%.4g s}",
+                r_total, c_total, n_sections, r_drive, c_load, vdd, t_drive);
+  return buf;
+}
+
+std::string WireParams::fingerprint() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%.17g|%.17g|%d|%.17g|%.17g|%.17g|%.17g",
+                r_total, c_total, n_sections, r_drive, c_load, vdd, t_drive);
+  return buf;
+}
+
+WireParams WireParams::reference() {
+  WireParams p;
+  p.r_total = 15e3;    // a long minimum-width wire in the Table-I regime
+  p.c_total = 3e-15;   // distributed line capacitance
+  p.n_sections = 8;
+  p.r_drive = 10e3;    // reference-cell output resistance scale
+  p.c_load = 300e-18;  // receiver pin load
+  p.vdd = 0.8;
+  return p;
+}
+
+}  // namespace charlie::wire

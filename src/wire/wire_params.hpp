@@ -1,0 +1,61 @@
+// Parameters of the hybrid interconnect (RC-wire) model.
+//
+// A wire between a driving channel and its fanout is an N-section lumped
+// RC ladder: the driver couples in through its output resistance r_drive,
+// each section contributes r_total/N in series and c_total/N to ground, and
+// the receiver pin adds c_load at the far end. The ladder is collapsed to
+// the same affine 2-state form the gate modes use (wire/wire_tables.hpp),
+// so the whole two-exponential hybrid machinery -- scalar expansion,
+// spectral projectors, Newton crossing solve -- carries over to
+// interconnect unchanged.
+#pragma once
+
+#include <string>
+
+namespace charlie::wire {
+
+/// Upper bound on ladder discretization; beyond this the second-order
+/// collapse has long converged to the distributed-line limit.
+inline constexpr int kMaxWireSections = 64;
+
+struct WireParams {
+  double r_total = 0.0;  // total line resistance [ohm]
+  double c_total = 0.0;  // total line capacitance [farad]
+  int n_sections = 8;    // ladder sections the collapse integrates
+  double r_drive = 0.0;  // driver output resistance [ohm], may be 0
+  double c_load = 0.0;   // receiver pin capacitance [farad], may be 0
+  double vdd = 0.8;      // supply voltage [volt]
+  // Time constant of the driver's output edge [s]; 0 models an ideal rail
+  // step at the event time. A real driver edge crosses V_th at the event
+  // time but delivers its charge around the edge's *centroid*, which for an
+  // exponential edge lags by (1 - ln 2) t_drive; the wire channel applies
+  // that first-moment correction to every drive switch (the same
+  // moment-matching philosophy as the ladder collapse, and the wire's
+  // analogue of the gate model's pure delay delta_min).
+  double t_drive = 0.0;
+
+  /// Discretization threshold V_th = VDD/2 (the receiver's mode-switch
+  /// threshold; same convention as the gate models).
+  double vth() const { return 0.5 * vdd; }
+
+  /// First moment of the ladder (Elmore delay), r_drive and c_load
+  /// included. This is the delay the inertial lumped-load baseline uses.
+  double elmore_delay() const;
+
+  /// Throws ConfigError unless r_total and c_total are positive, vdd is
+  /// positive, 1 <= n_sections <= kMaxWireSections, and r_drive/c_load are
+  /// non-negative.
+  void validate() const;
+
+  std::string to_string() const;
+
+  /// Value-identity key (full-precision field dump). Equal fingerprints
+  /// produce identical collapsed tables, so builders memoize on it.
+  std::string fingerprint() const;
+
+  /// Wire in the Table-I regime (tens of kOhm, femtofarad line): RC
+  /// comparable to the reference cells' 28-56 ps gate delays.
+  static WireParams reference();
+};
+
+}  // namespace charlie::wire

@@ -1,0 +1,106 @@
+#include "wire/wire_tables.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace charlie::wire {
+
+WireMoments wire_moments(const WireParams& params) {
+  params.validate();
+  const int n = params.n_sections;
+  // Segment j (1-based) connects node j-1 to node j; the driver resistance
+  // folds into the first segment. Node k carries c_total/N, the last node
+  // additionally c_load. The output is node N.
+  std::vector<double> r_seg(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> cap(static_cast<std::size_t>(n), 0.0);
+  const double r_sec = params.r_total / static_cast<double>(n);
+  const double c_sec = params.c_total / static_cast<double>(n);
+  for (int j = 0; j < n; ++j) {
+    r_seg[static_cast<std::size_t>(j)] = r_sec + (j == 0 ? params.r_drive : 0.0);
+    cap[static_cast<std::size_t>(j)] = c_sec + (j == n - 1 ? params.c_load : 0.0);
+  }
+
+  // AWE voltage-moment recursion on a chain. Order 0: every node follows
+  // the source, V^(0) = 1. Order p: the current through segment j is the
+  // sum of downstream capacitor currents C_k V_k^(p-1); node moments are
+  // minus the accumulated resistive drops.
+  std::vector<double> v(static_cast<std::size_t>(n), 1.0);
+  WireMoments m;
+  for (int order = 1; order <= 2; ++order) {
+    // Suffix sums of C_k V_k^(p-1): segment currents.
+    std::vector<double> seg_current(static_cast<std::size_t>(n), 0.0);
+    double suffix = 0.0;
+    for (int j = n - 1; j >= 0; --j) {
+      suffix += cap[static_cast<std::size_t>(j)] * v[static_cast<std::size_t>(j)];
+      seg_current[static_cast<std::size_t>(j)] = suffix;
+    }
+    double drop = 0.0;
+    for (int j = 0; j < n; ++j) {
+      drop += r_seg[static_cast<std::size_t>(j)] *
+              seg_current[static_cast<std::size_t>(j)];
+      v[static_cast<std::size_t>(j)] = -drop;
+    }
+    (order == 1 ? m.m1 : m.m2) = v[static_cast<std::size_t>(n - 1)];
+  }
+  return m;
+}
+
+WireModeTables::WireModeTables(const WireParams& params) : params_(params) {
+  params_.validate();
+  vth_ = params_.vth();
+  drive_delay_ = (1.0 - std::log(2.0)) * params_.t_drive;
+
+  const WireMoments m = wire_moments(params_);
+  b1_ = -m.m1;
+  b2_ = m.m1 * m.m1 - m.m2;
+  // b1 > 0 and b2 >= 0 hold for any passive RC ladder (the moments
+  // alternate in sign and are log-convex); a violation means the moment
+  // recursion is broken, not that the parameters are unusual. b2 reaches 0
+  // for a genuinely single-pole ladder (one section: m2 = m1^2 exactly, up
+  // to rounding), which gets its own realization below.
+  CHARLIE_ASSERT_MSG(b1_ > 0.0, "wire collapse: non-positive b1");
+  CHARLIE_ASSERT_MSG(b2_ > -1e-9 * b1_ * b1_,
+                     "wire collapse: negative b2 beyond rounding");
+
+  // Scaled companion realization over x = (u, V_out) with
+  // u = (b2/b1) dV_out/dt: poles are the roots of b2 s^2 + b1 s + 1 = 0 --
+  // real and negative whenever b1^2 >= 4 b2 (always, for RC-ladder
+  // moments; derive_mode_table falls back to the generic machinery
+  // otherwise). The raw companion form (u = dV_out/dt) mixes entries of
+  // magnitude 1 and 1/b2 ~ 1e21, which defeats the scale-relative
+  // singularity/eigenvalue classifiers; scaling u by the b2/b1 time
+  // constant keeps every entry at the 1/tau scale and u itself in volts.
+  //
+  // A single-pole ladder (b2 vanishing relative to b1^2, catastrophic
+  // cancellation included) degenerates to V_out' = (V_drive - V_out)/b1;
+  // realized as A = -I/b1 with a dormant u state so every downstream
+  // consumer sees the same 2-state shape.
+  const bool single_pole = b2_ <= 1e-9 * b1_ * b1_;
+  if (single_pole) b2_ = 0.0;
+  const ode::Mat2 a = single_pole
+                          ? ode::Mat2{-1.0 / b1_, 0.0, 0.0, -1.0 / b1_}
+                          : ode::Mat2{-b1_ / b2_, -1.0 / b1_, b1_ / b2_, 0.0};
+  double slowest = 0.0;
+  for (bool high : {false, true}) {
+    const double v_drive = high ? params_.vdd : 0.0;
+    const ode::Vec2 g = single_pole ? ode::Vec2{0.0, v_drive / b1_}
+                                    : ode::Vec2{v_drive / b1_, 0.0};
+    core::ModeTable t = core::derive_mode_table(ode::AffineOde2(a, g));
+    t.steady = {0.0, v_drive};
+    (high ? high_ : low_) = t;
+  }
+  const double rate = low_.ode.slowest_rate();
+  CHARLIE_ASSERT_MSG(rate < 0.0, "wire collapse: unstable reduced system");
+  slowest = 1.0 / -rate;
+  horizon_ = 60.0 * slowest;
+}
+
+std::shared_ptr<const WireModeTables> WireModeTables::make(
+    const WireParams& params) {
+  return std::make_shared<const WireModeTables>(params);
+}
+
+}  // namespace charlie::wire

@@ -1,0 +1,95 @@
+// Precomputed drive-state tables of the hybrid interconnect model.
+//
+// The N-section RC ladder of a WireParams is an N-state linear system; the
+// event engine wants the same closed-form 2-state machinery it uses for
+// gate modes. WireModeTables performs that collapse once per WireParams:
+//
+//   1. The ladder's first two output-voltage moments m1, m2 are computed
+//      exactly (AWE-style path-resistance recursion over the chain,
+//      r_drive and c_load included).
+//   2. The transfer function is matched to the second-order Pade form
+//      H(s) = 1 / (1 + b1 s + b2 s^2) with b1 = -m1, b2 = m1^2 - m2; for
+//      passive RC ladders both coefficients are positive and the poles are
+//      real, so the reduced system is a stable two-time-constant model that
+//      preserves the DC gain and the first two delay moments of the full
+//      ladder.
+//   3. The form is realized as the affine 2-state system over
+//      x = (u, V_out), u = (b2/b1) dV_out/dt (the scaling keeps u in volts
+//      and the system matrix uniformly at the 1/tau scale):
+//
+//         u'     = (V_drive - V_out) / b1 - (b1 / b2) u
+//         V_out' = (b1 / b2) u
+//
+//      with one mode per drive state (V_drive = 0 or VDD), pushed through
+//      the exact same core::derive_mode_table() derivation the gate tables
+//      use -- eigendecomposition, equilibria, spectral projectors, and the
+//      two-exponential scalar expansion of V_out all come out for free.
+//
+// Like core::GateModeTables, a WireModeTables is immutable and shared
+// through a shared_ptr: a netlist with thousands of identical wire segments
+// pays the collapse exactly once.
+#pragma once
+
+#include <memory>
+
+#include "core/gate_mode_tables.hpp"
+#include "wire/wire_params.hpp"
+
+namespace charlie::wire {
+
+/// First and second moments of the ladder's output-voltage transfer
+/// expansion H(s) = 1 + m1 s + m2 s^2 + O(s^3). m1 is minus the Elmore
+/// delay; m2 > 0 for passive RC chains.
+struct WireMoments {
+  double m1 = 0.0;
+  double m2 = 0.0;
+};
+
+/// Exact moments of the discrete ladder (O(N) recursion).
+WireMoments wire_moments(const WireParams& params);
+
+class WireModeTables {
+ public:
+  /// Validates `params` (throws ConfigError) and derives both drive-state
+  /// tables plus the crossing-search horizon (60 slowest time constants,
+  /// the gate-table convention).
+  explicit WireModeTables(const WireParams& params);
+
+  /// Shared immutable table for reuse across many channel instances.
+  static std::shared_ptr<const WireModeTables> make(const WireParams& params);
+
+  const WireParams& params() const { return params_; }
+  double vth() const { return vth_; }
+  double horizon() const { return horizon_; }
+
+  /// Pade denominator coefficients of the collapse (diagnostics/tests).
+  double b1() const { return b1_; }
+  double b2() const { return b2_; }
+
+  /// Elmore delay of the full ladder (= b1), the inertial baseline delay.
+  double elmore_delay() const { return b1_; }
+
+  /// First-moment drive-shape correction (1 - ln 2) t_drive: how far the
+  /// centroid of the driver's exponential output edge lags its V_th
+  /// crossing. WireChannel defers every drive switch by this much.
+  double drive_delay() const { return drive_delay_; }
+
+  /// Mode table of the given drive state. The wire output voltage is the
+  /// state's .y component; .x is the auxiliary slope state
+  /// u = (b2/b1) dV_out/dt.
+  const core::ModeTable& drive_table(bool high) const {
+    return high ? high_ : low_;
+  }
+
+ private:
+  WireParams params_;
+  double vth_ = 0.0;
+  double horizon_ = 0.0;
+  double b1_ = 0.0;
+  double b2_ = 0.0;
+  double drive_delay_ = 0.0;
+  core::ModeTable low_;
+  core::ModeTable high_;
+};
+
+}  // namespace charlie::wire

@@ -77,6 +77,95 @@ TEST(NetlistParser, SyntaxErrorsCarryLineNumbers) {
   EXPECT_THROW(cell::parse_netlist("input(a)\ninput(a)\n"), ConfigError);
 }
 
+// Expect a ConfigError whose message carries both the 1-based line number
+// and a diagnostic fragment.
+void expect_error_at(const std::string& text, int line,
+                     const std::string& fragment) {
+  try {
+    cell::parse_netlist(text);
+    FAIL() << "expected ConfigError for: " << text;
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":" + std::to_string(line) + ":"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(fragment), std::string::npos) << what;
+  }
+}
+
+TEST(NetlistParser, DuplicateInputDeclarationsAreLineNumberedErrors) {
+  // Across statements: the error names the re-declared net and the line of
+  // the second declaration.
+  expect_error_at("input(a)\ninput(b)\ninput(a)\n", 3, "\"a\" declared twice");
+  // Within one statement.
+  expect_error_at("input(a, b, a)\n", 1, "\"a\" declared twice");
+}
+
+TEST(NetlistParser, ParsesOutputDeclarations) {
+  const auto desc = cell::parse_netlist(
+      "input(a, b)\n"
+      "output(y)\n"
+      "NAND2(y, a, b)\n"
+      "output(z)\n"
+      "INV(z, y)\n");
+  EXPECT_EQ(desc.outputs, (std::vector<std::string>{"y", "z"}));
+  expect_error_at("output(y)\noutput(y)\n", 2, "\"y\" declared twice");
+  expect_error_at("output()\n", 1, "at least one net");
+}
+
+TEST(NetlistParser, ParsesWireStatements) {
+  const auto desc = cell::parse_netlist(
+      "input(a)\n"
+      "WIRE(aw, a, r=12e3, c=2.5e-15)\n"
+      "wire(aw2, aw, r=1e3, c=1e-16, sections=4, rdrive=5e3, cload=2e-16, "
+      "tdrive=25e-12, vdd=0.9)\n");
+  ASSERT_EQ(desc.n_wires(), 2u);
+  EXPECT_EQ(desc.wires[0].output, "aw");
+  EXPECT_EQ(desc.wires[0].input, "a");
+  EXPECT_EQ(desc.wires[0].r_total, 12e3);
+  EXPECT_EQ(desc.wires[0].c_total, 2.5e-15);
+  EXPECT_EQ(desc.wires[0].sections, 8);  // default
+  EXPECT_EQ(desc.wires[0].r_drive, 0.0);
+  EXPECT_EQ(desc.wires[0].line, 2);
+  EXPECT_EQ(desc.wires[1].sections, 4);
+  EXPECT_EQ(desc.wires[1].r_drive, 5e3);
+  EXPECT_EQ(desc.wires[1].c_load, 2e-16);
+  EXPECT_EQ(desc.wires[1].t_drive, 25e-12);
+  EXPECT_EQ(desc.wires[1].vdd, 0.9);
+}
+
+TEST(NetlistParser, MalformedWireArgumentListsAreDiagnosed) {
+  // Missing required parameters.
+  expect_error_at("input(a)\nWIRE(w, a)\n", 2, "requires both r= and c=");
+  expect_error_at("input(a)\nWIRE(w, a, r=1e3)\n", 2,
+                  "requires both r= and c=");
+  // Fewer than two nets.
+  expect_error_at("WIRE(w)\n", 1, "needs two nets");
+  expect_error_at("WIRE(r=1e3, w)\n", 1, "expected a net name");
+  // A third positional net where parameters belong.
+  expect_error_at("input(a, b)\nWIRE(w, a, b)\n", 2,
+                  "key=value parameters");
+  // Unknown key, duplicate key, malformed value, empty value.
+  expect_error_at("input(a)\nWIRE(w, a, r=1e3, c=1e-15, bogus=1)\n", 2,
+                  "unknown WIRE parameter \"bogus\"");
+  expect_error_at("input(a)\nWIRE(w, a, r=1e3, r=2e3, c=1e-15)\n", 2,
+                  "given twice");
+  expect_error_at("input(a)\nWIRE(w, a, r=5x3, c=1e-15)\n", 2, "r");
+  expect_error_at("input(a)\nWIRE(w, a, r=, c=1e-15)\n", 2,
+                  "needs a value");
+  // sections must parse as an integer.
+  expect_error_at("input(a)\nWIRE(w, a, r=1e3, c=1e-15, sections=x)\n", 2,
+                  "sections");
+}
+
+TEST(NetlistParser, AssignmentsOutsideWireStatementsAreDiagnosed) {
+  // key=value arguments are a WIRE-only construct; cells and declarations
+  // must reject them with the offending assignment spelled out.
+  expect_error_at("input(a, b)\nNAND2(y, a, b, r=1e3)\n", 2,
+                  "parameter assignment \"r=1e3\"");
+  expect_error_at("input(a=1)\n", 1, "parameter assignment");
+  expect_error_at("output(y=2)\n", 1, "parameter assignment");
+}
+
 TEST(NetlistParser, SemicolonOnlyAsTrailer) {
   EXPECT_NO_THROW(cell::parse_netlist("input(a); \nINV(y, a) ;\n"));
   EXPECT_THROW(cell::parse_netlist("INV(y, a); INV(z, y)\n"), ConfigError);

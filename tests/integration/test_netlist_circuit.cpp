@@ -201,5 +201,78 @@ TEST(NetlistCircuit, CircuitGatesMatchPerGateGoldenTraces) {
   EXPECT_GE(checked, 10);
 }
 
+TEST(NetlistCircuit, CharacterizeCachedRegeneratesCorruptCaches) {
+  // Every corruption mode of the CSV cache -- truncation mid-file, a row
+  // with the wrong column count, a fingerprint mismatch, binary garbage --
+  // must silently regenerate (served from the in-memory memo, so no new
+  // pipeline runs) and leave a freshly valid file behind; never throw.
+  const std::string path = ::testing::TempDir() + "charlie_cells_corrupt.csv";
+  const auto& lib = library();
+  const long runs_before = cell::CellLibrary::n_characterization_runs("NOR2");
+
+  auto corrupt_and_recover = [&](const std::string& label,
+                                 auto&& corruption) {
+    std::remove(path.c_str());
+    lib.save_csv(path);
+    corruption();
+    // The corrupted file must not load...
+    EXPECT_THROW(cell::CellLibrary::load_csv(path), ConfigError) << label;
+    // ...but characterize_cached must regenerate instead of failing.
+    const auto recovered =
+        cell::CellLibrary::characterize_cached(path, tech());
+    EXPECT_EQ(recovered.tech_fingerprint(), tech().fingerprint()) << label;
+    EXPECT_EQ(recovered.spec("NOR2").params.c_out,
+              lib.spec("NOR2").params.c_out)
+        << label;
+    // The rewritten file is valid again.
+    EXPECT_EQ(cell::CellLibrary::load_csv(path).tech_fingerprint(),
+              tech().fingerprint())
+        << label;
+  };
+
+  corrupt_and_recover("truncated", [&] {
+    const std::string text = util::read_text_file(path);
+    std::ofstream out(path, std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  });
+  corrupt_and_recover("wrong column count", [&] {
+    std::string text = util::read_text_file(path);
+    const auto at = text.find("\nNOR2,");
+    ASSERT_NE(at, std::string::npos);
+    const auto eol = text.find('\n', at + 1);
+    text.replace(at, eol - at, "\nNOR2,only_two_fields");
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  });
+  corrupt_and_recover("binary garbage", [&] {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << std::string("\x01\x02\x03 not a csv at all \xff\xfe\x00 tail", 29);
+  });
+
+  // Fingerprint mismatch: loads fine as a file but belongs to a different
+  // technology, so characterize_cached must regenerate too.
+  {
+    std::remove(path.c_str());
+    lib.save_csv(path);
+    std::string text = util::read_text_file(path);
+    const auto at = text.find("fingerprint,0,");
+    ASSERT_NE(at, std::string::npos);
+    text.insert(at + std::string("fingerprint,0,").size(), "other-tech-");
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    out.close();
+    const auto recovered =
+        cell::CellLibrary::characterize_cached(path, tech());
+    EXPECT_EQ(recovered.tech_fingerprint(), tech().fingerprint());
+    EXPECT_EQ(cell::CellLibrary::load_csv(path).tech_fingerprint(),
+              tech().fingerprint());
+  }
+
+  // All regenerations were in-memory cache hits: the SPICE+fit pipeline
+  // never re-ran.
+  EXPECT_EQ(cell::CellLibrary::n_characterization_runs("NOR2"), runs_before);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace charlie

@@ -7,6 +7,7 @@
 #include "core/mode_tables.hpp"
 #include "sim/hybrid_nor_channel.hpp"
 #include "sim/pure_delay.hpp"
+#include "util/error.hpp"
 
 namespace charlie::sim {
 namespace {
@@ -115,6 +116,85 @@ TEST(BatchRunner, WorksWithSisChannels) {
   // A pure-delay inverter then reproduces every input transition.
   EXPECT_EQ(result.total_output_transitions,
             static_cast<long long>(config.n_runs * 60));
+}
+
+CircuitFactory two_stage_factory() {
+  const auto tables =
+      core::NorModeTables::make(core::NorParams::paper_table1());
+  return [tables] {
+    auto circuit = std::make_unique<Circuit>();
+    const auto a = circuit->add_input("a");
+    const auto b = circuit->add_input("b");
+    const auto mid = circuit->add_nor2_mis(
+        "mid", a, b, std::make_unique<HybridNorChannel>(tables));
+    circuit->add_gate(GateKind::kInv, "out", {mid},
+                      std::make_unique<PureDelayChannel>(5e-12));
+    return circuit;
+  };
+}
+
+TEST(BatchRunner, ObservesMultipleNamedNets) {
+  const auto config = small_config();
+  BatchRunner runner(two_stage_factory(),
+                     std::vector<std::string>{"mid", "out"}, config);
+  const auto result = runner.run();
+
+  ASSERT_EQ(result.nets.size(), 2u);
+  EXPECT_EQ(result.nets[0].net, "mid");
+  EXPECT_EQ(result.nets[1].net, "out");
+  EXPECT_GT(result.nets[0].transitions, 0);
+  // A pure-delay inverter reproduces every mid transition downstream.
+  EXPECT_EQ(result.nets[0].transitions, result.nets[1].transitions);
+  // The inverter's extra 5 ps shows up in the response-delay aggregate.
+  EXPECT_GT(result.nets[1].response_delay.mean(),
+            result.nets[0].response_delay.mean());
+  // Pulse widths are preserved by a pure delay: identical histograms.
+  EXPECT_EQ(result.nets[0].pulse_width.bins(),
+            result.nets[1].pulse_width.bins());
+  // Legacy single-net view mirrors the first observed net.
+  EXPECT_EQ(result.total_output_transitions, result.nets[0].transitions);
+  EXPECT_EQ(result.pulse_width.bins(), result.nets[0].pulse_width.bins());
+  // Lookup by name; unknown nets are an error.
+  EXPECT_EQ(&result.net("out"), &result.nets[1]);
+  EXPECT_THROW(result.net("ghost"), ConfigError);
+}
+
+TEST(BatchRunner, MultiNetAggregatesAreThreadCountInvariant) {
+  auto config = small_config();
+  auto run = [&](std::size_t n_threads) {
+    config.n_threads = n_threads;
+    BatchRunner runner(two_stage_factory(),
+                     std::vector<std::string>{"mid", "out"}, config);
+    return runner.run();
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.nets.size(), parallel.nets.size());
+  for (std::size_t n = 0; n < serial.nets.size(); ++n) {
+    EXPECT_EQ(serial.nets[n].transitions, parallel.nets[n].transitions);
+    EXPECT_EQ(serial.nets[n].pulse_width.bins(),
+              parallel.nets[n].pulse_width.bins());
+    EXPECT_EQ(serial.nets[n].pulse_width.sum(),
+              parallel.nets[n].pulse_width.sum());
+    EXPECT_EQ(serial.nets[n].response_delay.bins(),
+              parallel.nets[n].response_delay.bins());
+  }
+}
+
+TEST(BatchRunner, SingleNetPathIsUnchangedByTheMultiNetExtension) {
+  // The string overload must produce the exact same aggregate as a
+  // one-element vector (it delegates).
+  const auto config = small_config();
+  BatchRunner single(nor_factory(), "out", config);
+  BatchRunner vec(nor_factory(), std::vector<std::string>{"out"}, config);
+  const auto a = single.run();
+  const auto b = vec.run();
+  EXPECT_EQ(a.total_output_transitions, b.total_output_transitions);
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.pulse_width.bins(), b.pulse_width.bins());
+  EXPECT_EQ(a.response_delay.sum(), b.response_delay.sum());
+  ASSERT_EQ(a.nets.size(), 1u);
+  EXPECT_EQ(a.nets[0].net, "out");
 }
 
 }  // namespace
