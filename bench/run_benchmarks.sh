@@ -2,6 +2,13 @@
 # Build the Release configuration and run the runtime benchmark suites,
 # merging their google-benchmark JSON into BENCH_runtime.json (or $1) at the
 # repo root. See bench/README.md for how to read the numbers.
+#
+# The ledger is guarded: the script refuses to write it from a project tree
+# configured as anything but Release (debug timings are noise, not a
+# baseline). Host-level caveats that cannot be fixed from here -- benchmarked
+# thread counts above the machine's core count, a Debug-built
+# google-benchmark *library* -- are loud warnings, recorded in the merged
+# JSON context so a reader of the ledger sees them without rerunning.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +22,26 @@ tools/check_tree.sh --hygiene-only
 cmake --preset release
 cmake --build --preset release -j"$(nproc)"
 
+# Ledger guard: only a Release-configured project build may publish numbers.
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' build/CMakeCache.txt)
+if [ "$build_type" != "Release" ]; then
+  echo "run_benchmarks.sh: refusing to write $out:" \
+    "build/ is configured as '${build_type:-<unset>}', not Release" >&2
+  exit 1
+fi
+
+# The deepest thread count the suites exercise (BM_BatchThroughput/4,
+# BM_ShardedCircuitThroughput shards:4/threads:4).
+max_bench_threads=4
+n_cores=$(nproc)
+warnings=()
+if [ "$n_cores" -lt "$max_bench_threads" ]; then
+  w="benchmarked thread counts reach $max_bench_threads but this host has \
+$n_cores core(s): multi-thread rows measure oversubscription, not scaling"
+  echo "run_benchmarks.sh: WARNING: $w" >&2
+  warnings+=("$w")
+fi
+
 tmp_dir=$(mktemp -d)
 trap 'rm -rf "$tmp_dir"' EXIT
 
@@ -26,19 +53,38 @@ trap 'rm -rf "$tmp_dir"' EXIT
   >"$tmp_dir/netlist.json"
 ./build/bench/bench_wire_throughput --benchmark_format=json \
   >"$tmp_dir/wire.json"
+./build/bench/bench_sharded_throughput --benchmark_format=json \
+  >"$tmp_dir/sharded.json"
 
 # Merge into a temp file and move it into place atomically: a failure
 # anywhere above (set -euo pipefail) or inside the merge leaves any previous
-# $out untouched instead of replacing it with partial JSON.
-python3 - "$tmp_dir/runtime.json" "$tmp_dir/batch.json" \
-  "$tmp_dir/netlist.json" "$tmp_dir/wire.json" "$tmp_dir/merged.json" <<'EOF'
-import json, sys
+# $out untouched instead of replacing it with partial JSON. The merge also
+# folds host caveats (oversubscription warning above, a Debug-built
+# google-benchmark library reported by the context itself) into
+# context.warnings.
+merge_warnings=""
+if [ "${#warnings[@]}" -gt 0 ]; then merge_warnings="${warnings[0]}"; fi
+WARNINGS="$merge_warnings" python3 - "$tmp_dir/runtime.json" \
+  "$tmp_dir/batch.json" "$tmp_dir/netlist.json" "$tmp_dir/wire.json" \
+  "$tmp_dir/sharded.json" "$tmp_dir/merged.json" <<'EOF'
+import json, os, sys
 runtime, *extras, out = sys.argv[1:]
 with open(runtime) as f:
     merged = json.load(f)
 for path in extras:
     with open(path) as f:
         merged["benchmarks"] += json.load(f)["benchmarks"]
+warnings = [w for w in [os.environ.get("WARNINGS", "")] if w]
+if merged["context"].get("library_build_type") != "release":
+    warnings.append(
+        "google-benchmark library was built as "
+        f"{merged['context'].get('library_build_type', 'unknown')}: "
+        "timing overhead is inflated (the simulator itself is Release)")
+if warnings:
+    merged["context"]["warnings"] = warnings
+    for w in warnings:
+        print(f"run_benchmarks.sh: WARNING (recorded in context): {w}",
+              file=sys.stderr)
 with open(out, "w") as f:
     json.dump(merged, f, indent=1)
     f.write("\n")

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <fstream>
 #include <unordered_set>
 
 #include "util/csv.hpp"
@@ -239,6 +241,73 @@ NetlistDesc read_netlist_file(const std::string& path) {
     return parse_netlist(util::read_text_file(path));
   } catch (const ConfigError& e) {
     throw ConfigError(path + ": " + e.what());
+  }
+}
+
+namespace {
+
+// Full-precision doubles so write/parse round-trips bit-exact wire params.
+std::string number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_net_list_stmt(std::string& out, const char* head,
+                         const std::vector<std::string>& nets) {
+  // Long declarations wrap at 16 nets per statement for readability.
+  constexpr std::size_t kPerLine = 16;
+  for (std::size_t begin = 0; begin < nets.size(); begin += kPerLine) {
+    out += head;
+    out += '(';
+    const std::size_t end = std::min(nets.size(), begin + kPerLine);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (i > begin) out += ", ";
+      out += nets[i];
+    }
+    out += ")\n";
+  }
+}
+
+}  // namespace
+
+std::string write_netlist(const NetlistDesc& desc) {
+  std::string out;
+  write_net_list_stmt(out, "input", desc.inputs);
+  write_net_list_stmt(out, "output", desc.outputs);
+  for (const auto& inst : desc.instances) {
+    out += inst.cell;
+    out += '(';
+    out += inst.output;
+    for (const auto& input : inst.inputs) {
+      out += ", ";
+      out += input;
+    }
+    out += ")\n";
+  }
+  for (const auto& wire : desc.wires) {
+    out += "WIRE(" + wire.output + ", " + wire.input;
+    out += ", r=" + number(wire.r_total);
+    out += ", c=" + number(wire.c_total);
+    out += ", sections=" + std::to_string(wire.sections);
+    if (wire.r_drive != 0.0) out += ", rdrive=" + number(wire.r_drive);
+    if (wire.c_load != 0.0) out += ", cload=" + number(wire.c_load);
+    if (wire.t_drive != 0.0) out += ", tdrive=" + number(wire.t_drive);
+    out += ", vdd=" + number(wire.vdd);
+    out += ")\n";
+  }
+  return out;
+}
+
+void write_netlist_file(const NetlistDesc& desc, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    throw ConfigError("netlist: cannot open \"" + path + "\" for writing");
+  }
+  file << write_netlist(desc);
+  file.close();
+  if (!file) {
+    throw ConfigError("netlist: failed writing \"" + path + "\"");
   }
 }
 

@@ -72,4 +72,11 @@ NetlistDesc parse_netlist(const std::string& text);
 /// Read and parse a netlist file (errors are prefixed with the path).
 NetlistDesc read_netlist_file(const std::string& path);
 
+/// Serialize to the text format above; parse_netlist(write_netlist(d))
+/// round-trips every field (doubles are written with full precision).
+std::string write_netlist(const NetlistDesc& desc);
+
+/// Serialize to a file. Throws ConfigError if the file cannot be written.
+void write_netlist_file(const NetlistDesc& desc, const std::string& path);
+
 }  // namespace charlie::cell

@@ -1,0 +1,157 @@
+#include "cell/netlist_gen.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace charlie::cell {
+
+namespace {
+
+struct CellChoice {
+  const char* name;
+  std::size_t arity;
+  int weight;  // relative draw frequency
+};
+
+// Mixed SIS / hybrid-MIS workload; NAND/NOR dominate as in synthesized
+// logic, with enough 3-input cells to exercise the MIS tables.
+constexpr CellChoice kCellMix[] = {
+    {"INV", 1, 1},   {"BUF", 1, 1},   {"AND2", 2, 2},
+    {"OR2", 2, 2},   {"XOR2", 2, 2},  {"NAND2", 2, 3},
+    {"NOR2", 2, 3},  {"NAND3", 3, 2}, {"NOR3", 3, 2},
+};
+
+// A handful of repeating wire geometries (same scale as the shipped
+// example netlists): distinct fingerprints stay countable so the builder
+// collapses each geometry exactly once no matter the netlist size.
+struct WirePreset {
+  double r_total;
+  double c_total;
+  int sections;
+};
+constexpr WirePreset kWirePresets[] = {
+    {6e3, 1.5e-15, 4},
+    {12e3, 2.5e-15, 8},
+    {24e3, 5e-15, 8},
+};
+
+}  // namespace
+
+void NetlistGenConfig::validate() const {
+  if (n_gates < 1) throw ConfigError("netlist gen: n_gates must be >= 1");
+  if (n_inputs < 1) throw ConfigError("netlist gen: n_inputs must be >= 1");
+  if (n_outputs < 1) {
+    throw ConfigError("netlist gen: n_outputs must be >= 1");
+  }
+  if (layer_width < 1) {
+    throw ConfigError("netlist gen: layer_width must be >= 1");
+  }
+  if (locality < 1) throw ConfigError("netlist gen: locality must be >= 1");
+  if (wire_fraction < 0.0 || wire_fraction > 1.0) {
+    throw ConfigError("netlist gen: wire_fraction must be in [0, 1]");
+  }
+}
+
+NetlistDesc generate_netlist(const NetlistGenConfig& config) {
+  config.validate();
+  util::Rng rng(config.seed);
+
+  int total_weight = 0;
+  for (const CellChoice& cell : kCellMix) total_weight += cell.weight;
+
+  NetlistDesc desc;
+  desc.inputs.reserve(config.n_inputs);
+  for (std::size_t i = 0; i < config.n_inputs; ++i) {
+    desc.inputs.push_back("i" + std::to_string(i));
+  }
+
+  // layers[l] holds the nets gates of layer l+1 may read; layer 0 is the
+  // primary inputs.
+  std::vector<std::vector<std::string>> layers;
+  layers.push_back(desc.inputs);
+
+  desc.instances.reserve(config.n_gates);
+  std::size_t emitted = 0;
+  while (emitted < config.n_gates) {
+    // Flatten the locality window once per layer.
+    std::vector<std::string> pool;
+    const std::size_t window_begin =
+        layers.size() > config.locality ? layers.size() - config.locality : 0;
+    for (std::size_t l = window_begin; l < layers.size(); ++l) {
+      pool.insert(pool.end(), layers[l].begin(), layers[l].end());
+    }
+
+    std::vector<std::string> layer_nets;
+    const std::size_t layer_gates =
+        std::min(config.layer_width, config.n_gates - emitted);
+    layer_nets.reserve(layer_gates);
+    for (std::size_t g = 0; g < layer_gates; ++g) {
+      // Weighted cell draw.
+      int draw = static_cast<int>(rng.uniform_int(0, total_weight - 1));
+      const CellChoice* choice = &kCellMix[0];
+      for (const CellChoice& cell : kCellMix) {
+        draw -= cell.weight;
+        if (draw < 0) {
+          choice = &cell;
+          break;
+        }
+      }
+
+      NetlistInstance inst;
+      inst.cell = choice->name;
+      inst.output = "n" + std::to_string(emitted);
+      inst.inputs.reserve(choice->arity);
+      for (std::size_t port = 0; port < choice->arity; ++port) {
+        // Prefer distinct input nets; duplicates are valid but quiet, so a
+        // few redraws keep the switching activity up.
+        std::string pick;
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          pick = pool[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(pool.size()) - 1))];
+          if (std::find(inst.inputs.begin(), inst.inputs.end(), pick) ==
+              inst.inputs.end()) {
+            break;
+          }
+        }
+        inst.inputs.push_back(std::move(pick));
+      }
+      desc.instances.push_back(std::move(inst));
+
+      std::string usable = "n" + std::to_string(emitted);
+      if (rng.bernoulli(config.wire_fraction)) {
+        const WirePreset& preset = kWirePresets[static_cast<std::size_t>(
+            rng.uniform_int(
+                0, static_cast<std::int64_t>(std::size(kWirePresets)) - 1))];
+        NetlistWire wire;
+        wire.output = usable + "w";
+        wire.input = usable;
+        wire.r_total = preset.r_total;
+        wire.c_total = preset.c_total;
+        wire.sections = preset.sections;
+        desc.wires.push_back(std::move(wire));
+        usable += "w";
+      }
+      layer_nets.push_back(std::move(usable));
+      ++emitted;
+    }
+    layers.push_back(std::move(layer_nets));
+  }
+
+  // Observed outputs: the freshest nets, walking layers backwards.
+  std::size_t wanted = config.n_outputs;
+  for (std::size_t l = layers.size(); l-- > 1 && wanted > 0;) {
+    const auto& nets = layers[l];
+    for (std::size_t i = nets.size(); i-- > 0 && wanted > 0;) {
+      desc.outputs.push_back(nets[i]);
+      --wanted;
+    }
+  }
+  std::reverse(desc.outputs.begin(), desc.outputs.end());
+  return desc;
+}
+
+}  // namespace charlie::cell

@@ -82,6 +82,7 @@ struct RunStats {
 };
 
 RunStats run_one(Circuit& circuit, const std::vector<Circuit::NetId>& outputs,
+                 Circuit::SimResult& arena, std::vector<double>& stim_times,
                  const BatchConfig& config, std::uint64_t seed,
                  double pulse_hi, double response_hi) {
   util::Rng rng(seed);
@@ -92,14 +93,17 @@ RunStats run_one(Circuit& circuit, const std::vector<Circuit::NetId>& outputs,
     if (!trace.empty()) t_last = std::max(t_last, trace.transitions().back());
   }
   const double t_end = t_last + config.t_settle;
-  const auto result = circuit.simulate(stimuli, 0.0, t_end);
+  // Arena-reusing simulation: the worker's trace storage is reset in place,
+  // not reallocated (bit-identical to Circuit::simulate).
+  circuit.simulate_into(stimuli, 0.0, t_end, arena);
+  const Circuit::SimResult& result = arena;
 
   RunStats stats;
   stats.n_events = result.n_events;
 
   // Stimulus transitions, merged and sorted once per run; every observed
   // net's response delays sweep the same sequence.
-  std::vector<double> stim_times;
+  stim_times.clear();
   for (const auto& trace : stimuli) {
     stim_times.insert(stim_times.end(), trace.transitions().begin(),
                       trace.transitions().end());
@@ -136,25 +140,31 @@ RunStats run_one(Circuit& circuit, const std::vector<Circuit::NetId>& outputs,
 
 }  // namespace
 
-BatchResult BatchRunner::run() {
-  util::ThreadPool pool(config_.n_threads);
-  const std::size_t n_workers = pool.n_threads();
+void BatchRunner::ensure_workers() {
+  if (pool_ != nullptr) return;
+  pool_ = std::make_unique<util::ThreadPool>(config_.n_threads);
+  const std::size_t n_workers = pool_->n_threads();
 
   // One circuit clone per worker, built up front on this thread (the
-  // factory need not be thread-safe). Circuit::simulate reinitializes all
-  // channel state, so a clone is reused across the runs its worker claims.
-  std::vector<std::unique_ptr<Circuit>> circuits(n_workers);
-  std::vector<std::vector<Circuit::NetId>> outputs(n_workers);
+  // factory need not be thread-safe). Circuit::simulate_into reinitializes
+  // all channel state and reuses the worker's trace arena, so a clone
+  // serves every run its worker claims, across every run() call.
+  workers_.resize(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
-    circuits[w] = factory_();
-    CHARLIE_ASSERT(circuits[w] != nullptr);
+    workers_[w].circuit = factory_();
+    CHARLIE_ASSERT(workers_[w].circuit != nullptr);
     // Resolved per clone: a factory is not required to assign net ids in
     // the same order on every call.
-    outputs[w].reserve(output_nets_.size());
+    workers_[w].outputs.reserve(output_nets_.size());
     for (const auto& name : output_nets_) {
-      outputs[w].push_back(circuits[w]->find_net(name));
+      workers_[w].outputs.push_back(workers_[w].circuit->find_net(name));
     }
   }
+}
+
+BatchResult BatchRunner::run() {
+  ensure_workers();
+  const std::size_t n_workers = pool_->n_threads();
 
   const double pulse_hi = config_.pulse_width_hi > 0.0
                               ? config_.pulse_width_hi
@@ -163,12 +173,17 @@ BatchResult BatchRunner::run() {
                                  ? config_.response_delay_hi
                                  : config_.trace.mu;
 
+  // Per-run results indexed by run (not worker): the reduction below walks
+  // them in run order, which is what makes the aggregate independent of
+  // which worker executed which run.
   std::vector<RunStats> per_run(config_.n_runs);
-  pool.parallel_for(config_.n_runs, [&](std::size_t worker,
-                                        std::size_t run) {
-    per_run[run] = run_one(*circuits[worker], outputs[worker], config_,
-                           config_.base_seed + run, pulse_hi, response_hi);
-  });
+  pool_->parallel_for(
+      config_.n_runs, [&](std::size_t worker, std::size_t run) {
+        Worker& w = workers_[worker];
+        per_run[run] = run_one(*w.circuit, w.outputs, w.arena, w.stim_times,
+                               config_, config_.base_seed + run, pulse_hi,
+                               response_hi);
+      });
 
   // Sequential reduction in run order: bit-identical for any thread count.
   BatchResult result;

@@ -6,6 +6,12 @@
 // spread across a worker pool with one circuit clone per worker; results
 // are stored per run index and reduced sequentially, so the aggregate is
 // bit-identical no matter how many threads execute it.
+//
+// The pool, the per-worker circuit clones, and the per-worker simulation
+// arenas (trace storage, stimulus scratch) are built once -- on the first
+// run() -- and reused by every later run() of the same BatchRunner, so
+// repeated batches pay neither thread spin-up nor clone construction nor
+// trace reallocation. Each worker's state lives on its own cache lines.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "sim/circuit.hpp"
+#include "util/thread_pool.hpp"
 #include "waveform/generator.hpp"
 
 namespace charlie::sim {
@@ -105,13 +112,28 @@ class BatchRunner {
               BatchConfig config);
 
   /// Runs the batch. Deterministic for a fixed (factory, config): the
-  /// aggregate is bit-identical for any n_threads.
+  /// aggregate is bit-identical for any n_threads. May be called
+  /// repeatedly; workers and their circuit clones persist across calls.
   BatchResult run();
 
  private:
+  // One worker's mutable simulation state, cache-line-aligned so two
+  // workers never share a line through this vector (the circuit clone and
+  // arena allocations behind the pointers are each worker's own).
+  struct alignas(64) Worker {
+    std::unique_ptr<Circuit> circuit;
+    std::vector<Circuit::NetId> outputs;  // observed nets, resolved per clone
+    Circuit::SimResult arena;             // reused trace storage
+    std::vector<double> stim_times;       // reused merged-stimulus scratch
+  };
+
+  void ensure_workers();
+
   CircuitFactory factory_;
   std::vector<std::string> output_nets_;
   BatchConfig config_;
+  std::unique_ptr<util::ThreadPool> pool_;  // built on first run()
+  std::vector<Worker> workers_;
 };
 
 }  // namespace charlie::sim

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/event_heap.hpp"
+#include "sim/sim_session.hpp"
 #include "util/error.hpp"
 
 namespace charlie::sim {
@@ -103,153 +103,23 @@ const waveform::DigitalTrace& Circuit::SimResult::trace(NetId id) const {
   return traces[static_cast<std::size_t>(id)];
 }
 
-namespace {
-
-// Primary-input transition inside (t_begin, t_end], pre-sorted.
-struct StimulusEvent {
-  double t = 0.0;
-  Circuit::NetId net = -1;
-  bool value = false;
-};
-
-}  // namespace
-
 Circuit::SimResult Circuit::simulate(
     const std::vector<waveform::DigitalTrace>& stimuli, double t_begin,
     double t_end) {
   CHARLIE_ASSERT(t_end > t_begin);
-  CHARLIE_ASSERT_MSG(stimuli.size() == primary_inputs_.size(),
-                     "circuit: one stimulus trace per primary input");
+  // The whole window in one advance: reproduces the original single-pass
+  // engine bit-for-bit (see sim/sim_session.hpp).
+  SimSession session(*this, stimuli, t_begin);
+  session.advance(t_end);
+  return session.take_result();
+}
 
-  // --- steady-state initialization (topological settle) -------------------
-  // Window convention (see header): value_at(t_begin) already includes a
-  // transition at exactly t_begin; only strictly later transitions become
-  // events.
-  std::vector<bool> net_value(n_nets(), false);
-  for (std::size_t i = 0; i < stimuli.size(); ++i) {
-    net_value[primary_inputs_[i]] = stimuli[i].value_at(t_begin);
-  }
-  // Gates were appended after their input nets exist, so a forward sweep
-  // settles an acyclic circuit (two passes as a fixpoint safety net).
-  for (int pass = 0; pass < 2; ++pass) {
-    for (auto& gate : gates_) {
-      for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
-        gate.in_values[p] = net_value[gate.inputs[p]];
-      }
-      gate.zero_time_value = eval_gate(gate.kind, gate.in_values[0],
-                                       gate.in_values[1], gate.in_values[2]);
-      net_value[gate.output] = gate.zero_time_value;
-    }
-  }
-  for (auto& gate : gates_) {
-    if (gate.sis) {
-      gate.sis->initialize(t_begin, gate.zero_time_value);
-    } else {
-      gate.mis->initialize(
-          t_begin, std::vector<bool>(gate.in_values.begin(),
-                                     gate.in_values.begin() +
-                                         gate.inputs.size()));
-    }
-  }
-
-  // --- stimulus stream -----------------------------------------------------
-  // All primary-input events are known up front: one sorted vector walked by
-  // an index beats pushing them through the gate heap. Equal-time order is
-  // input-declaration order (stable sort over per-input appends), and a
-  // stimulus always precedes gate firings at the same instant -- both as in
-  // the original single-queue engine.
-  std::size_t n_stim = 0;
-  for (const auto& trace : stimuli) n_stim += trace.n_transitions();
-  std::vector<StimulusEvent> stim_events;
-  stim_events.reserve(n_stim);
-  for (std::size_t i = 0; i < stimuli.size(); ++i) {
-    const auto& trace = stimuli[i];
-    for (std::size_t k = 0; k < trace.n_transitions(); ++k) {
-      const double t = trace.transitions()[k];
-      if (t <= t_begin || t > t_end) continue;
-      stim_events.push_back({t, primary_inputs_[i], trace.is_rising(k)});
-    }
-  }
-  std::stable_sort(stim_events.begin(), stim_events.end(),
-                   [](const StimulusEvent& x, const StimulusEvent& y) {
-                     return x.t < y.t;
-                   });
-
-  // --- result traces, pre-sized from stimulus statistics -------------------
-  SimResult result;
-  result.traces.reserve(n_nets());
-  const std::size_t per_net_estimate =
-      stimuli.empty() ? 0 : stim_events.size() / stimuli.size() + 1;
-  for (std::size_t i = 0; i < n_nets(); ++i) {
-    result.traces.emplace_back(net_value[i], std::vector<double>{});
-    result.traces.back().reserve(per_net_estimate);
-  }
-
-  // --- indexed gate-event heap ---------------------------------------------
-  // One slot per gate; rescheduling moves the slot's key instead of queueing
-  // a duplicate, so no stale events are ever popped.
-  EventHeap heap;
-  heap.reset(gates_.size());
-  long seq = 0;
-
-  auto reschedule = [&](std::size_t gate_index) {
-    Gate& gate = gates_[gate_index];
-    const auto pending =
-        gate.sis ? gate.sis->pending() : gate.mis->pending();
-    if (pending.has_value() && pending->t <= t_end) {
-      heap.schedule(gate_index, pending->t, seq++, pending->value);
-    } else {
-      heap.cancel(gate_index);
-    }
-  };
-
-  auto propagate_net_change = [&](NetId net, double t, bool value) {
-    if (net_value[net] == value) return;  // defensive
-    net_value[net] = value;
-    result.traces[net].append_transition(t);
-    for (const auto& [gate_index, port] : fanout_[net]) {
-      Gate& gate = gates_[gate_index];
-      gate.in_values[static_cast<std::size_t>(port)] = value;
-      if (gate.sis) {
-        const bool nv = eval_gate(gate.kind, gate.in_values[0],
-                                  gate.in_values[1], gate.in_values[2]);
-        if (nv != gate.zero_time_value) {
-          gate.zero_time_value = nv;
-          gate.sis->on_input(t, nv);
-        }
-      } else {
-        gate.mis->on_input(t, port, value);
-      }
-      reschedule(gate_index);
-    }
-  };
-
-  std::size_t si = 0;
-  while (si < stim_events.size() || !heap.empty()) {
-    const bool take_stimulus =
-        si < stim_events.size() &&
-        (heap.empty() || stim_events[si].t <= heap.top().t);
-    ++result.n_events;
-    if (take_stimulus) {
-      const StimulusEvent& ev = stim_events[si++];
-      propagate_net_change(ev.net, ev.t, ev.value);
-      continue;
-    }
-    const std::size_t gate_index = heap.top_slot();
-    const EventHeap::Entry fired = heap.top();
-    heap.pop();
-    Gate& gate = gates_[gate_index];
-    const PendingEvent event{fired.t, fired.value};
-    if (gate.sis) {
-      gate.sis->on_fire(event);
-    } else {
-      gate.mis->on_fire(event);
-    }
-    reschedule(gate_index);
-    propagate_net_change(gate.output, fired.t, fired.value);
-  }
-
-  return result;
+void Circuit::simulate_into(const std::vector<waveform::DigitalTrace>& stimuli,
+                            double t_begin, double t_end, SimResult& out) {
+  CHARLIE_ASSERT(t_end > t_begin);
+  SimSession session(*this, stimuli, t_begin, std::move(out));
+  session.advance(t_end);
+  out = session.take_result();
 }
 
 }  // namespace charlie::sim

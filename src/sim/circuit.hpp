@@ -136,7 +136,19 @@ class Circuit {
   SimResult simulate(const std::vector<waveform::DigitalTrace>& stimuli,
                      double t_begin, double t_end);
 
+  /// Arena-reusing variant: identical semantics and bit-identical output,
+  /// but `out`'s per-net trace storage is reset and reused instead of
+  /// reallocated -- the batch runner calls this with one arena per worker
+  /// so repeated runs stop paying the trace-vector allocations.
+  void simulate_into(const std::vector<waveform::DigitalTrace>& stimuli,
+                     double t_begin, double t_end, SimResult& out);
+
+  /// Number of declared primary inputs; input_net(i) is the NetId of the
+  /// i-th declared input (stimulus order).
+  NetId input_net(std::size_t i) const { return primary_inputs_[i]; }
+
  private:
+  friend class SimSession;
   struct Gate {
     GateKind kind = GateKind::kBuf;
     std::vector<NetId> inputs;

@@ -1,5 +1,6 @@
 #include "sim/circuit_builder.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -37,6 +38,150 @@ wire::WireParams wire_params_of(const cell::NetlistWire& wire) {
   return params;
 }
 
+// Unified element indexing: gates first, wires after, so one driver map and
+// one topological pass cover both. Element e >= n_gates is wire e - n_gates.
+bool is_wire(const cell::NetlistDesc& desc, std::size_t e) {
+  return e >= desc.instances.size();
+}
+
+const cell::NetlistWire& wire_of(const cell::NetlistDesc& desc,
+                                 std::size_t e) {
+  return desc.wires[e - desc.instances.size()];
+}
+
+const std::string& output_of(const cell::NetlistDesc& desc, std::size_t e) {
+  return is_wire(desc, e) ? wire_of(desc, e).output
+                          : desc.instances[e].output;
+}
+
+template <typename Visit>
+void for_each_input(const cell::NetlistDesc& desc, std::size_t e,
+                    Visit&& visit) {
+  if (is_wire(desc, e)) {
+    visit(wire_of(desc, e).input);
+  } else {
+    for (const auto& input : desc.instances[e].inputs) visit(input);
+  }
+}
+
+// Validated netlist, ready for emission: the resolved cell spec per
+// instance, the driver map (net name -> -1 for a primary input, element
+// index otherwise), and the element topological order. Shared by build()
+// and build_sharded().
+struct Prepared {
+  std::vector<const cell::CellSpec*> specs;
+  std::unordered_map<std::string, int> driver;
+  std::vector<int> order;
+};
+
+Prepared prepare_netlist(const cell::NetlistDesc& desc,
+                         const cell::CellLibrary& library) {
+  // --- semantic validation -------------------------------------------------
+  const std::size_t n_gates = desc.instances.size();
+  const std::size_t n_elems = n_gates + desc.wires.size();
+
+  Prepared prep;
+  for (const auto& name : desc.inputs) {
+    if (!prep.driver.emplace(name, -1).second) {
+      throw ConfigError("circuit builder: primary input \"" + name +
+                        "\" declared twice");
+    }
+  }
+  prep.specs.assign(n_gates, nullptr);
+  for (std::size_t i = 0; i < n_gates; ++i) {
+    const auto& inst = desc.instances[i];
+    const cell::CellSpec* spec = library.find(inst.cell);
+    if (spec == nullptr) {
+      build_error(inst, "unknown cell \"" + inst.cell + "\"");
+    }
+    prep.specs[i] = spec;
+    if (static_cast<int>(inst.inputs.size()) != spec->arity) {
+      build_error(inst, "cell " + spec->name + " takes " +
+                            std::to_string(spec->arity) + " inputs, got " +
+                            std::to_string(inst.inputs.size()));
+    }
+    if (!prep.driver.emplace(inst.output, static_cast<int>(i)).second) {
+      build_error(inst, "net \"" + inst.output + "\" is defined twice");
+    }
+  }
+  for (std::size_t w = 0; w < desc.wires.size(); ++w) {
+    const auto& wire = desc.wires[w];
+    try {
+      wire_params_of(wire).validate();
+    } catch (const ConfigError& e) {
+      wire_error(wire, e.what());
+    }
+    if (!prep.driver.emplace(wire.output, static_cast<int>(n_gates + w))
+             .second) {
+      wire_error(wire, "net \"" + wire.output + "\" is defined twice");
+    }
+  }
+  for (const auto& inst : desc.instances) {
+    for (const auto& input : inst.inputs) {
+      if (prep.driver.find(input) == prep.driver.end()) {
+        build_error(inst, "input net \"" + input +
+                              "\" is driven by no gate, wire, or primary "
+                              "input");
+      }
+    }
+  }
+  for (const auto& wire : desc.wires) {
+    if (prep.driver.find(wire.input) == prep.driver.end()) {
+      wire_error(wire, "input net \"" + wire.input +
+                           "\" is driven by no gate, wire, or primary "
+                           "input");
+    }
+  }
+  for (const auto& name : desc.outputs) {
+    if (prep.driver.find(name) == prep.driver.end()) {
+      throw ConfigError("circuit builder: declared primary output \"" + name +
+                        "\" is driven by no gate, wire, or primary input");
+    }
+  }
+
+  // --- topological order (Kahn) -------------------------------------------
+  // The engine appends gates after their input nets exist, so elements are
+  // emitted in dependency order regardless of netlist order; leftover
+  // elements sit on a combinational cycle.
+  std::vector<int> missing_inputs(n_elems, 0);
+  std::unordered_map<int, std::vector<int>> dependents;  // driver -> users
+  std::vector<int> ready;
+  for (std::size_t e = 0; e < n_elems; ++e) {
+    for_each_input(desc, e, [&](const std::string& input) {
+      const int d = prep.driver.at(input);
+      if (d >= 0) {
+        ++missing_inputs[e];
+        dependents[d].push_back(static_cast<int>(e));
+      }
+    });
+    if (missing_inputs[e] == 0) ready.push_back(static_cast<int>(e));
+  }
+  prep.order.reserve(n_elems);
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const int e = ready[head];
+    prep.order.push_back(e);
+    const auto it = dependents.find(e);
+    if (it == dependents.end()) continue;
+    for (const int user : it->second) {
+      if (--missing_inputs[user] == 0) ready.push_back(user);
+    }
+  }
+  if (prep.order.size() != n_elems) {
+    for (std::size_t e = 0; e < n_elems; ++e) {
+      if (missing_inputs[e] > 0) {
+        if (is_wire(desc, e)) {
+          wire_error(wire_of(desc, e), "combinational cycle through net \"" +
+                                           wire_of(desc, e).output + "\"");
+        }
+        build_error(desc.instances[e],
+                    "combinational cycle through net \"" +
+                        desc.instances[e].output + "\"");
+      }
+    }
+  }
+  return prep;
+}
+
 }  // namespace
 
 CircuitBuilder::CircuitBuilder(
@@ -68,154 +213,185 @@ std::shared_ptr<const wire::WireModeTables> CircuitBuilder::wire_tables_for(
   return it->second;
 }
 
+void CircuitBuilder::emit_element(Circuit& circuit,
+                                  const cell::NetlistDesc& desc,
+                                  const std::vector<const cell::CellSpec*>&
+                                      specs,
+                                  std::size_t e) const {
+  if (is_wire(desc, e)) {
+    const auto& wire = wire_of(desc, e);
+    circuit.add_gate(GateKind::kBuf, wire.output,
+                     {circuit.find_net(wire.input)},
+                     std::make_unique<WireChannel>(wire_tables_for(wire)));
+    return;
+  }
+  const auto& inst = desc.instances[e];
+  const cell::CellSpec& spec = *specs[e];
+  std::vector<Circuit::NetId> inputs;
+  inputs.reserve(inst.inputs.size());
+  for (const auto& input : inst.inputs) {
+    inputs.push_back(circuit.find_net(input));
+  }
+  if (spec.hybrid) {
+    circuit.add_mis_gate(spec.kind, inst.output, std::move(inputs),
+                         spec.make_mis_channel());
+  } else {
+    circuit.add_gate(spec.kind, inst.output, std::move(inputs),
+                     spec.make_sis_channel());
+  }
+}
+
 std::unique_ptr<Circuit> CircuitBuilder::build(
     const cell::NetlistDesc& desc) const {
-  // --- semantic validation -------------------------------------------------
-  // Unified element list: gates first, wires after, so one driver map and
-  // one topological pass cover both. Element e >= n_gates is wire
-  // e - n_gates.
-  const std::size_t n_gates = desc.instances.size();
-  const std::size_t n_elems = n_gates + desc.wires.size();
-  auto is_wire = [&](std::size_t e) { return e >= n_gates; };
-  auto wire_of = [&](std::size_t e) -> const cell::NetlistWire& {
-    return desc.wires[e - n_gates];
-  };
-
-  // Net name -> driver: -1 for primary inputs, element index otherwise.
-  std::unordered_map<std::string, int> driver;
-  for (const auto& name : desc.inputs) {
-    if (!driver.emplace(name, -1).second) {
-      throw ConfigError("circuit builder: primary input \"" + name +
-                        "\" declared twice");
-    }
-  }
-  std::vector<const cell::CellSpec*> specs(n_gates, nullptr);
-  for (std::size_t i = 0; i < n_gates; ++i) {
-    const auto& inst = desc.instances[i];
-    const cell::CellSpec* spec = library_->find(inst.cell);
-    if (spec == nullptr) {
-      build_error(inst, "unknown cell \"" + inst.cell + "\"");
-    }
-    specs[i] = spec;
-    if (static_cast<int>(inst.inputs.size()) != spec->arity) {
-      build_error(inst, "cell " + spec->name + " takes " +
-                            std::to_string(spec->arity) + " inputs, got " +
-                            std::to_string(inst.inputs.size()));
-    }
-    if (!driver.emplace(inst.output, static_cast<int>(i)).second) {
-      build_error(inst, "net \"" + inst.output + "\" is defined twice");
-    }
-  }
-  for (std::size_t w = 0; w < desc.wires.size(); ++w) {
-    const auto& wire = desc.wires[w];
-    try {
-      wire_params_of(wire).validate();
-    } catch (const ConfigError& e) {
-      wire_error(wire, e.what());
-    }
-    if (!driver.emplace(wire.output, static_cast<int>(n_gates + w)).second) {
-      wire_error(wire, "net \"" + wire.output + "\" is defined twice");
-    }
-  }
-  for (const auto& inst : desc.instances) {
-    for (const auto& input : inst.inputs) {
-      if (driver.find(input) == driver.end()) {
-        build_error(inst, "input net \"" + input +
-                              "\" is driven by no gate, wire, or primary "
-                              "input");
-      }
-    }
-  }
-  for (const auto& wire : desc.wires) {
-    if (driver.find(wire.input) == driver.end()) {
-      wire_error(wire, "input net \"" + wire.input +
-                           "\" is driven by no gate, wire, or primary "
-                           "input");
-    }
-  }
-  for (const auto& name : desc.outputs) {
-    if (driver.find(name) == driver.end()) {
-      throw ConfigError("circuit builder: declared primary output \"" + name +
-                        "\" is driven by no gate, wire, or primary input");
-    }
-  }
-
-  // --- topological order (Kahn) -------------------------------------------
-  // The engine appends gates after their input nets exist, so elements are
-  // emitted in dependency order regardless of netlist order; leftover
-  // elements sit on a combinational cycle.
-  auto element_inputs = [&](std::size_t e, auto&& visit) {
-    if (is_wire(e)) {
-      visit(wire_of(e).input);
-    } else {
-      for (const auto& input : desc.instances[e].inputs) visit(input);
-    }
-  };
-  std::vector<int> missing_inputs(n_elems, 0);
-  std::unordered_map<int, std::vector<int>> dependents;  // driver -> users
-  std::vector<int> ready;
-  for (std::size_t e = 0; e < n_elems; ++e) {
-    element_inputs(e, [&](const std::string& input) {
-      const int d = driver.at(input);
-      if (d >= 0) {
-        ++missing_inputs[e];
-        dependents[d].push_back(static_cast<int>(e));
-      }
-    });
-    if (missing_inputs[e] == 0) ready.push_back(static_cast<int>(e));
-  }
-  std::vector<int> order;
-  order.reserve(n_elems);
-  for (std::size_t head = 0; head < ready.size(); ++head) {
-    const int e = ready[head];
-    order.push_back(e);
-    const auto it = dependents.find(e);
-    if (it == dependents.end()) continue;
-    for (const int user : it->second) {
-      if (--missing_inputs[user] == 0) ready.push_back(user);
-    }
-  }
-  if (order.size() != n_elems) {
-    for (std::size_t e = 0; e < n_elems; ++e) {
-      if (missing_inputs[e] > 0) {
-        if (is_wire(e)) {
-          wire_error(wire_of(e), "combinational cycle through net \"" +
-                                     wire_of(e).output + "\"");
-        }
-        build_error(desc.instances[e],
-                    "combinational cycle through net \"" +
-                        desc.instances[e].output + "\"");
-      }
-    }
-  }
-
-  // --- emission ------------------------------------------------------------
+  const Prepared prep = prepare_netlist(desc, *library_);
   auto circuit = std::make_unique<Circuit>();
   for (const auto& name : desc.inputs) circuit->add_input(name);
-  for (const int e : order) {
-    if (is_wire(static_cast<std::size_t>(e))) {
-      const auto& wire = wire_of(static_cast<std::size_t>(e));
-      circuit->add_gate(
-          GateKind::kBuf, wire.output, {circuit->find_net(wire.input)},
-          std::make_unique<WireChannel>(wire_tables_for(wire)));
-      continue;
-    }
-    const auto& inst = desc.instances[static_cast<std::size_t>(e)];
-    const cell::CellSpec& spec = *specs[static_cast<std::size_t>(e)];
-    std::vector<Circuit::NetId> inputs;
-    inputs.reserve(inst.inputs.size());
-    for (const auto& input : inst.inputs) {
-      inputs.push_back(circuit->find_net(input));
-    }
-    if (spec.hybrid) {
-      circuit->add_mis_gate(spec.kind, inst.output, std::move(inputs),
-                            spec.make_mis_channel());
-    } else {
-      circuit->add_gate(spec.kind, inst.output, std::move(inputs),
-                        spec.make_sis_channel());
-    }
+  for (const int e : prep.order) {
+    emit_element(*circuit, desc, prep.specs, static_cast<std::size_t>(e));
   }
   return circuit;
+}
+
+std::unique_ptr<ShardedCircuit> CircuitBuilder::build_sharded(
+    const cell::NetlistDesc& desc, std::size_t n_shards) const {
+  const Prepared prep = prepare_netlist(desc, *library_);
+  const std::size_t n_elems = prep.order.size();
+  const std::size_t n_parts = std::clamp<std::size_t>(
+      n_shards, 1, std::max<std::size_t>(n_elems, 1));
+
+  // --- cut placement -------------------------------------------------------
+  // A cut at topo position p separates order[0..p) from order[p..). Its
+  // cost is the number of nets live across it: nets produced before p whose
+  // last consumer sits at or after p. Costs for every p come from one
+  // difference array over the net live ranges; each of the K-1 cuts then
+  // takes the cheapest position within a balance slack around its ideal
+  // (equal-element) position.
+  std::vector<int> pos(n_elems, 0);
+  for (std::size_t i = 0; i < n_elems; ++i) {
+    pos[static_cast<std::size_t>(prep.order[i])] = static_cast<int>(i);
+  }
+  std::vector<int> last_use(n_elems, -1);
+  for (std::size_t e = 0; e < n_elems; ++e) {
+    for_each_input(desc, e, [&](const std::string& input) {
+      const int d = prep.driver.at(input);
+      if (d >= 0) {
+        last_use[static_cast<std::size_t>(d)] = std::max(
+            last_use[static_cast<std::size_t>(d)], pos[e]);
+      }
+    });
+  }
+  std::vector<int> live(n_elems + 1, 0);
+  for (std::size_t d = 0; d < n_elems; ++d) {
+    if (last_use[d] < 0) continue;  // output consumed by no element
+    ++live[static_cast<std::size_t>(pos[d]) + 1];
+    --live[static_cast<std::size_t>(last_use[d]) + 1];
+  }
+  for (std::size_t p = 1; p <= n_elems; ++p) live[p] += live[p - 1];
+
+  std::vector<std::size_t> cut(n_parts + 1, 0);
+  cut[n_parts] = n_elems;
+  const std::size_t slack =
+      std::max<std::size_t>(1, n_elems / (4 * n_parts));
+  for (std::size_t i = 1; i < n_parts; ++i) {
+    const std::size_t ideal = i * n_elems / n_parts;
+    // Every shard keeps at least one element: cut i stays in
+    // [cut[i-1] + 1, n_elems - (n_parts - i)].
+    const std::size_t floor_p = cut[i - 1] + 1;
+    const std::size_t ceil_p = n_elems - (n_parts - i);
+    std::size_t lo = std::max(floor_p, ideal > slack ? ideal - slack : 1);
+    std::size_t hi = std::min(ceil_p, ideal + slack);
+    if (lo > hi) {
+      lo = hi = std::clamp(ideal, floor_p, ceil_p);
+    }
+    std::size_t best = lo;
+    for (std::size_t p = lo; p <= hi; ++p) {
+      const auto distance = [&](std::size_t q) {
+        return q > ideal ? q - ideal : ideal - q;
+      };
+      if (live[p] < live[best] ||
+          (live[p] == live[best] && distance(p) < distance(best))) {
+        best = p;
+      }
+    }
+    cut[i] = best;
+  }
+
+  std::vector<int> shard_of(n_elems, 0);
+  for (std::size_t s = 0; s < n_parts; ++s) {
+    for (std::size_t p = cut[s]; p < cut[s + 1]; ++p) {
+      shard_of[static_cast<std::size_t>(prep.order[p])] =
+          static_cast<int>(s);
+    }
+  }
+
+  // --- per-shard emission --------------------------------------------------
+  std::unordered_map<std::string, std::size_t> input_index;
+  for (std::size_t i = 0; i < desc.inputs.size(); ++i) {
+    input_index.emplace(desc.inputs[i], i);
+  }
+
+  std::vector<ShardedCircuit::Shard> shards(n_parts);
+  std::vector<ShardedCircuit::BoundaryEdge> edges;
+  std::unordered_map<std::string, std::pair<std::size_t, Circuit::NetId>>
+      net_home;
+  for (std::size_t s = 0; s < n_parts; ++s) {
+    // External nets of this shard: global primary inputs it reads (declared
+    // in global stimulus order) and boundary nets from earlier shards
+    // (declared in producer topo order) -- both deterministic.
+    std::unordered_set<std::string> seen;
+    std::vector<std::size_t> primaries;  // global input indices
+    std::vector<int> producers;          // upstream element indices
+    for (std::size_t p = cut[s]; p < cut[s + 1]; ++p) {
+      const auto e = static_cast<std::size_t>(prep.order[p]);
+      for_each_input(desc, e, [&](const std::string& input) {
+        if (!seen.insert(input).second) return;
+        const int d = prep.driver.at(input);
+        if (d < 0) {
+          primaries.push_back(input_index.at(input));
+        } else if (shard_of[static_cast<std::size_t>(d)] !=
+                   static_cast<int>(s)) {
+          producers.push_back(d);
+        }
+      });
+    }
+    std::sort(primaries.begin(), primaries.end());
+    std::sort(producers.begin(), producers.end(), [&](int a, int b) {
+      return pos[static_cast<std::size_t>(a)] <
+             pos[static_cast<std::size_t>(b)];
+    });
+
+    auto circuit = std::make_unique<Circuit>();
+    std::vector<int> binding;
+    binding.reserve(primaries.size() + producers.size());
+    for (const std::size_t g : primaries) {
+      circuit->add_input(desc.inputs[g]);
+      binding.push_back(static_cast<int>(g));
+    }
+    for (const int d : producers) {
+      const std::string& net = output_of(desc, static_cast<std::size_t>(d));
+      const std::size_t from_shard =
+          static_cast<std::size_t>(shard_of[static_cast<std::size_t>(d)]);
+      ShardedCircuit::BoundaryEdge edge;
+      edge.from_shard = from_shard;
+      edge.from_net = shards[from_shard].circuit->find_net(net);
+      edge.to_shard = s;
+      edge.to_input = circuit->n_inputs();
+      circuit->add_input(net);
+      binding.push_back(-1);
+      edges.push_back(edge);
+    }
+    for (std::size_t p = cut[s]; p < cut[s + 1]; ++p) {
+      const auto e = static_cast<std::size_t>(prep.order[p]);
+      emit_element(*circuit, desc, prep.specs, e);
+      const std::string& net = output_of(desc, e);
+      net_home.emplace(net, std::make_pair(s, circuit->find_net(net)));
+    }
+    shards[s].circuit = std::move(circuit);
+    shards[s].input_binding = std::move(binding);
+  }
+
+  return std::make_unique<ShardedCircuit>(std::move(shards), std::move(edges),
+                                          desc.inputs, std::move(net_home));
 }
 
 std::unique_ptr<Circuit> CircuitBuilder::build_text(

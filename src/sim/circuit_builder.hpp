@@ -30,10 +30,12 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cell/cell_library.hpp"
 #include "cell/netlist.hpp"
 #include "sim/circuit.hpp"
+#include "sim/sharded_circuit.hpp"
 #include "wire/wire_tables.hpp"
 
 namespace charlie::sim {
@@ -57,6 +59,17 @@ class CircuitBuilder {
   std::unique_ptr<Circuit> build_text(const std::string& netlist_text) const;
   std::unique_ptr<Circuit> build_file(const std::string& path) const;
 
+  /// Validate `desc` and emit it as `n_shards` shard circuits for parallel
+  /// simulation by sim::ShardedCircuit. Elements are split into contiguous
+  /// runs of the topological order, balanced by element count, with each
+  /// cut placed (within a balance slack) at the topo position where the
+  /// fewest nets are live -- a cheap min-cut that keeps the shard graph
+  /// acyclic by construction. n_shards is clamped to [1, n_elements];
+  /// simulation output is bit-identical to build() + Circuit::simulate for
+  /// any shard count.
+  std::unique_ptr<ShardedCircuit> build_sharded(const cell::NetlistDesc& desc,
+                                                std::size_t n_shards) const;
+
   const cell::CellLibrary& library() const { return *library_; }
 
   /// Number of distinct wire geometries collapsed so far (testing hook for
@@ -66,6 +79,12 @@ class CircuitBuilder {
  private:
   std::shared_ptr<const wire::WireModeTables> wire_tables_for(
       const cell::NetlistWire& wire) const;
+
+  /// Emit one validated element (gate or wire) of `desc` into `circuit`;
+  /// `specs` is the per-instance resolved cell spec list.
+  void emit_element(Circuit& circuit, const cell::NetlistDesc& desc,
+                    const std::vector<const cell::CellSpec*>& specs,
+                    std::size_t e) const;
 
   std::shared_ptr<const cell::CellLibrary> library_;
   // One collapsed table per distinct WireParams fingerprint, shared by

@@ -1,0 +1,226 @@
+#include "sim/sharded_circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "sim/sim_session.hpp"
+#include "util/error.hpp"
+
+namespace charlie::sim {
+
+ShardedCircuit::ShardedCircuit(
+    std::vector<Shard> shards, std::vector<BoundaryEdge> edges,
+    std::vector<std::string> global_inputs,
+    std::unordered_map<std::string, std::pair<std::size_t, Circuit::NetId>>
+        net_home)
+    : shards_(std::move(shards)),
+      edges_(std::move(edges)),
+      global_inputs_(std::move(global_inputs)),
+      net_home_(std::move(net_home)) {
+  CHARLIE_ASSERT_MSG(!shards_.empty(), "sharded circuit: no shards");
+  for (std::size_t i = 0; i < global_inputs_.size(); ++i) {
+    input_index_.emplace(global_inputs_[i], i);
+  }
+  out_edges_.resize(shards_.size());
+  in_edges_.resize(shards_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const BoundaryEdge& e = edges_[i];
+    // The shard graph must be acyclic; contiguous topo-order partitions
+    // guarantee the stronger from < to.
+    CHARLIE_ASSERT(e.from_shard < e.to_shard && e.to_shard < shards_.size());
+    const Circuit& consumer = *shards_[e.to_shard].circuit;
+    CHARLIE_ASSERT(e.to_input < consumer.n_inputs());
+    CHARLIE_ASSERT_MSG(
+        shards_[e.to_shard].input_binding[e.to_input] == -1,
+        "sharded circuit: boundary edge targets a global-input binding");
+    out_edges_[e.from_shard].push_back(i);
+    in_edges_[e.to_shard].push_back(i);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    CHARLIE_ASSERT(shard.circuit != nullptr);
+    CHARLIE_ASSERT(shard.input_binding.size() == shard.circuit->n_inputs());
+  }
+}
+
+std::size_t ShardedCircuit::n_gates() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.circuit->n_gates();
+  return n;
+}
+
+const waveform::DigitalTrace& ShardedCircuit::Result::trace(
+    const std::string& net) const {
+  CHARLIE_ASSERT(owner != nullptr);
+  const auto home = owner->net_home_.find(net);
+  if (home != owner->net_home_.end()) {
+    return shard_results[home->second.first].trace(home->second.second);
+  }
+  const auto input = owner->input_index_.find(net);
+  if (input != owner->input_index_.end()) {
+    return input_traces[input->second];
+  }
+  throw ConfigError("sharded circuit: unknown net " + net);
+}
+
+namespace {
+
+// One cross-shard transition in flight between a producer's window and the
+// matching consumer window.
+struct BoundaryEvent {
+  double t = 0.0;
+  bool value = false;
+  std::size_t to_input = 0;
+};
+
+}  // namespace
+
+ShardedCircuit::Result ShardedCircuit::simulate(
+    const std::vector<waveform::DigitalTrace>& stimuli, double t_begin,
+    double t_end, const ShardedSimConfig& config) {
+  CHARLIE_ASSERT(t_end > t_begin);
+  CHARLIE_ASSERT_MSG(stimuli.size() == global_inputs_.size(),
+                     "sharded circuit: one stimulus per primary input");
+  const std::size_t n_shards = shards_.size();
+
+  // --- window schedule -----------------------------------------------------
+  // W windows of quantum q; the last window's end is exactly t_end, and every
+  // earlier boundary is strictly below it, so each advance() horizon strictly
+  // increases and the union of windows is exactly (t_begin, t_end].
+  const double span = t_end - t_begin;
+  double quantum = config.window;
+  if (!(quantum > 0.0)) quantum = span / (8.0 * static_cast<double>(n_shards));
+  std::size_t n_windows =
+      static_cast<std::size_t>(std::ceil(span / quantum));
+  n_windows = std::max<std::size_t>(n_windows, 1);
+  auto window_end = [&](std::size_t w) {
+    return w + 1 == n_windows ? t_end
+                              : t_begin + static_cast<double>(w + 1) * quantum;
+  };
+
+  std::size_t n_threads = config.n_threads;
+  if (n_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n_threads = std::min<std::size_t>(n_shards, hw > 0 ? hw : 1);
+  }
+  if (pool_ == nullptr || pool_->n_threads() != n_threads) {
+    pool_ = std::make_unique<util::ThreadPool>(n_threads);
+  }
+
+  // --- sessions, in shard (topo) order -------------------------------------
+  // A downstream shard's boundary inputs settle at the value its producer
+  // settled to, so sessions are constructed in ascending shard order and
+  // boundary stimuli start as constant traces at the producer's t_begin
+  // value; their transitions arrive later through inject().
+  std::vector<std::unique_ptr<SimSession>> sessions(n_shards);
+  {
+    std::vector<waveform::DigitalTrace> shard_stimuli;
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      const Shard& shard = shards_[s];
+      shard_stimuli.clear();
+      shard_stimuli.reserve(shard.circuit->n_inputs());
+      for (const int binding : shard.input_binding) {
+        shard_stimuli.push_back(
+            binding >= 0 ? stimuli[static_cast<std::size_t>(binding)]
+                         : waveform::DigitalTrace());
+      }
+      for (const std::size_t edge_index : in_edges_[s]) {
+        const BoundaryEdge& e = edges_[edge_index];
+        shard_stimuli[e.to_input] = waveform::DigitalTrace(
+            sessions[e.from_shard]->value(e.from_net), {});
+      }
+      sessions[s] =
+          std::make_unique<SimSession>(*shard.circuit, shard_stimuli, t_begin);
+    }
+  }
+
+  // --- exchange buckets ----------------------------------------------------
+  // buckets[edge][w] holds the producer's window-w boundary transitions. The
+  // producer fills it at wavefront step from_shard + w; the consumer drains
+  // it at step to_shard + w (strictly later), so no bucket is ever touched
+  // by two tasks of the same step and no locking is needed.
+  std::vector<std::vector<std::vector<BoundaryEvent>>> buckets(edges_.size());
+  for (auto& per_window : buckets) per_window.resize(n_windows);
+  std::vector<std::size_t> export_cursor(edges_.size(), 0);
+
+  // --- conservative wavefront ----------------------------------------------
+  // Task (shard k, window w) runs at step k + w; all tasks of one step are
+  // mutually independent (distinct sessions, disjoint buckets), so each step
+  // is one parallel_for. Grain 1: shard/window tasks are coarse already.
+  for (std::size_t step = 0; step + 1 < n_shards + n_windows; ++step) {
+    const std::size_t k_lo = step >= n_windows ? step - n_windows + 1 : 0;
+    const std::size_t k_hi = std::min(n_shards - 1, step);
+    pool_->parallel_for(
+        k_hi - k_lo + 1, 1, [&](std::size_t /*worker*/, std::size_t task) {
+          const std::size_t k = k_lo + task;
+          const std::size_t w = step - k;
+          SimSession& session = *sessions[k];
+          // Inject this window's boundary transitions, globally time-sorted;
+          // the edge iteration order breaks (measure-zero) exact-time ties
+          // deterministically.
+          std::vector<BoundaryEvent> incoming;
+          for (const std::size_t edge_index : in_edges_[k]) {
+            const auto& bucket = buckets[edge_index][w];
+            const std::size_t to_input = edges_[edge_index].to_input;
+            for (const BoundaryEvent& ev : bucket) {
+              incoming.push_back({ev.t, ev.value, to_input});
+            }
+          }
+          std::stable_sort(incoming.begin(), incoming.end(),
+                           [](const BoundaryEvent& a, const BoundaryEvent& b) {
+                             return a.t < b.t;
+                           });
+          for (const BoundaryEvent& ev : incoming) {
+            session.inject(ev.to_input, ev.t, ev.value);
+          }
+          session.advance(window_end(w));
+          // Export this window's production on every out-edge: all not-yet-
+          // exported transitions up to the new horizon.
+          for (const std::size_t edge_index : out_edges_[k]) {
+            const BoundaryEdge& e = edges_[edge_index];
+            const waveform::DigitalTrace& produced =
+                session.result().trace(e.from_net);
+            std::size_t& cursor = export_cursor[edge_index];
+            auto& bucket = buckets[edge_index][w];
+            while (cursor < produced.n_transitions() &&
+                   produced.transitions()[cursor] <= session.t_horizon()) {
+              bucket.push_back({produced.transitions()[cursor],
+                                produced.is_rising(cursor), e.to_input});
+              ++cursor;
+            }
+          }
+        });
+  }
+
+  // --- assembly ------------------------------------------------------------
+  Result result;
+  result.owner = this;
+  result.n_windows = n_windows;
+  result.shard_results.reserve(n_shards);
+  long n_gate_events = 0;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    n_gate_events += sessions[s]->n_gate_events();
+    result.shard_results.push_back(sessions[s]->take_result());
+  }
+  // The monolithic engine's event count is its processed stimulus events
+  // plus gate firings. Shard-local stimulus counts double-count boundary
+  // injections and multi-shard fanout of primary inputs, so the stimulus
+  // share is recomputed from the global traces instead.
+  long n_stimulus_events = 0;
+  result.input_traces.reserve(global_inputs_.size());
+  for (const waveform::DigitalTrace& stimulus : stimuli) {
+    waveform::DigitalTrace windowed(stimulus.value_at(t_begin), {});
+    for (std::size_t i = 0; i < stimulus.n_transitions(); ++i) {
+      const double t = stimulus.transitions()[i];
+      if (t > t_begin && t <= t_end) windowed.append_transition(t);
+    }
+    n_stimulus_events += static_cast<long>(windowed.n_transitions());
+    result.input_traces.push_back(std::move(windowed));
+  }
+  result.n_events = n_stimulus_events + n_gate_events;
+  return result;
+}
+
+}  // namespace charlie::sim

@@ -1,0 +1,239 @@
+#include "sim/sim_session.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace charlie::sim {
+
+SimSession::SimSession(Circuit& circuit,
+                       const std::vector<waveform::DigitalTrace>& stimuli,
+                       double t_begin)
+    : SimSession(circuit, stimuli, t_begin, Circuit::SimResult{}) {}
+
+SimSession::SimSession(Circuit& circuit,
+                       const std::vector<waveform::DigitalTrace>& stimuli,
+                       double t_begin, Circuit::SimResult&& arena)
+    : circuit_(&circuit), t_begin_(t_begin), horizon_(t_begin),
+      result_(std::move(arena)) {
+  CHARLIE_ASSERT_MSG(stimuli.size() == circuit_->primary_inputs_.size(),
+                     "circuit: one stimulus trace per primary input");
+  initialize(stimuli);
+}
+
+void SimSession::initialize(
+    const std::vector<waveform::DigitalTrace>& stimuli) {
+  Circuit& c = *circuit_;
+  const std::size_t n_nets = c.n_nets();
+
+  // --- steady-state initialization (topological settle) -------------------
+  // Window convention (see circuit.hpp): value_at(t_begin) already includes
+  // a transition at exactly t_begin; only strictly later transitions become
+  // events.
+  net_value_.assign(n_nets, 0);
+  for (std::size_t i = 0; i < stimuli.size(); ++i) {
+    net_value_[static_cast<std::size_t>(c.primary_inputs_[i])] =
+        stimuli[i].value_at(t_begin_) ? 1 : 0;
+  }
+  // Gates were appended after their input nets exist, so a forward sweep
+  // settles an acyclic circuit (two passes as a fixpoint safety net).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (auto& gate : c.gates_) {
+      for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
+        gate.in_values[p] =
+            net_value_[static_cast<std::size_t>(gate.inputs[p])] != 0;
+      }
+      gate.zero_time_value = eval_gate(gate.kind, gate.in_values[0],
+                                       gate.in_values[1], gate.in_values[2]);
+      net_value_[static_cast<std::size_t>(gate.output)] =
+          gate.zero_time_value ? 1 : 0;
+    }
+  }
+  for (auto& gate : c.gates_) {
+    if (gate.sis) {
+      gate.sis->initialize(t_begin_, gate.zero_time_value);
+    } else {
+      gate.mis->initialize(
+          t_begin_,
+          std::vector<bool>(gate.in_values.begin(),
+                            gate.in_values.begin() + gate.inputs.size()));
+    }
+  }
+
+  // --- stimulus stream -----------------------------------------------------
+  // All primary-input events are known up front: one sorted vector walked
+  // by an index beats pushing them through the gate heap. Equal-time order
+  // is input-declaration order (stable sort over per-input appends), and a
+  // stimulus always precedes gate firings at the same instant. Transitions
+  // beyond the final horizon simply never get processed.
+  std::size_t n_stim = 0;
+  for (const auto& trace : stimuli) n_stim += trace.n_transitions();
+  stim_events_.clear();
+  stim_events_.reserve(n_stim);
+  for (std::size_t i = 0; i < stimuli.size(); ++i) {
+    const auto& trace = stimuli[i];
+    for (std::size_t k = 0; k < trace.n_transitions(); ++k) {
+      const double t = trace.transitions()[k];
+      if (t <= t_begin_) continue;
+      stim_events_.push_back({t, c.primary_inputs_[i], trace.is_rising(k)});
+    }
+  }
+  std::stable_sort(stim_events_.begin(), stim_events_.end(),
+                   [](const StimulusEvent& x, const StimulusEvent& y) {
+                     return x.t < y.t;
+                   });
+
+  // --- result traces, pre-sized from stimulus statistics -------------------
+  // The arena path resets existing traces in place, keeping their
+  // capacity; extra traces from a larger previous circuit are dropped.
+  const std::size_t per_net_estimate =
+      stimuli.empty() ? 0 : stim_events_.size() / stimuli.size() + 1;
+  result_.n_events = 0;
+  if (result_.traces.size() > n_nets) result_.traces.resize(n_nets);
+  for (std::size_t i = 0; i < result_.traces.size(); ++i) {
+    result_.traces[i].reset(net_value_[i] != 0);
+    result_.traces[i].reserve(per_net_estimate);
+  }
+  result_.traces.reserve(n_nets);
+  for (std::size_t i = result_.traces.size(); i < n_nets; ++i) {
+    result_.traces.emplace_back(net_value_[i] != 0, std::vector<double>{});
+    result_.traces.back().reserve(per_net_estimate);
+  }
+
+  heap_.reset(c.gates_.size());
+  seq_ = 0;
+  deferred_.clear();
+  is_deferred_.assign(c.gates_.size(), 0);
+}
+
+void SimSession::reschedule(std::size_t gate_index) {
+  Circuit::Gate& gate = circuit_->gates_[gate_index];
+  const auto pending = gate.sis ? gate.sis->pending() : gate.mis->pending();
+  if (pending.has_value() && pending->t <= horizon_) {
+    heap_.schedule(gate_index, pending->t, seq_++, pending->value);
+    return;
+  }
+  heap_.cancel(gate_index);
+  // A pending event beyond the horizon must be re-armed when the horizon
+  // moves; remember the gate (once -- insertion order preserves the
+  // original schedule order across windows).
+  if (pending.has_value() && is_deferred_[gate_index] == 0) {
+    is_deferred_[gate_index] = 1;
+    deferred_.push_back(gate_index);
+  }
+}
+
+void SimSession::propagate_net_change(Circuit::NetId net, double t,
+                                      bool value) {
+  Circuit& c = *circuit_;
+  const auto net_index = static_cast<std::size_t>(net);
+  if ((net_value_[net_index] != 0) == value) return;  // defensive
+  net_value_[net_index] = value ? 1 : 0;
+  result_.traces[net_index].append_transition(t);
+  for (const auto& [gate_index, port] : c.fanout_[net_index]) {
+    Circuit::Gate& gate = c.gates_[gate_index];
+    gate.in_values[static_cast<std::size_t>(port)] = value;
+    if (gate.sis) {
+      const bool nv = eval_gate(gate.kind, gate.in_values[0],
+                                gate.in_values[1], gate.in_values[2]);
+      if (nv != gate.zero_time_value) {
+        gate.zero_time_value = nv;
+        gate.sis->on_input(t, nv);
+      }
+    } else {
+      gate.mis->on_input(t, port, value);
+    }
+    reschedule(gate_index);
+  }
+}
+
+void SimSession::inject(std::size_t input_index, double t, bool input_value) {
+  CHARLIE_ASSERT(input_index < circuit_->primary_inputs_.size());
+  CHARLIE_ASSERT_MSG(t > horizon_,
+                     "sim session: injected event at or before the horizon");
+  injected_.push_back({t, circuit_->primary_inputs_[input_index],
+                       input_value});
+}
+
+void SimSession::advance(double t_horizon) {
+  CHARLIE_ASSERT(t_horizon >= horizon_);
+  horizon_ = t_horizon;
+
+  // Merge injected boundary transitions into the unprocessed stimulus tail.
+  // Both ranges are time-sorted; inplace_merge is stable, so pre-known
+  // stimuli precede injected events at equal times.
+  if (!injected_.empty()) {
+    std::stable_sort(injected_.begin(), injected_.end(),
+                     [](const StimulusEvent& x, const StimulusEvent& y) {
+                       return x.t < y.t;
+                     });
+    const std::size_t mid = stim_events_.size();
+    stim_events_.insert(stim_events_.end(), injected_.begin(),
+                        injected_.end());
+    std::inplace_merge(stim_events_.begin() +
+                           static_cast<std::ptrdiff_t>(stim_index_),
+                       stim_events_.begin() + static_cast<std::ptrdiff_t>(mid),
+                       stim_events_.end(),
+                       [](const StimulusEvent& x, const StimulusEvent& y) {
+                         return x.t < y.t;
+                       });
+    injected_.clear();
+  }
+
+  // Re-arm gates whose pending events were beyond the previous horizon.
+  // reschedule() may defer them again (still beyond this horizon); swap
+  // first so the re-appends land in a fresh list.
+  if (!deferred_.empty()) {
+    std::vector<std::size_t> rearm;
+    rearm.swap(deferred_);
+    for (const std::size_t gate_index : rearm) {
+      is_deferred_[gate_index] = 0;
+    }
+    for (const std::size_t gate_index : rearm) {
+      reschedule(gate_index);
+    }
+  }
+
+  // --- event loop ----------------------------------------------------------
+  // Every heap entry satisfies t <= horizon_ by construction (reschedule
+  // filters), so only the stimulus stream needs the horizon check.
+  while ((stim_index_ < stim_events_.size() &&
+          stim_events_[stim_index_].t <= horizon_) ||
+         !heap_.empty()) {
+    const bool take_stimulus =
+        stim_index_ < stim_events_.size() &&
+        stim_events_[stim_index_].t <= horizon_ &&
+        (heap_.empty() || stim_events_[stim_index_].t <= heap_.top().t);
+    if (take_stimulus) {
+      const StimulusEvent& ev = stim_events_[stim_index_++];
+      ++n_stimulus_events_;
+      propagate_net_change(ev.net, ev.t, ev.value);
+      continue;
+    }
+    const std::size_t gate_index = heap_.top_slot();
+    const EventHeap::Entry fired = heap_.top();
+    heap_.pop();
+    ++n_gate_events_;
+    Circuit::Gate& gate = circuit_->gates_[gate_index];
+    const PendingEvent event{fired.t, fired.value};
+    if (gate.sis) {
+      gate.sis->on_fire(event);
+    } else {
+      gate.mis->on_fire(event);
+    }
+    reschedule(gate_index);
+    propagate_net_change(gate.output, fired.t, fired.value);
+  }
+}
+
+const Circuit::SimResult& SimSession::result() {
+  result_.n_events = n_stimulus_events_ + n_gate_events_;
+  return result_;
+}
+
+Circuit::SimResult SimSession::take_result() {
+  result_.n_events = n_stimulus_events_ + n_gate_events_;
+  return std::move(result_);
+}
+
+}  // namespace charlie::sim

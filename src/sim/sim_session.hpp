@@ -1,0 +1,106 @@
+// Resumable event-driven simulation session over a Circuit.
+//
+// SimSession is the engine behind Circuit::simulate, exposed separately so
+// simulated time can be advanced in windows: the sharded circuit runner
+// (sim/sharded_circuit.hpp) advances each shard one conservative window
+// quantum at a time, injecting the boundary transitions produced by
+// upstream shards between advances. A session borrows the circuit's
+// channel state, so at most one session may be active per Circuit at a
+// time.
+//
+// Window convention (same as Circuit::simulate): construction settles the
+// circuit at t_begin from stimuli[i].value_at(t_begin); each advance(t)
+// call then processes every event in (previous horizon, t]. Events whose
+// (channel-delayed) time lands beyond the current horizon stay pending
+// inside their channel and fire in a later window -- the deferred-gate
+// bookkeeping re-arms them, preserving the original schedule order for
+// equal-time events. A single advance(t_end) therefore reproduces
+// Circuit::simulate bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "sim/event_heap.hpp"
+#include "waveform/digital_trace.hpp"
+
+namespace charlie::sim {
+
+class SimSession {
+ public:
+  /// Settle `circuit` at t_begin and queue the stimulus transitions. Traces
+  /// with no transitions are valid stimuli (e.g. shard boundary inputs that
+  /// receive their transitions later through inject()).
+  SimSession(Circuit& circuit,
+             const std::vector<waveform::DigitalTrace>& stimuli,
+             double t_begin);
+
+  /// Arena variant: reuses `arena`'s trace storage (reset, not
+  /// reallocated). take_result() hands the storage back.
+  SimSession(Circuit& circuit,
+             const std::vector<waveform::DigitalTrace>& stimuli,
+             double t_begin, Circuit::SimResult&& arena);
+
+  SimSession(const SimSession&) = delete;
+  SimSession& operator=(const SimSession&) = delete;
+
+  /// Current horizon: all events with t <= t_horizon() are processed.
+  double t_horizon() const { return horizon_; }
+
+  /// Current value of a net (settled value right after construction).
+  bool value(Circuit::NetId net) const {
+    return net_value_[static_cast<std::size_t>(net)] != 0;
+  }
+
+  /// Queue an externally produced transition on the `input_index`-th
+  /// declared primary input (shard boundary exchange). Must satisfy
+  /// t > t_horizon(); takes effect on the next advance().
+  void inject(std::size_t input_index, double t, bool input_value);
+
+  /// Process every event with t <= t_horizon (stimuli, injected boundary
+  /// transitions, and gate firings). Horizons must not decrease.
+  void advance(double t_horizon);
+
+  long n_stimulus_events() const { return n_stimulus_events_; }
+  long n_gate_events() const { return n_gate_events_; }
+
+  /// Traces appended so far (up to the current horizon); n_events is the
+  /// processed stimulus + gate event count.
+  const Circuit::SimResult& result();
+
+  /// Move the result out; the session must not be advanced afterwards.
+  Circuit::SimResult take_result();
+
+ private:
+  struct StimulusEvent {
+    double t = 0.0;
+    Circuit::NetId net = -1;
+    bool value = false;
+  };
+
+  void initialize(const std::vector<waveform::DigitalTrace>& stimuli);
+  void reschedule(std::size_t gate_index);
+  void propagate_net_change(Circuit::NetId net, double t, bool value);
+
+  Circuit* circuit_;
+  double t_begin_ = 0.0;
+  double horizon_ = 0.0;
+  Circuit::SimResult result_;
+  std::vector<std::uint8_t> net_value_;  // hot path: byte per net, no
+                                         // vector<bool> bit gymnastics
+  std::vector<StimulusEvent> stim_events_;
+  std::size_t stim_index_ = 0;
+  std::vector<StimulusEvent> injected_;  // pending inject()s, merged by advance
+  EventHeap heap_;
+  long seq_ = 0;
+  // Gates whose channel holds a pending event beyond the current horizon;
+  // re-armed (in insertion order, preserving schedule order) on the next
+  // advance.
+  std::vector<std::size_t> deferred_;
+  std::vector<std::uint8_t> is_deferred_;
+  long n_stimulus_events_ = 0;
+  long n_gate_events_ = 0;
+};
+
+}  // namespace charlie::sim

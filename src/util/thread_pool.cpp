@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "util/error.hpp"
+
 namespace charlie::util {
+
+namespace {
+
+// The claim cursor packs (generation, next item) into one atomic word so a
+// worker that wakes late -- after its batch has already been drained and a
+// new one published -- can never claim items that belong to the newer
+// batch: its compare-exchange carries the old generation tag and fails.
+constexpr std::uint64_t pack(std::uint32_t generation, std::uint32_t item) {
+  return (static_cast<std::uint64_t>(generation) << 32) | item;
+}
+constexpr std::uint32_t cursor_generation(std::uint64_t cursor) {
+  return static_cast<std::uint32_t>(cursor >> 32);
+}
+constexpr std::uint32_t cursor_item(std::uint64_t cursor) {
+  return static_cast<std::uint32_t>(cursor);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -25,14 +45,29 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  // Default grain: ~8 chunks per worker for dynamic load balancing, never
+  // fewer than one item per claim. Small batches (n <= workers) degenerate
+  // to one claim per item.
+  const std::size_t grain =
+      std::max<std::size_t>(1, n / (8 * std::max<std::size_t>(n_threads(), 1)));
+  parallel_for(n, grain, fn);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  CHARLIE_ASSERT_MSG(n <= 0xffffffffu, "parallel_for: item count exceeds 2^32");
+  grain = std::max<std::size_t>(grain, 1);
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = &fn;
   job_size_ = n;
-  next_item_ = 0;
+  job_grain_ = grain;
   remaining_ = n;
   first_error_ = nullptr;
   ++generation_;
+  cursor_.store(pack(static_cast<std::uint32_t>(generation_), 0),
+                std::memory_order_release);
   cv_work_.notify_all();
   cv_done_.wait(lock, [&] { return remaining_ == 0; });
   job_ = nullptr;
@@ -43,24 +78,51 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   std::unique_lock<std::mutex> lock(mutex_);
   std::size_t seen_generation = 0;
   while (true) {
-    cv_work_.wait(lock, [&] {
-      return stop_ || (job_ != nullptr && generation_ != seen_generation &&
-                       next_item_ < job_size_);
-    });
+    cv_work_.wait(lock,
+                  [&] { return stop_ || generation_ != seen_generation; });
     if (stop_) return;
     seen_generation = generation_;
-    while (job_ != nullptr && next_item_ < job_size_) {
-      const std::size_t item = next_item_++;
-      const auto* job = job_;
-      lock.unlock();
-      try {
-        (*job)(worker_index, item);
-        lock.lock();
-      } catch (...) {
-        lock.lock();
-        if (!first_error_) first_error_ = std::current_exception();
+    const auto my_generation = static_cast<std::uint32_t>(seen_generation);
+    const auto* job = job_;
+    const auto size = static_cast<std::uint32_t>(job_size_);
+    const auto grain = static_cast<std::uint32_t>(
+        std::min<std::size_t>(job_grain_, 0xffffffffu));
+    lock.unlock();
+
+    // Lock-free chunked claim loop: one CAS per chunk, no mutex touched
+    // until this worker's share of the batch is finished. A failed
+    // generation check means the batch is over (or was never ours) and the
+    // cursor is left untouched.
+    std::size_t done_here = 0;
+    std::exception_ptr error;
+    std::uint64_t cursor = cursor_.load(std::memory_order_acquire);
+    while (cursor_generation(cursor) == my_generation &&
+           cursor_item(cursor) < size) {
+      const std::uint32_t begin = cursor_item(cursor);
+      const std::uint32_t end = std::min(size, begin + grain);
+      if (!cursor_.compare_exchange_weak(cursor, pack(my_generation, end),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        continue;  // another worker moved the cursor; retry with its value
       }
-      if (--remaining_ == 0) cv_done_.notify_all();
+      for (std::uint32_t item = begin; item < end; ++item) {
+        try {
+          (*job)(worker_index, item);
+        } catch (...) {
+          // Remember this worker's first failure; remaining items still
+          // run (parallel_for's contract).
+          if (!error) error = std::current_exception();
+        }
+      }
+      done_here += end - begin;
+      cursor = cursor_.load(std::memory_order_acquire);
+    }
+
+    lock.lock();
+    if (error && !first_error_) first_error_ = error;
+    if (done_here > 0) {
+      remaining_ -= done_here;
+      if (remaining_ == 0) cv_done_.notify_all();
     }
   }
 }

@@ -20,6 +20,13 @@ class DigitalTrace {
   /// statistics in the event-driven simulator).
   void reserve(std::size_t n) { transitions_.reserve(n); }
 
+  /// Reset to an empty trace with the given initial value, keeping the
+  /// transition storage capacity (arena reuse across simulation runs).
+  void reset(bool initial_value) {
+    initial_ = initial_value;
+    transitions_.clear();
+  }
+
   /// Signal value at time t (transitions take effect at exactly t).
   bool value_at(double t) const;
 

@@ -4,7 +4,10 @@
 
 #include <memory>
 
+#include "cell/cell_library.hpp"
+#include "cell/netlist.hpp"
 #include "core/mode_tables.hpp"
+#include "sim/circuit_builder.hpp"
 #include "sim/hybrid_nor_channel.hpp"
 #include "sim/pure_delay.hpp"
 #include "util/error.hpp"
@@ -195,6 +198,61 @@ TEST(BatchRunner, SingleNetPathIsUnchangedByTheMultiNetExtension) {
   EXPECT_EQ(a.response_delay.sum(), b.response_delay.sum());
   ASSERT_EQ(a.nets.size(), 1u);
   EXPECT_EQ(a.nets[0].net, "out");
+}
+
+TEST(BatchRunner, RepeatedRunsReusePersistentWorkersBitIdentically) {
+  // Pool, clones, and arenas persist across run() calls; a second batch on
+  // the same runner must reproduce the first exactly (arena reuse must not
+  // leak any prior-run state into the traces).
+  BatchConfig config = small_config();
+  config.n_threads = 3;
+  BatchRunner runner(nor_factory(), "out", config);
+  const auto first = runner.run();
+  const auto second = runner.run();
+  EXPECT_EQ(first.total_events, second.total_events);
+  EXPECT_EQ(first.events_per_run, second.events_per_run);
+  EXPECT_EQ(first.pulse_width.bins(), second.pulse_width.bins());
+  EXPECT_EQ(first.response_delay.sum(), second.response_delay.sum());
+}
+
+TEST(BatchRunner, C432NetlistIsBitIdenticalAcrossThreadCounts) {
+  // Full-front-end determinism lock on the repo's c432-class netlist: the
+  // per-worker clones come from CircuitBuilder (hybrid MIS + SIS cells),
+  // and every aggregate must be independent of the executing thread count.
+  const auto library = std::make_shared<const cell::CellLibrary>(
+      cell::CellLibrary::reference());
+  const auto desc = cell::read_netlist_file(
+      CHARLIE_SOURCE_DIR "/examples/netlists/c432.net");
+  const sim::CircuitBuilder builder(library);
+
+  BatchConfig config = small_config();
+  config.n_runs = 6;
+  config.trace.n_transitions = 30;
+  auto run_with = [&](std::size_t n_threads) {
+    config.n_threads = n_threads;
+    BatchRunner runner([&] { return builder.build(desc); }, desc.outputs,
+                       config);
+    return runner.run();
+  };
+  const auto one = run_with(1);
+  EXPECT_GT(one.total_events, 0);
+  for (std::size_t n_threads : {2u, 4u}) {
+    const auto many = run_with(n_threads);
+    EXPECT_EQ(many.total_events, one.total_events);
+    EXPECT_EQ(many.events_per_run, one.events_per_run);
+    ASSERT_EQ(many.nets.size(), one.nets.size());
+    for (std::size_t n = 0; n < one.nets.size(); ++n) {
+      EXPECT_EQ(many.nets[n].transitions, one.nets[n].transitions)
+          << one.nets[n].net;
+      EXPECT_EQ(many.nets[n].pulse_width.bins(),
+                one.nets[n].pulse_width.bins());
+      EXPECT_EQ(many.nets[n].pulse_width.sum(), one.nets[n].pulse_width.sum());
+      EXPECT_EQ(many.nets[n].response_delay.bins(),
+                one.nets[n].response_delay.bins());
+      EXPECT_EQ(many.nets[n].response_delay.sum(),
+                one.nets[n].response_delay.sum());
+    }
+  }
 }
 
 }  // namespace

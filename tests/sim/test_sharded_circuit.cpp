@@ -1,0 +1,165 @@
+// ShardedCircuit regression lock: partitioning a real netlist across
+// shards and simulating with the conservative windowed wavefront must be
+// bit-identical to the monolithic single-threaded engine -- for every
+// shard count, thread count, and window quantum. Runs on the repo's
+// c432-class netlist (examples/netlists/c432.net, ~150 gates, all nine
+// cells) so the lock covers SIS, hybrid MIS, and mixed fanout structure.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cell/cell_library.hpp"
+#include "cell/netlist.hpp"
+#include "sim/circuit_builder.hpp"
+#include "sim/sharded_circuit.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "waveform/generator.hpp"
+
+namespace charlie {
+namespace {
+
+const cell::NetlistDesc& c432() {
+  static const cell::NetlistDesc desc = cell::read_netlist_file(
+      CHARLIE_SOURCE_DIR "/examples/netlists/c432.net");
+  return desc;
+}
+
+sim::CircuitBuilder builder() {
+  static const auto library =
+      std::make_shared<const cell::CellLibrary>(cell::CellLibrary::reference());
+  return sim::CircuitBuilder(library);
+}
+
+std::vector<waveform::DigitalTrace> stimuli_for(std::size_t n_inputs,
+                                                std::uint64_t seed) {
+  waveform::TraceConfig config;
+  config.mu = 150e-12;
+  config.sigma = 60e-12;
+  config.n_transitions = 40;
+  util::Rng rng(seed);
+  return waveform::generate_traces(config, n_inputs, rng);
+}
+
+double t_end_for(const std::vector<waveform::DigitalTrace>& stimuli) {
+  double t_last = 0.0;
+  for (const auto& trace : stimuli) {
+    if (!trace.empty()) t_last = std::max(t_last, trace.transitions().back());
+  }
+  return t_last + 2e-9;  // settle tail
+}
+
+// Every net the monolithic circuit knows, by name (inputs included).
+std::vector<std::string> all_nets(const cell::NetlistDesc& desc) {
+  std::vector<std::string> nets(desc.inputs.begin(), desc.inputs.end());
+  for (const auto& inst : desc.instances) nets.push_back(inst.output);
+  for (const auto& wire : desc.wires) nets.push_back(wire.output);
+  return nets;
+}
+
+void expect_bit_identical(const sim::Circuit::SimResult& mono,
+                          sim::Circuit& mono_circuit,
+                          const sim::ShardedCircuit::Result& sharded,
+                          const cell::NetlistDesc& desc,
+                          const std::string& label) {
+  EXPECT_EQ(mono.n_events, sharded.n_events) << label;
+  for (const std::string& net : all_nets(desc)) {
+    const auto& expected = mono.trace(mono_circuit.find_net(net));
+    const auto& actual = sharded.trace(net);
+    ASSERT_EQ(expected.initial_value(), actual.initial_value())
+        << label << " net " << net;
+    ASSERT_EQ(expected.transitions(), actual.transitions())
+        << label << " net " << net;
+  }
+}
+
+TEST(ShardedCircuit, PartitionCoversEveryGateAcyclically) {
+  const auto b = builder();
+  const auto mono = b.build(c432());
+  for (const std::size_t n_shards : {1u, 2u, 4u, 7u}) {
+    const auto sharded = b.build_sharded(c432(), n_shards);
+    EXPECT_EQ(sharded->n_shards(), n_shards);
+    EXPECT_EQ(sharded->n_gates(), mono->n_gates());
+    EXPECT_EQ(sharded->n_inputs(), c432().inputs.size());
+    if (n_shards > 1) {
+      EXPECT_GT(sharded->n_boundary_edges(), 0u);
+    }
+  }
+}
+
+TEST(ShardedCircuit, ShardCountIsClampedToElementCount) {
+  const auto sharded = builder().build_sharded(c432(), 100000);
+  EXPECT_LE(sharded->n_shards(),
+            c432().instances.size() + c432().wires.size());
+  EXPECT_GE(sharded->n_shards(), 2u);
+}
+
+TEST(ShardedCircuit, BitIdenticalToMonolithicAcrossShardAndThreadCounts) {
+  const auto b = builder();
+  const auto mono_circuit = b.build(c432());
+  const auto stimuli = stimuli_for(mono_circuit->n_inputs(), 7);
+  const double t_end = t_end_for(stimuli);
+  const auto mono = mono_circuit->simulate(stimuli, 0.0, t_end);
+
+  for (const std::size_t n_shards : {1u, 2u, 4u}) {
+    auto sharded = b.build_sharded(c432(), n_shards);
+    for (const std::size_t n_threads : {1u, 2u, 4u}) {
+      sim::ShardedSimConfig config;
+      config.n_threads = n_threads;
+      const auto result = sharded->simulate(stimuli, 0.0, t_end, config);
+      expect_bit_identical(mono, *mono_circuit, result, c432(),
+                           "shards=" + std::to_string(n_shards) +
+                               " threads=" + std::to_string(n_threads));
+    }
+  }
+}
+
+TEST(ShardedCircuit, BitIdenticalForAnyWindowQuantum) {
+  const auto b = builder();
+  const auto mono_circuit = b.build(c432());
+  const auto stimuli = stimuli_for(mono_circuit->n_inputs(), 11);
+  const double t_end = t_end_for(stimuli);
+  const auto mono = mono_circuit->simulate(stimuli, 0.0, t_end);
+
+  auto sharded = b.build_sharded(c432(), 4);
+  // From one giant window (pure sequential shard sweep) down to quanta far
+  // below the gate delays (every boundary event crosses windows).
+  for (const double window : {t_end * 2.0, t_end / 3.0, 1e-10, 7e-12}) {
+    sim::ShardedSimConfig config;
+    config.window = window;
+    config.n_threads = 2;
+    const auto result = sharded->simulate(stimuli, 0.0, t_end, config);
+    EXPECT_GE(result.n_windows, 1u);
+    expect_bit_identical(mono, *mono_circuit, result, c432(),
+                         "window=" + std::to_string(window));
+  }
+}
+
+TEST(ShardedCircuit, RepeatedSimulationsOnOneInstanceAgree) {
+  // The pool and shard circuits persist across simulate() calls; a second
+  // call must not see stale channel or exchange state.
+  const auto b = builder();
+  auto sharded = b.build_sharded(c432(), 3);
+  const auto stimuli = stimuli_for(sharded->n_inputs(), 21);
+  const double t_end = t_end_for(stimuli);
+  const auto first = sharded->simulate(stimuli, 0.0, t_end);
+  const auto second = sharded->simulate(stimuli, 0.0, t_end);
+  EXPECT_EQ(first.n_events, second.n_events);
+  for (const std::string& net : all_nets(c432())) {
+    EXPECT_EQ(first.trace(net).transitions(), second.trace(net).transitions())
+        << net;
+  }
+}
+
+TEST(ShardedCircuit, UnknownNetThrows) {
+  const auto b = builder();
+  auto sharded = b.build_sharded(c432(), 2);
+  const auto stimuli = stimuli_for(sharded->n_inputs(), 3);
+  const auto result = sharded->simulate(stimuli, 0.0, t_end_for(stimuli));
+  EXPECT_THROW(result.trace("no_such_net"), ConfigError);
+}
+
+}  // namespace
+}  // namespace charlie
