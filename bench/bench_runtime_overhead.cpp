@@ -4,10 +4,15 @@
 // channel work, plus a whole-trace comparison.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "core/nor_params.hpp"
+#include "sim/circuit.hpp"
 #include "sim/hybrid_nor_channel.hpp"
 #include "sim/nor_models.hpp"
 #include "sim/run_channel.hpp"
+#include "sim/run_guard.hpp"
 #include "util/rng.hpp"
 #include "waveform/generator.hpp"
 
@@ -97,6 +102,44 @@ void BM_HybridSingleEvent(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HybridSingleEvent);
+
+// RunGuard overhead: the same hybrid-NOR workload through the engine's
+// event loop with no budget vs. a fully armed (but never tripping) budget.
+// The guard adds one compare per event plus a wall-clock poll every
+// check_interval events; the pair of numbers documents that this is in the
+// measurement noise (acceptance bar: < 2 %).
+void BM_HybridCircuitTrace(benchmark::State& state) {
+  const auto params = core::NorParams::paper_table1();
+  sim::Circuit circuit;
+  const auto a = circuit.add_input("a");
+  const auto b = circuit.add_input("b");
+  circuit.add_nor2_mis("out", a, b,
+                       std::make_unique<sim::HybridNorChannel>(params));
+  const std::vector<waveform::DigitalTrace> stimuli{trace_a(), trace_b()};
+  for (auto _ : state) {
+    const auto out = circuit.simulate(stimuli, 0.0, t_end());
+    benchmark::DoNotOptimize(out.n_events);
+  }
+}
+BENCHMARK(BM_HybridCircuitTrace);
+
+void BM_HybridCircuitTraceGuarded(benchmark::State& state) {
+  const auto params = core::NorParams::paper_table1();
+  sim::Circuit circuit;
+  const auto a = circuit.add_input("a");
+  const auto b = circuit.add_input("b");
+  circuit.add_nor2_mis("out", a, b,
+                       std::make_unique<sim::HybridNorChannel>(params));
+  const std::vector<waveform::DigitalTrace> stimuli{trace_a(), trace_b()};
+  sim::RunBudget budget;
+  budget.max_events = 1'000'000'000;  // armed, never trips
+  budget.max_wall_seconds = 3600.0;
+  for (auto _ : state) {
+    const auto out = circuit.simulate(stimuli, 0.0, t_end(), budget);
+    benchmark::DoNotOptimize(out.n_events);
+  }
+}
+BENCHMARK(BM_HybridCircuitTraceGuarded);
 
 void BM_ExpSingleEvent(benchmark::State& state) {
   sim::ExpChannelParams p;

@@ -9,12 +9,17 @@
 // clones share the library's per-cell mode tables, so the mode derivation
 // happens exactly once per cell no matter how many runs or threads.
 //
-//   ./example_monte_carlo [n_runs] [n_threads] [netlist_file]
+//   ./example_monte_carlo [n_runs] [n_threads] [netlist_file] [max_events]
 //
 // The observed nets are the netlist's `output(...)` declarations (all of
 // them -- each gets its own aggregate); a netlist without declarations
 // falls back to the last instance's output. Try
 // examples/netlists/c432.net for a large multi-output workload.
+//
+// Every run executes under a RunGuard: an optional per-run event budget
+// (4th argument; 0 = unlimited) plus the numerical-guard telemetry. The
+// health section at the end summarizes per-run outcomes and any
+// degradation-path counters (docs/robustness.md).
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -24,6 +29,8 @@
 #include "cell/netlist.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/circuit_builder.hpp"
+#include "sim/run_guard.hpp"
+#include "util/diagnostics.hpp"
 #include "util/units.hpp"
 
 using namespace charlie;
@@ -69,6 +76,7 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 64;
   const std::size_t n_threads =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 0;
+  const long max_events = argc > 4 ? std::atol(argv[4]) : 0;
 
   // Characterize-once / instantiate-many: the reference library derives
   // each cell's mode tables a single time; every worker clone below shares
@@ -76,8 +84,9 @@ int main(int argc, char** argv) {
   const auto library =
       std::make_shared<const cell::CellLibrary>(cell::CellLibrary::reference());
   const cell::NetlistDesc netlist =
-      argc > 3 ? cell::read_netlist_file(argv[3])
-               : cell::parse_netlist(kNorChain);
+      argc > 3 && argv[3][0] != '\0'
+          ? cell::read_netlist_file(argv[3])
+          : cell::parse_netlist(kNorChain);  // "" = embedded chain
   if (netlist.instances.empty()) {
     std::fprintf(stderr, "netlist has no gates\n");
     return 1;
@@ -95,6 +104,7 @@ int main(int argc, char** argv) {
   config.n_runs = n_runs;
   config.n_threads = n_threads;
   config.base_seed = 2022;
+  config.budget.max_events = max_events;  // 0 = unlimited
 
   sim::BatchRunner runner(factory, out_nets, config);
   const auto result = runner.run();
@@ -114,5 +124,35 @@ int main(int argc, char** argv) {
   }
   print_histogram("output pulse width", result.pulse_width);
   print_histogram("response delay", result.response_delay);
-  return 0;
+
+  // Run health: per-run outcomes and the numerical degradation-path
+  // telemetry the guards collected (all zero on a healthy batch).
+  std::size_t per_status[5] = {};
+  util::RunCounters totals;
+  for (const auto& diag : result.diagnostics) {
+    ++per_status[static_cast<std::size_t>(diag.status)];
+    totals += diag.counters;
+  }
+  std::printf("run health      : %zu/%zu ok", result.n_runs - result.n_failed,
+              result.n_runs);
+  for (const sim::RunStatus status :
+       {sim::RunStatus::kBudgetExhausted, sim::RunStatus::kDeadlineExceeded,
+        sim::RunStatus::kCancelled, sim::RunStatus::kFailed}) {
+    const std::size_t n = per_status[static_cast<std::size_t>(status)];
+    if (n > 0) std::printf(", %zu %s", n, sim::to_string(status));
+  }
+  std::printf("\n");
+  if (totals.any()) {
+    std::printf("guard telemetry : %ld newton->brent, %ld scan fallbacks, "
+                "%ld non-finite trips\n",
+                totals.newton_brent_fallbacks, totals.scan_fallbacks,
+                totals.nonfinite_guard_trips);
+  }
+  for (std::size_t run = 0; run < result.diagnostics.size(); ++run) {
+    const auto& diag = result.diagnostics[run];
+    if (diag.status != sim::RunStatus::kOk) {
+      std::printf("  run %zu: %s\n", run, diag.summary().c_str());
+    }
+  }
+  return result.all_ok() ? 0 : 1;
 }

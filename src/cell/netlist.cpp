@@ -17,8 +17,9 @@ namespace {
 using util::to_upper_ascii;
 using util::trim_ascii;
 
-[[noreturn]] void syntax_error(int line, const std::string& why) {
-  throw ConfigError("netlist:" + std::to_string(line) + ": " + why);
+[[noreturn]] void syntax_error(const std::string& source, int line,
+                               const std::string& why) {
+  throw ConfigError(source + ":" + std::to_string(line) + ": " + why);
 }
 
 bool is_identifier(const std::string& name) {
@@ -45,21 +46,22 @@ struct Statement {
   std::vector<Argument> args;
 };
 
-Statement parse_statement(const std::string& text, int line) {
+Statement parse_statement(const std::string& text, int line,
+                          const std::string& source) {
   const auto open = text.find('(');
   if (open == std::string::npos) {
-    syntax_error(line, "expected `cell(out, in, ...)`, got \"" + text + "\"");
+    syntax_error(source, line, "expected `cell(out, in, ...)`, got \"" + text + "\"");
   }
   Statement s;
   s.head = trim_ascii(text.substr(0, open));
   if (!is_identifier(s.head)) {
-    syntax_error(line, "bad cell name \"" + s.head + "\"");
+    syntax_error(source, line, "bad cell name \"" + s.head + "\"");
   }
   const auto close = text.find(')', open);
-  if (close == std::string::npos) syntax_error(line, "missing `)`");
+  if (close == std::string::npos) syntax_error(source, line, "missing `)`");
   const std::string tail = trim_ascii(text.substr(close + 1));
   if (!tail.empty() && tail != ";") {
-    syntax_error(line, "trailing text after `)`: \"" + tail + "\"");
+    syntax_error(source, line, "trailing text after `)`: \"" + tail + "\"");
   }
 
   std::string args = text.substr(open + 1, close - open - 1);
@@ -79,16 +81,16 @@ Statement parse_statement(const std::string& text, int line) {
       parsed.text = trim_ascii(arg.substr(0, eq));
       parsed.value = trim_ascii(arg.substr(eq + 1));
       if (!is_identifier(parsed.text)) {
-        syntax_error(line, "bad parameter name \"" + parsed.text + "\"");
+        syntax_error(source, line, "bad parameter name \"" + parsed.text + "\"");
       }
       if (parsed.value.empty()) {
-        syntax_error(line,
+        syntax_error(source, line,
                      "parameter \"" + parsed.text + "\" needs a value");
       }
     } else {
       parsed.text = arg;
       if (!is_identifier(parsed.text)) {
-        syntax_error(line, "bad net name \"" + arg + "\"");
+        syntax_error(source, line, "bad net name \"" + arg + "\"");
       }
     }
     s.args.push_back(std::move(parsed));
@@ -99,22 +101,24 @@ Statement parse_statement(const std::string& text, int line) {
 }
 
 // The i-th argument as a plain net identifier (rejects assignments).
-const std::string& net_argument(const Statement& s, std::size_t i, int line) {
+const std::string& net_argument(const Statement& s, std::size_t i, int line,
+                                const std::string& source) {
   const Argument& arg = s.args[i];
   if (arg.is_assignment) {
-    syntax_error(line, "expected a net name, got parameter assignment \"" +
+    syntax_error(source, line, "expected a net name, got parameter assignment \"" +
                            arg.text + "=" + arg.value + "\"");
   }
   return arg.text;
 }
 
-NetlistWire parse_wire(const Statement& s, int line) {
+NetlistWire parse_wire(const Statement& s, int line,
+                       const std::string& source) {
   if (s.args.size() < 2) {
-    syntax_error(line, "WIRE needs two nets: WIRE(out, in, r=.., c=..)");
+    syntax_error(source, line, "WIRE needs two nets: WIRE(out, in, r=.., c=..)");
   }
   NetlistWire wire;
-  wire.output = net_argument(s, 0, line);
-  wire.input = net_argument(s, 1, line);
+  wire.output = net_argument(s, 0, line, source);
+  wire.input = net_argument(s, 1, line, source);
   wire.line = line;
   bool have_r = false;
   bool have_c = false;
@@ -122,16 +126,16 @@ NetlistWire parse_wire(const Statement& s, int line) {
   for (std::size_t i = 2; i < s.args.size(); ++i) {
     const Argument& arg = s.args[i];
     if (!arg.is_assignment) {
-      syntax_error(line, "WIRE takes key=value parameters after the two "
+      syntax_error(source, line, "WIRE takes key=value parameters after the two "
                          "nets, got net name \"" +
                              arg.text + "\"");
     }
     const std::string key = util::to_lower_ascii(arg.text);
     if (!seen.insert(key).second) {
-      syntax_error(line, "WIRE parameter \"" + key + "\" given twice");
+      syntax_error(source, line, "WIRE parameter \"" + key + "\" given twice");
     }
     const std::string context =
-        "netlist:" + std::to_string(line) + ": WIRE parameter " + key;
+        source + ":" + std::to_string(line) + ": WIRE parameter " + key;
     if (key == "r") {
       wire.r_total = util::parse_double_field(arg.value, context);
       have_r = true;
@@ -150,20 +154,21 @@ NetlistWire parse_wire(const Statement& s, int line) {
     } else if (key == "vdd") {
       wire.vdd = util::parse_double_field(arg.value, context);
     } else {
-      syntax_error(line, "unknown WIRE parameter \"" + key +
+      syntax_error(source, line, "unknown WIRE parameter \"" + key +
                              "\" (expected r, c, sections, rdrive, cload, "
                              "tdrive, vdd)");
     }
   }
   if (!have_r || !have_c) {
-    syntax_error(line, "WIRE requires both r= and c= parameters");
+    syntax_error(source, line, "WIRE requires both r= and c= parameters");
   }
   return wire;
 }
 
 }  // namespace
 
-NetlistDesc parse_netlist(const std::string& text) {
+NetlistDesc parse_netlist(const std::string& text,
+                          const std::string& source) {
   NetlistDesc desc;
   std::unordered_set<std::string> declared_inputs;
   std::unordered_set<std::string> declared_outputs;
@@ -185,16 +190,16 @@ NetlistDesc parse_netlist(const std::string& text) {
     line = trim_ascii(line);
     if (line.empty()) continue;
 
-    const Statement s = parse_statement(line, line_no);
+    const Statement s = parse_statement(line, line_no, source);
     const std::string head = to_upper_ascii(s.head);
     if (head == "INPUT") {
       if (s.args.empty()) {
-        syntax_error(line_no, "input() needs at least one net name");
+        syntax_error(source, line_no, "input() needs at least one net name");
       }
       for (std::size_t i = 0; i < s.args.size(); ++i) {
-        const std::string& name = net_argument(s, i, line_no);
+        const std::string& name = net_argument(s, i, line_no, source);
         if (!declared_inputs.insert(name).second) {
-          syntax_error(line_no, "primary input \"" + name +
+          syntax_error(source, line_no, "primary input \"" + name +
                                     "\" declared twice");
         }
         desc.inputs.push_back(name);
@@ -203,12 +208,12 @@ NetlistDesc parse_netlist(const std::string& text) {
     }
     if (head == "OUTPUT") {
       if (s.args.empty()) {
-        syntax_error(line_no, "output() needs at least one net name");
+        syntax_error(source, line_no, "output() needs at least one net name");
       }
       for (std::size_t i = 0; i < s.args.size(); ++i) {
-        const std::string& name = net_argument(s, i, line_no);
+        const std::string& name = net_argument(s, i, line_no, source);
         if (!declared_outputs.insert(name).second) {
-          syntax_error(line_no, "primary output \"" + name +
+          syntax_error(source, line_no, "primary output \"" + name +
                                     "\" declared twice");
         }
         desc.outputs.push_back(name);
@@ -216,19 +221,19 @@ NetlistDesc parse_netlist(const std::string& text) {
       continue;
     }
     if (head == "WIRE") {
-      desc.wires.push_back(parse_wire(s, line_no));
+      desc.wires.push_back(parse_wire(s, line_no, source));
       continue;
     }
     if (s.args.empty()) {
-      syntax_error(line_no,
+      syntax_error(source, line_no,
                    "instance needs an output net: " + s.head + "(...)");
     }
     NetlistInstance inst;
     inst.cell = head;
-    inst.output = net_argument(s, 0, line_no);
+    inst.output = net_argument(s, 0, line_no, source);
     inst.inputs.reserve(s.args.size() - 1);
     for (std::size_t i = 1; i < s.args.size(); ++i) {
-      inst.inputs.push_back(net_argument(s, i, line_no));
+      inst.inputs.push_back(net_argument(s, i, line_no, source));
     }
     inst.line = line_no;
     desc.instances.push_back(std::move(inst));
@@ -237,11 +242,9 @@ NetlistDesc parse_netlist(const std::string& text) {
 }
 
 NetlistDesc read_netlist_file(const std::string& path) {
-  try {
-    return parse_netlist(util::read_text_file(path));
-  } catch (const ConfigError& e) {
-    throw ConfigError(path + ": " + e.what());
-  }
+  // Parse errors carry `path:line:` via the source name; read_text_file's
+  // own I/O errors already name the path.
+  return parse_netlist(util::read_text_file(path), path);
 }
 
 namespace {

@@ -63,13 +63,16 @@ struct NetlistDesc {
   std::size_t n_wires() const { return wires.size(); }
 };
 
-/// Parse netlist text. Throws ConfigError with a line number on syntax
-/// errors (malformed statements, bad identifiers, empty argument lists,
-/// re-declared primary inputs/outputs, malformed or missing WIRE
-/// parameters, key=value arguments outside WIRE statements).
-NetlistDesc parse_netlist(const std::string& text);
+/// Parse netlist text. Throws ConfigError with a `source:line:` prefix on
+/// syntax errors (malformed statements, bad identifiers, empty argument
+/// lists, re-declared primary inputs/outputs, malformed or missing WIRE
+/// parameters, key=value arguments outside WIRE statements). `source`
+/// names the text's origin in those messages -- read_netlist_file passes
+/// the file path, so errors are directly clickable.
+NetlistDesc parse_netlist(const std::string& text,
+                          const std::string& source = "netlist");
 
-/// Read and parse a netlist file (errors are prefixed with the path).
+/// Read and parse a netlist file (errors carry `path:line:`).
 NetlistDesc read_netlist_file(const std::string& path);
 
 /// Serialize to the text format above; parse_netlist(write_netlist(d))

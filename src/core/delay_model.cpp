@@ -51,8 +51,10 @@ DelayResult NorDelayModel::falling_delay(double delta) const {
   q.t_end = horizon_after(ts);
   q.direction = CrossDirection::kFalling;
   const auto t_cross = first_vo_crossing(traj, q);
-  CHARLIE_ASSERT_MSG(t_cross.has_value(),
-                     "falling output never crossed the threshold");
+  if (!t_cross.has_value()) {
+    throw ConvergenceError(
+        "nor delay model: falling output never crossed the threshold");
+  }
   result.t_cross = *t_cross;
   result.delay = *t_cross + params_.delta_min;  // measured from earlier input
   return result;
@@ -84,8 +86,10 @@ DelayResult NorDelayModel::rising_delay(double delta, double vn0) const {
   q.t_end = horizon_after(ts);
   q.direction = CrossDirection::kRising;
   const auto t_cross = first_vo_crossing(traj, q);
-  CHARLIE_ASSERT_MSG(t_cross.has_value(),
-                     "rising output never crossed the threshold");
+  if (!t_cross.has_value()) {
+    throw ConvergenceError(
+        "nor delay model: rising output never crossed the threshold");
+  }
   result.t_cross = *t_cross;
   result.delay = *t_cross - ts + params_.delta_min;  // from later input
   return result;
@@ -105,7 +109,10 @@ double single_mode_crossing(const NorParams& params, Mode start_mode,
   q.t_end = horizon;
   q.direction = direction;
   const auto t = first_vo_crossing(traj, q);
-  CHARLIE_ASSERT_MSG(t.has_value(), "SIS output never crossed the threshold");
+  if (!t.has_value()) {
+    throw ConvergenceError(
+        "nor delay model: SIS output never crossed the threshold");
+  }
   return *t;
 }
 
@@ -136,7 +143,10 @@ double NorDelayModel::rising_sis_b_first(double vn0) const {
   q.t_end = horizon_after(0.0);
   q.direction = CrossDirection::kRising;
   const auto t = first_vo_crossing(traj, q);
-  CHARLIE_ASSERT(t.has_value());
+  if (!t.has_value()) {
+    throw ConvergenceError(
+        "nor delay model: SIS output never crossed the threshold");
+  }
   return *t + params_.delta_min;
 }
 
@@ -151,7 +161,10 @@ double NorDelayModel::rising_sis_a_first(double vn0) const {
   q.t_end = horizon_after(0.0);
   q.direction = CrossDirection::kRising;
   const auto t = first_vo_crossing(traj, q);
-  CHARLIE_ASSERT(t.has_value());
+  if (!t.has_value()) {
+    throw ConvergenceError(
+        "nor delay model: SIS output never crossed the threshold");
+  }
   return *t + params_.delta_min;
 }
 

@@ -1,7 +1,9 @@
 #include "core/gate_mode_tables.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
 
 namespace charlie::core {
@@ -50,6 +52,17 @@ ModeTable derive_mode_table(const ode::AffineOde2& mode_ode) {
     t.s2 = ode::Mat2::identity();
   }
   t.scalar_valid = t.scalar_valid && xp_valid;
+  // Guardrail: a non-finite derived quantity (overflowed eigen-solve,
+  // near-singular projector) must never reach the per-event hot path.
+  // Degrade to the generic scan path, which only needs the ODE itself.
+  if (t.scalar_valid &&
+      !(std::isfinite(t.xp.x) && std::isfinite(t.xp.y) &&
+        std::isfinite(t.d) && std::isfinite(t.l1) && std::isfinite(t.l2) &&
+        std::isfinite(t.s1.a) && std::isfinite(t.s1.b) &&
+        std::isfinite(t.s1.c) && std::isfinite(t.s1.d))) {
+    t.scalar_valid = false;
+    ++util::RunCounters::local().nonfinite_guard_trips;
+  }
   t.fold1 = t.scalar_valid && t.l1 == 0.0;
   t.fold2 = t.scalar_valid && t.l2 == 0.0;
   t.spectral_valid = t.scalar_valid;

@@ -6,6 +6,7 @@
 #include "core/charlie_delays.hpp"
 #include "fit/nelder_mead.hpp"
 #include "fit/param_transform.hpp"
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
 
 namespace charlie::core {
@@ -92,6 +93,7 @@ GateFitResult fit_gate_params(GateTopology topology,
                               const GateTargets& measured,
                               const GateFitOptions& options) {
   check_targets(measured);
+  const long fallbacks_before = util::RunCounters::local().fit_fallbacks;
   const int n = static_cast<int>(measured.fall.size());
   const auto measured_vec = to_vector(measured);
   const double smallest_target =
@@ -169,8 +171,17 @@ GateFitResult fit_gate_params(GateTopology topology,
         acc += rel * rel;
       }
       return acc + 0.1 * box_penalty(p);
-    } catch (const std::exception&) {
-      return 1e6;  // infeasible corner of parameter space
+    } catch (const ConvergenceError&) {
+      // Infeasible corner of parameter space: a non-converging delay
+      // solve is expected there and becomes a penalty.
+      ++util::RunCounters::local().fit_fallbacks;
+      return 1e6;
+    } catch (const ConfigError&) {
+      // Also expected there: log-space steps can underflow a parameter to
+      // exactly 0.0, which validation rejects. Anything else
+      // (AssertionError, bad_alloc) is a real bug and propagates.
+      ++util::RunCounters::local().fit_fallbacks;
+      return 1e6;
     }
   };
 
@@ -206,6 +217,8 @@ GateFitResult fit_gate_params(GateTopology topology,
     acc += e * e;
   }
   result.rms_error = std::sqrt(acc / static_cast<double>(ach_vec.size()));
+  result.swallowed_fallbacks = static_cast<int>(
+      util::RunCounters::local().fit_fallbacks - fallbacks_before);
   return result;
 }
 

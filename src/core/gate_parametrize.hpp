@@ -46,6 +46,9 @@ struct GateFitResult {
   double rms_error = 0.0;  // RMS over all 2n+2 targets [s]
   double objective = 0.0;
   int evaluations = 0;
+  // Infeasible objective evaluations (ConvergenceError from the delay
+  // solve) swallowed as penalty values during this fit.
+  int swallowed_fallbacks = 0;
 };
 
 /// Fit the generalized hybrid model to measured characteristic delays.

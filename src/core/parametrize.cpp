@@ -8,6 +8,7 @@
 #include "fit/levenberg_marquardt.hpp"
 #include "fit/nelder_mead.hpp"
 #include "fit/param_transform.hpp"
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
 
 namespace charlie::core {
@@ -111,6 +112,7 @@ NorParams seed_from_targets(const CharacteristicDelays& corrected,
 FitResult fit_nor_params(const CharacteristicDelays& measured,
                          const FitOptions& options) {
   check_targets(measured);
+  const long fallbacks_before = util::RunCounters::local().fit_fallbacks;
 
   const auto measured_arr = to_array(measured);
   const double smallest_target =
@@ -140,8 +142,17 @@ FitResult fit_nor_params(const CharacteristicDelays& measured,
       const NorParams p = params_from_vector(x, options.vdd, delta_min);
       try {
         return objective(p, corrected, options.weights, options.vn0);
-      } catch (const std::exception&) {
-        return 1e6;  // infeasible corner of parameter space
+      } catch (const ConvergenceError&) {
+        // Infeasible corner of parameter space: a non-converging exact
+        // solve is expected there and becomes a penalty.
+        ++util::RunCounters::local().fit_fallbacks;
+        return 1e6;
+      } catch (const ConfigError&) {
+        // Also expected there: log-space steps can underflow a parameter
+        // to exactly 0.0, which validation rejects. Anything else
+        // (AssertionError, bad_alloc) is a real bug and propagates.
+        ++util::RunCounters::local().fit_fallbacks;
+        return 1e6;
       }
     };
 
@@ -164,8 +175,12 @@ FitResult fit_nor_params(const CharacteristicDelays& measured,
             r[i] = std::sqrt(options.weights[i]) *
                    (achieved[i] - corrected[i]) / corrected[i];
           }
-        } catch (const std::exception&) {
+        } catch (const ConvergenceError&) {
           // keep the large penalty residuals
+          ++util::RunCounters::local().fit_fallbacks;
+        } catch (const ConfigError&) {
+          // underflowed-parameter corner: keep the penalty residuals too
+          ++util::RunCounters::local().fit_fallbacks;
         }
         return r;
       };
@@ -221,6 +236,8 @@ FitResult fit_nor_params(const CharacteristicDelays& measured,
     acc += e * e;
   }
   result.rms_error = std::sqrt(acc / 6.0);
+  result.swallowed_fallbacks = static_cast<int>(
+      util::RunCounters::local().fit_fallbacks - fallbacks_before);
   return result;
 }
 

@@ -37,6 +37,9 @@ struct FitResult {
   double rms_error = 0.0;         // RMS over the six targets [s]
   double objective = 0.0;         // final weighted least-squares value
   int evaluations = 0;
+  // Infeasible objective evaluations (ConvergenceError from the exact
+  // delay solve) swallowed as penalty values during this fit.
+  int swallowed_fallbacks = 0;
 };
 
 /// Fit the hybrid model to measured characteristic delays.

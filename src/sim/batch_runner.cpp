@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -78,7 +79,9 @@ struct NetStats {
 
 struct RunStats {
   long n_events = 0;
-  std::vector<NetStats> nets;  // parallel to the observed-net list
+  RunDiagnostics diagnostics;
+  std::vector<NetStats> nets;  // parallel to the observed-net list;
+                               // empty when the run did not finish kOk
 };
 
 RunStats run_one(Circuit& circuit, const std::vector<Circuit::NetId>& outputs,
@@ -94,12 +97,19 @@ RunStats run_one(Circuit& circuit, const std::vector<Circuit::NetId>& outputs,
   }
   const double t_end = t_last + config.t_settle;
   // Arena-reusing simulation: the worker's trace storage is reset in place,
-  // not reallocated (bit-identical to Circuit::simulate).
-  circuit.simulate_into(stimuli, 0.0, t_end, arena);
+  // not reallocated (bit-identical to Circuit::simulate). The budgeted
+  // entry point never throws through the engine -- a failure or budget
+  // trip comes back as a structured non-kOk result.
+  circuit.simulate_into(stimuli, 0.0, t_end, config.budget, arena);
   const Circuit::SimResult& result = arena;
 
   RunStats stats;
   stats.n_events = result.n_events;
+  stats.diagnostics = result.diagnostics;
+  // A terminated run contributes its diagnostics and event count but no
+  // histogram samples: partial traces would skew the distributions
+  // silently.
+  if (!result.ok()) return stats;
 
   // Stimulus transitions, merged and sorted once per run; every observed
   // net's response delays sweep the same sequence.
@@ -180,9 +190,24 @@ BatchResult BatchRunner::run() {
   pool_->parallel_for(
       config_.n_runs, [&](std::size_t worker, std::size_t run) {
         Worker& w = workers_[worker];
-        per_run[run] = run_one(*w.circuit, w.outputs, w.arena, w.stim_times,
-                               config_, config_.base_seed + run, pulse_hi,
-                               response_hi);
+        // Fresh per-run fault tallies: an armed plan's fire index depends
+        // only on this run's own content, not on which worker executes it
+        // or how runs interleave (thread-count-invariant fault placement).
+        if (util::FaultInjector::armed()) {
+          util::FaultInjector::reset_local_hits();
+        }
+        try {
+          per_run[run] = run_one(*w.circuit, w.outputs, w.arena, w.stim_times,
+                                 config_, config_.base_seed + run, pulse_hi,
+                                 response_hi);
+        } catch (const std::exception& e) {
+          // Isolation backstop for failures outside the engine's no-throw
+          // boundary (stimulus generation, accounting): only this run
+          // fails; the worker and its arena stay usable.
+          per_run[run] = RunStats{};
+          per_run[run].diagnostics.status = RunStatus::kFailed;
+          per_run[run].diagnostics.error = e.what();
+        }
       });
 
   // Sequential reduction in run order: bit-identical for any thread count.
@@ -198,9 +223,15 @@ BatchResult BatchRunner::run() {
     agg.response_delay = Histogram(0.0, response_hi, config_.histogram_bins);
     result.nets.push_back(std::move(agg));
   }
-  for (const RunStats& stats : per_run) {
+  result.diagnostics.reserve(config_.n_runs);
+  for (RunStats& stats : per_run) {
     result.total_events += stats.n_events;
     result.events_per_run.push_back(stats.n_events);
+    result.diagnostics.push_back(std::move(stats.diagnostics));
+    if (result.diagnostics.back().status != RunStatus::kOk) {
+      ++result.n_failed;
+      continue;  // no histogram contribution from a terminated run
+    }
     for (std::size_t n = 0; n < result.nets.size(); ++n) {
       result.nets[n].transitions += stats.nets[n].transitions;
       result.nets[n].pulse_width.merge(stats.nets[n].pulse_width);

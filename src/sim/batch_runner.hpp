@@ -66,6 +66,11 @@ struct BatchConfig {
   // to mu).
   double pulse_width_hi = 0.0;
   double response_delay_hi = 0.0;
+  // Per-run execution budget (event ceiling, wall-clock deadline,
+  // cancellation token). Default: no limits. A tripped run terminates with
+  // the corresponding status in BatchResult::diagnostics; the batch
+  // continues.
+  RunBudget budget;
 };
 
 /// Aggregates of one observed net across the whole batch.
@@ -91,7 +96,13 @@ struct BatchResult {
   Histogram response_delay;
   // Per-net aggregates, one entry per observed net in declaration order.
   std::vector<NetAggregate> nets;
+  // Per-run outcome (status, guard counters, captured error), indexed by
+  // run. Runs with a non-kOk status are excluded from every aggregate
+  // above -- they contribute only their diagnostics and event count.
+  std::vector<RunDiagnostics> diagnostics;
+  std::size_t n_failed = 0;  // runs with a non-kOk status
 
+  bool all_ok() const { return n_failed == 0; }
   const NetAggregate& net(const std::string& name) const;
 };
 
@@ -114,6 +125,11 @@ class BatchRunner {
   /// Runs the batch. Deterministic for a fixed (factory, config): the
   /// aggregate is bit-identical for any n_threads. May be called
   /// repeatedly; workers and their circuit clones persist across calls.
+  ///
+  /// Per-run isolation: one run's failure (solver non-convergence,
+  /// assertion, injected fault) or budget trip is captured into that run's
+  /// entry in BatchResult::diagnostics while every other run completes --
+  /// run() does not throw for a single bad run, and the pool stays usable.
   BatchResult run();
 
  private:

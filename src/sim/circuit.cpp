@@ -122,4 +122,28 @@ void Circuit::simulate_into(const std::vector<waveform::DigitalTrace>& stimuli,
   out = session.take_result();
 }
 
+Circuit::SimResult Circuit::simulate(
+    const std::vector<waveform::DigitalTrace>& stimuli, double t_begin,
+    double t_end, const RunBudget& budget) {
+  SimResult out;
+  simulate_into(stimuli, t_begin, t_end, budget, out);
+  return out;
+}
+
+void Circuit::simulate_into(const std::vector<waveform::DigitalTrace>& stimuli,
+                            double t_begin, double t_end,
+                            const RunBudget& budget, SimResult& out) {
+  CHARLIE_ASSERT(t_end > t_begin);
+  SimSession session(*this, stimuli, t_begin, budget, std::move(out));
+  // The budgeted entry point is the no-throw boundary: a failure anywhere
+  // in the run (solver non-convergence, assertion, injected fault) becomes
+  // a structured kFailed result with the traces produced so far.
+  try {
+    session.advance(t_end);
+  } catch (const std::exception& e) {
+    session.mark_failed(e.what());
+  }
+  out = session.take_result();
+}
+
 }  // namespace charlie::sim

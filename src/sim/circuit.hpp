@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/channel.hpp"
+#include "sim/run_guard.hpp"
 #include "util/error.hpp"
 #include "waveform/digital_trace.hpp"
 
@@ -119,7 +120,13 @@ class Circuit {
   struct SimResult {
     std::vector<waveform::DigitalTrace> traces;  // indexed by NetId
     long n_events = 0;
+    /// kOk unless the run was terminated early (budget, deadline,
+    /// cancellation, captured failure). A non-kOk result's traces are a
+    /// valid prefix of the full run up to diagnostics.t_horizon.
+    RunStatus status = RunStatus::kOk;
+    RunDiagnostics diagnostics;
 
+    bool ok() const { return status == RunStatus::kOk; }
     const waveform::DigitalTrace& trace(NetId id) const;
   };
 
@@ -142,6 +149,21 @@ class Circuit {
   /// so repeated runs stop paying the trace-vector allocations.
   void simulate_into(const std::vector<waveform::DigitalTrace>& stimuli,
                      double t_begin, double t_end, SimResult& out);
+
+  /// Budgeted variant: the run is supervised by `budget` and NEVER throws
+  /// through the engine -- a tripped budget/deadline/cancellation or a
+  /// captured exception (ConvergenceError, AssertionError, injected fault)
+  /// terminates the run with a structured partial result whose status and
+  /// diagnostics say what happened. Event-count termination is
+  /// deterministic: the run stops after exactly budget.max_events processed
+  /// events, so the partial traces are bit-identical on every host.
+  SimResult simulate(const std::vector<waveform::DigitalTrace>& stimuli,
+                     double t_begin, double t_end, const RunBudget& budget);
+
+  /// Budgeted arena variant (same semantics as the pair above combined).
+  void simulate_into(const std::vector<waveform::DigitalTrace>& stimuli,
+                     double t_begin, double t_end, const RunBudget& budget,
+                     SimResult& out);
 
   /// Number of declared primary inputs; input_net(i) is the NetId of the
   /// i-th declared input (stimulus order).

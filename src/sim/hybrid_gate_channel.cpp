@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace charlie::sim {
 
@@ -111,6 +113,16 @@ void HybridGateChannel::on_input(double t, int port, bool value) {
 
   // Evolve the analog state to the switch instant, then change mode.
   x_ref_ = state_at(te);
+  x_ref_.y = CHARLIE_FAULT_DOUBLE("hybrid_channel.state", x_ref_.y);
+  // Guardrail at the mode-switch boundary: a non-finite analog state
+  // (overflowed exponential, corrupted table) would propagate NaN into
+  // every later crossing search of this channel. Fail the run loudly here
+  // instead; the budgeted entry points turn this into a kFailed result.
+  if (!std::isfinite(x_ref_.x) || !std::isfinite(x_ref_.y)) {
+    ++util::RunCounters::local().nonfinite_guard_trips;
+    throw ConvergenceError(
+        "hybrid channel: non-finite analog state at a mode switch");
+  }
   t_ref_ = te;
   state_ = core::gate_state_with(state_, port, value);
   mt_ = &tables_->state_table(state_);

@@ -115,6 +115,11 @@ ShardedCircuit::Result ShardedCircuit::simulate(
   // boundary stimuli start as constant traces at the producer's t_begin
   // value; their transitions arrive later through inject().
   std::vector<std::unique_ptr<SimSession>> sessions(n_shards);
+  // Shard tasks poll only the wall clock and the cancellation token; the
+  // event ceiling is enforced below, on the coordinating thread at step
+  // granularity, so a budget trip is deterministic for a fixed config.
+  RunBudget task_budget = config.budget;
+  task_budget.max_events = 0;
   {
     std::vector<waveform::DigitalTrace> shard_stimuli;
     for (std::size_t s = 0; s < n_shards; ++s) {
@@ -131,8 +136,8 @@ ShardedCircuit::Result ShardedCircuit::simulate(
         shard_stimuli[e.to_input] = waveform::DigitalTrace(
             sessions[e.from_shard]->value(e.from_net), {});
       }
-      sessions[s] =
-          std::make_unique<SimSession>(*shard.circuit, shard_stimuli, t_begin);
+      sessions[s] = std::make_unique<SimSession>(*shard.circuit, shard_stimuli,
+                                                 t_begin, task_budget);
     }
   }
 
@@ -149,49 +154,85 @@ ShardedCircuit::Result ShardedCircuit::simulate(
   // Task (shard k, window w) runs at step k + w; all tasks of one step are
   // mutually independent (distinct sessions, disjoint buckets), so each step
   // is one parallel_for. Grain 1: shard/window tasks are coarse already.
+  RunStatus status = RunStatus::kOk;
+  std::string error;
+  RunGuard guard(config.budget);
   for (std::size_t step = 0; step + 1 < n_shards + n_windows; ++step) {
     const std::size_t k_lo = step >= n_windows ? step - n_windows + 1 : 0;
     const std::size_t k_hi = std::min(n_shards - 1, step);
-    pool_->parallel_for(
-        k_hi - k_lo + 1, 1, [&](std::size_t /*worker*/, std::size_t task) {
-          const std::size_t k = k_lo + task;
-          const std::size_t w = step - k;
-          SimSession& session = *sessions[k];
-          // Inject this window's boundary transitions, globally time-sorted;
-          // the edge iteration order breaks (measure-zero) exact-time ties
-          // deterministically.
-          std::vector<BoundaryEvent> incoming;
-          for (const std::size_t edge_index : in_edges_[k]) {
-            const auto& bucket = buckets[edge_index][w];
-            const std::size_t to_input = edges_[edge_index].to_input;
-            for (const BoundaryEvent& ev : bucket) {
-              incoming.push_back({ev.t, ev.value, to_input});
+    try {
+      pool_->parallel_for(
+          k_hi - k_lo + 1, 1, [&](std::size_t /*worker*/, std::size_t task) {
+            const std::size_t k = k_lo + task;
+            const std::size_t w = step - k;
+            SimSession& session = *sessions[k];
+            try {
+              // Inject this window's boundary transitions, globally
+              // time-sorted; the edge iteration order breaks (measure-zero)
+              // exact-time ties deterministically.
+              std::vector<BoundaryEvent> incoming;
+              for (const std::size_t edge_index : in_edges_[k]) {
+                const auto& bucket = buckets[edge_index][w];
+                const std::size_t to_input = edges_[edge_index].to_input;
+                for (const BoundaryEvent& ev : bucket) {
+                  incoming.push_back({ev.t, ev.value, to_input});
+                }
+              }
+              std::stable_sort(
+                  incoming.begin(), incoming.end(),
+                  [](const BoundaryEvent& a, const BoundaryEvent& b) {
+                    return a.t < b.t;
+                  });
+              for (const BoundaryEvent& ev : incoming) {
+                session.inject(ev.to_input, ev.t, ev.value);
+              }
+              session.advance(window_end(w));
+              // Export this window's production on every out-edge: all
+              // not-yet-exported transitions up to the new horizon.
+              for (const std::size_t edge_index : out_edges_[k]) {
+                const BoundaryEdge& e = edges_[edge_index];
+                const waveform::DigitalTrace& produced =
+                    session.result().trace(e.from_net);
+                std::size_t& cursor = export_cursor[edge_index];
+                auto& bucket = buckets[edge_index][w];
+                while (cursor < produced.n_transitions() &&
+                       produced.transitions()[cursor] <= session.t_horizon()) {
+                  bucket.push_back({produced.transitions()[cursor],
+                                    produced.is_rising(cursor), e.to_input});
+                  ++cursor;
+                }
+              }
+            } catch (const std::exception& e) {
+              // Stamp the failing shard's own result, then let the pool
+              // carry the exception to the coordinating thread (remaining
+              // tasks of this step still complete; the pool stays usable).
+              session.mark_failed(e.what());
+              throw;
             }
-          }
-          std::stable_sort(incoming.begin(), incoming.end(),
-                           [](const BoundaryEvent& a, const BoundaryEvent& b) {
-                             return a.t < b.t;
-                           });
-          for (const BoundaryEvent& ev : incoming) {
-            session.inject(ev.to_input, ev.t, ev.value);
-          }
-          session.advance(window_end(w));
-          // Export this window's production on every out-edge: all not-yet-
-          // exported transitions up to the new horizon.
-          for (const std::size_t edge_index : out_edges_[k]) {
-            const BoundaryEdge& e = edges_[edge_index];
-            const waveform::DigitalTrace& produced =
-                session.result().trace(e.from_net);
-            std::size_t& cursor = export_cursor[edge_index];
-            auto& bucket = buckets[edge_index][w];
-            while (cursor < produced.n_transitions() &&
-                   produced.transitions()[cursor] <= session.t_horizon()) {
-              bucket.push_back({produced.transitions()[cursor],
-                                produced.is_rising(cursor), e.to_input});
-              ++cursor;
-            }
-          }
-        });
+          });
+    } catch (const std::exception& e) {
+      status = RunStatus::kFailed;
+      error = e.what();
+      break;
+    }
+    // In-task deadline/cancellation trips are sticky in the session; stop
+    // scheduling further steps once any shard has terminated.
+    for (std::size_t s = 0; s < n_shards && status == RunStatus::kOk; ++s) {
+      if (sessions[s]->status() != RunStatus::kOk) {
+        status = sessions[s]->status();
+      }
+    }
+    // Deterministic event-budget check at step granularity: the summed
+    // event count after a completed step does not depend on thread count.
+    if (status == RunStatus::kOk && config.budget.enabled()) {
+      long n_processed = 0;
+      for (const auto& session : sessions) {
+        n_processed +=
+            session->n_stimulus_events() + session->n_gate_events();
+      }
+      status = guard.check(n_processed);
+    }
+    if (status != RunStatus::kOk) break;
   }
 
   // --- assembly ------------------------------------------------------------
@@ -220,6 +261,17 @@ ShardedCircuit::Result ShardedCircuit::simulate(
     result.input_traces.push_back(std::move(windowed));
   }
   result.n_events = n_stimulus_events + n_gate_events;
+  result.status = status;
+  // Overall horizon actually covered: the lowest point any shard fully
+  // reached (a terminated run's traces are only trustworthy below it).
+  double t_reached = t_end;
+  for (const Circuit::SimResult& shard_result : result.shard_results) {
+    t_reached = std::min(t_reached, shard_result.diagnostics.t_horizon);
+  }
+  result.diagnostics =
+      guard.finish(status, result.n_events,
+                   status == RunStatus::kOk ? t_end : t_reached);
+  result.diagnostics.error = error;
   return result;
 }
 

@@ -50,6 +50,11 @@ struct ShardedSimConfig {
   double window = 0.0;
   /// Worker threads; 0 = min(n_shards, hardware concurrency).
   std::size_t n_threads = 0;
+  /// Execution budget for the whole sharded run. The event ceiling is
+  /// enforced on the coordinating thread at wavefront-step granularity
+  /// (deterministic for a fixed shard/window config); deadlines and
+  /// cancellation are additionally polled inside each shard task.
+  RunBudget budget;
 };
 
 class ShardedCircuit {
@@ -94,6 +99,15 @@ class ShardedCircuit {
   struct Result {
     long n_events = 0;       // matches Circuit::simulate's count
     std::size_t n_windows = 0;
+    /// kOk unless the run terminated early: budget/deadline/cancellation
+    /// trip, or a failure captured out of a shard task (the wavefront
+    /// stops at the end of the step that tripped; traces are best-effort
+    /// up to diagnostics.t_horizon, the lowest horizon any shard fully
+    /// reached). The pool stays usable either way.
+    RunStatus status = RunStatus::kOk;
+    RunDiagnostics diagnostics;
+
+    bool ok() const { return status == RunStatus::kOk; }
     const waveform::DigitalTrace& trace(const std::string& net) const;
 
     // Storage (public for the assembler; address traces via trace()).

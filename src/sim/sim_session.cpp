@@ -14,11 +14,24 @@ SimSession::SimSession(Circuit& circuit,
 SimSession::SimSession(Circuit& circuit,
                        const std::vector<waveform::DigitalTrace>& stimuli,
                        double t_begin, Circuit::SimResult&& arena)
+    : SimSession(circuit, stimuli, t_begin, RunBudget{}, std::move(arena)) {}
+
+SimSession::SimSession(Circuit& circuit,
+                       const std::vector<waveform::DigitalTrace>& stimuli,
+                       double t_begin, const RunBudget& budget,
+                       Circuit::SimResult&& arena)
     : circuit_(&circuit), t_begin_(t_begin), horizon_(t_begin),
-      result_(std::move(arena)) {
+      guard_(budget), guard_active_(budget.enabled()),
+      t_processed_(t_begin), result_(std::move(arena)) {
   CHARLIE_ASSERT_MSG(stimuli.size() == circuit_->primary_inputs_.size(),
                      "circuit: one stimulus trace per primary input");
   initialize(stimuli);
+}
+
+void SimSession::mark_failed(const std::string& what) {
+  if (status_ != RunStatus::kOk) return;  // first terminal status wins
+  status_ = RunStatus::kFailed;
+  error_ = what;
 }
 
 void SimSession::initialize(
@@ -156,6 +169,10 @@ void SimSession::inject(std::size_t input_index, double t, bool input_value) {
 }
 
 void SimSession::advance(double t_horizon) {
+  // A terminated session stays terminated: callers driving windowed
+  // schedules (sharded wavefront) may keep issuing advances, which must
+  // not resurrect a tripped or failed run.
+  if (status_ != RunStatus::kOk) return;
   CHARLIE_ASSERT(t_horizon >= horizon_);
   horizon_ = t_horizon;
 
@@ -200,6 +217,16 @@ void SimSession::advance(double t_horizon) {
   while ((stim_index_ < stim_events_.size() &&
           stim_events_[stim_index_].t <= horizon_) ||
          !heap_.empty()) {
+    // Budget poll before taking the next event: a trip leaves exactly
+    // n_events processed and the remaining events pending, so the partial
+    // traces are a deterministic prefix of the full run.
+    if (guard_active_) {
+      const RunStatus st = guard_.check(n_stimulus_events_ + n_gate_events_);
+      if (st != RunStatus::kOk) {
+        status_ = st;
+        return;
+      }
+    }
     const bool take_stimulus =
         stim_index_ < stim_events_.size() &&
         stim_events_[stim_index_].t <= horizon_ &&
@@ -207,6 +234,7 @@ void SimSession::advance(double t_horizon) {
     if (take_stimulus) {
       const StimulusEvent& ev = stim_events_[stim_index_++];
       ++n_stimulus_events_;
+      t_processed_ = ev.t;
       propagate_net_change(ev.net, ev.t, ev.value);
       continue;
     }
@@ -214,6 +242,7 @@ void SimSession::advance(double t_horizon) {
     const EventHeap::Entry fired = heap_.top();
     heap_.pop();
     ++n_gate_events_;
+    t_processed_ = fired.t;
     Circuit::Gate& gate = circuit_->gates_[gate_index];
     const PendingEvent event{fired.t, fired.value};
     if (gate.sis) {
@@ -226,13 +255,27 @@ void SimSession::advance(double t_horizon) {
   }
 }
 
+namespace {
+
+void stamp(Circuit::SimResult& result, const RunGuard& guard,
+           RunStatus status, long n_events, double t_reached,
+           const std::string& error) {
+  result.n_events = n_events;
+  result.status = status;
+  result.diagnostics = guard.finish(status, n_events, t_reached);
+  result.diagnostics.error = error;
+}
+
+}  // namespace
+
 const Circuit::SimResult& SimSession::result() {
-  result_.n_events = n_stimulus_events_ + n_gate_events_;
+  stamp(result_, guard_, status_, n_stimulus_events_ + n_gate_events_,
+        status_ == RunStatus::kOk ? horizon_ : t_processed_, error_);
   return result_;
 }
 
 Circuit::SimResult SimSession::take_result() {
-  result_.n_events = n_stimulus_events_ + n_gate_events_;
+  result();
   return std::move(result_);
 }
 

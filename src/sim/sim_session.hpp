@@ -42,6 +42,15 @@ class SimSession {
              const std::vector<waveform::DigitalTrace>& stimuli,
              double t_begin, Circuit::SimResult&& arena);
 
+  /// Budgeted variant: advance() polls `budget` and terminates the session
+  /// early with the corresponding RunStatus instead of running to the
+  /// horizon. After a trip the session is finished: further advance()
+  /// calls are no-ops and the result carries the partial traces.
+  SimSession(Circuit& circuit,
+             const std::vector<waveform::DigitalTrace>& stimuli,
+             double t_begin, const RunBudget& budget,
+             Circuit::SimResult&& arena = Circuit::SimResult{});
+
   SimSession(const SimSession&) = delete;
   SimSession& operator=(const SimSession&) = delete;
 
@@ -65,6 +74,14 @@ class SimSession {
   long n_stimulus_events() const { return n_stimulus_events_; }
   long n_gate_events() const { return n_gate_events_; }
 
+  /// kOk while the session may still advance; any other value is sticky.
+  RunStatus status() const { return status_; }
+
+  /// Record a failure captured outside the event loop (the budgeted
+  /// Circuit::simulate catches and forwards exception text). Sticky like a
+  /// budget trip; only the first terminal status wins.
+  void mark_failed(const std::string& what);
+
   /// Traces appended so far (up to the current horizon); n_events is the
   /// processed stimulus + gate event count.
   const Circuit::SimResult& result();
@@ -86,6 +103,11 @@ class SimSession {
   Circuit* circuit_;
   double t_begin_ = 0.0;
   double horizon_ = 0.0;
+  RunGuard guard_;
+  bool guard_active_ = false;     // false: the loop skips every poll
+  RunStatus status_ = RunStatus::kOk;
+  std::string error_;             // captured failure text (kFailed)
+  double t_processed_ = 0.0;      // time of the last processed event
   Circuit::SimResult result_;
   std::vector<std::uint8_t> net_value_;  // hot path: byte per net, no
                                          // vector<bool> bit gymnastics

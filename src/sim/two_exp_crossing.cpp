@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "fit/brent_root.hpp"
+#include "util/diagnostics.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace charlie::sim {
 
@@ -44,34 +47,42 @@ namespace {
 // started from `seed`, Brent only if Newton fails to converge.
 double solve_crossing(const TwoExpVo& vo, double vth, double lo, double hi,
                       double flo, double seed) {
+  CHARLIE_FAULT_POINT("crossing.solve");
   double a = lo;
   double b = hi;
   double fa = flo;
   if (fa == 0.0) return a;
-  double x = (seed > a && seed < b) ? seed : 0.5 * (a + b);
-  for (int iter = 0; iter < 32; ++iter) {
-    const double e1 = std::exp(vo.l1 * x);
-    const double e2 = std::exp(vo.l2 * x);
-    const double fx = vo.d + vo.a1 * e1 + vo.a2 * e2 - vth;
-    if (fx == 0.0) return x;
-    if ((fx < 0.0) == (fa < 0.0)) {
-      a = x;
-      fa = fx;
-    } else {
-      b = x;
+  // "crossing.newton" fault site: pretend Newton failed so the Brent
+  // fallback (and its diagnostics counter) gets exercised.
+  if (!CHARLIE_FAULT_BRANCH("crossing.newton")) {
+    double x = (seed > a && seed < b) ? seed : 0.5 * (a + b);
+    for (int iter = 0; iter < 32; ++iter) {
+      const double e1 = std::exp(vo.l1 * x);
+      const double e2 = std::exp(vo.l2 * x);
+      const double fx = vo.d + vo.a1 * e1 + vo.a2 * e2 - vth;
+      if (fx == 0.0) return x;
+      if ((fx < 0.0) == (fa < 0.0)) {
+        a = x;
+        fa = fx;
+      } else {
+        b = x;
+      }
+      const double dfx = vo.a1 * vo.l1 * e1 + vo.a2 * vo.l2 * e2;
+      double next = dfx != 0.0 ? x - fx / dfx : 0.5 * (a + b);
+      // Newton stepping outside the (shrinking) bracket means the local
+      // slope extrapolates past the root; bisect instead.
+      if (!(next > a && next < b)) next = 0.5 * (a + b);
+      // Stop well below the library's 1e-18 s root tolerance target; the
+      // final Newton step bounds the remaining error (quadratic
+      // convergence).
+      if (std::fabs(next - x) <= 1e-17 + 1e-14 * std::fabs(next)) return next;
+      x = next;
     }
-    const double dfx = vo.a1 * vo.l1 * e1 + vo.a2 * vo.l2 * e2;
-    double next = dfx != 0.0 ? x - fx / dfx : 0.5 * (a + b);
-    // Newton stepping outside the (shrinking) bracket means the local
-    // slope extrapolates past the root; bisect instead.
-    if (!(next > a && next < b)) next = 0.5 * (a + b);
-    // Stop well below the library's 1e-18 s root tolerance target; the
-    // final Newton step bounds the remaining error (quadratic convergence).
-    if (std::fabs(next - x) <= 1e-17 + 1e-14 * std::fabs(next)) return next;
-    x = next;
   }
   // Non-convergence (e.g. near-tangent crossing): Brent on the narrowed
-  // bracket is unconditionally robust.
+  // bracket is unconditionally robust. Surfaced per run through
+  // RunDiagnostics.counters.
+  ++util::RunCounters::local().newton_brent_fallbacks;
   auto f = [&](double tau) { return vo.value(tau) - vth; };
   return fit::brent_root(f, a, b);
 }
@@ -117,6 +128,12 @@ std::optional<TwoExpCrossing> two_exp_next_crossing(const TwoExpVo& vo,
   auto found = [&](double tau_lo, double tau_hi, double flo, double seed,
                    bool rising) -> std::optional<TwoExpCrossing> {
     const double tau_c = solve_crossing(vo, vth, tau_lo, tau_hi, flo, seed);
+    // Guardrail at the solver boundary: a non-finite crossing time would
+    // poison the event heap (NaN comparisons silently reorder events).
+    if (!std::isfinite(tau_c)) {
+      ++util::RunCounters::local().nonfinite_guard_trips;
+      throw ConvergenceError("two-exp crossing: non-finite crossing time");
+    }
     return TwoExpCrossing{tau_c, rising};
   };
 
@@ -190,6 +207,10 @@ std::optional<TwoExpCrossing> two_exp_next_crossing(const TwoExpVo& vo,
 std::optional<ScanCrossing> scan_vo_crossing(
     const core::ModeTable& mt, double vth, double t_from, double horizon,
     const std::function<double(double)>& vo_at) {
+  // Every scan search is a fallback off the analytic two-exp path
+  // (defective/complex spectrum or a degraded mode table); count it so a
+  // run that silently lost the fast path shows up in its diagnostics.
+  ++util::RunCounters::local().scan_fallbacks;
   auto f = [&](double t) { return vo_at(t) - vth; };
 
   // Scan at a fraction of the fastest rate of the mode, but never more

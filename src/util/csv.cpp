@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace charlie::util {
 
@@ -156,7 +157,11 @@ std::string read_text_file(const std::string& path) {
   std::ostringstream text;
   text << in.rdbuf();
   if (in.bad()) throw ConfigError("read_text_file: read error on " + path);
-  return text.str();
+  std::string result = text.str();
+  // Fault site: a truncated read models a corrupt/partial file on disk;
+  // every parser downstream must fail with ConfigError, never crash.
+  CHARLIE_FAULT_TEXT("io.read_text_file", result);
+  return result;
 }
 
 }  // namespace charlie::util

@@ -1,0 +1,29 @@
+#include "util/diagnostics.hpp"
+
+namespace charlie::util {
+
+RunCounters& RunCounters::local() {
+  thread_local RunCounters counters;
+  return counters;
+}
+
+RunCounters RunCounters::operator-(const RunCounters& other) const {
+  RunCounters d;
+  d.newton_brent_fallbacks =
+      newton_brent_fallbacks - other.newton_brent_fallbacks;
+  d.scan_fallbacks = scan_fallbacks - other.scan_fallbacks;
+  d.nonfinite_guard_trips =
+      nonfinite_guard_trips - other.nonfinite_guard_trips;
+  d.fit_fallbacks = fit_fallbacks - other.fit_fallbacks;
+  return d;
+}
+
+RunCounters& RunCounters::operator+=(const RunCounters& other) {
+  newton_brent_fallbacks += other.newton_brent_fallbacks;
+  scan_fallbacks += other.scan_fallbacks;
+  nonfinite_guard_trips += other.nonfinite_guard_trips;
+  fit_fallbacks += other.fit_fallbacks;
+  return *this;
+}
+
+}  // namespace charlie::util

@@ -1,0 +1,131 @@
+#include "util/fault_injection.hpp"
+
+#include <limits>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace charlie::util {
+
+std::atomic<int> FaultInjector::n_armed_{0};
+
+namespace {
+
+struct SiteState {
+  FaultInjector::Plan plan;
+  long global_fires = 0;
+};
+
+std::mutex g_mutex;
+
+std::map<std::string, SiteState>& sites() {
+  static std::map<std::string, SiteState> s;
+  return s;
+}
+
+// Per-thread (hits, fires) tally per site. Reset at run boundaries so fire
+// indices are a function of the run's own content, not of scheduling.
+struct LocalTally {
+  long hits = 0;
+  long fires = 0;
+};
+
+std::map<std::string, LocalTally>& local_tallies() {
+  thread_local std::map<std::string, LocalTally> t;
+  return t;
+}
+
+// Decides whether `site` fires on this hit; returns the armed action if so.
+// Only called when armed() -- the disarmed path never reaches here.
+bool decide(const char* site, FaultInjector::Action* action) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = sites().find(site);
+  if (it == sites().end()) return false;
+  LocalTally& tally = local_tallies()[site];
+  const long hit_index = tally.hits++;
+  const FaultInjector::Plan& plan = it->second.plan;
+  if (hit_index < plan.fire_after) return false;
+  if (plan.count >= 0 && tally.fires >= plan.count) return false;
+  ++tally.fires;
+  ++it->second.global_fires;
+  *action = plan.action;
+  return true;
+}
+
+}  // namespace
+
+void FaultInjector::arm(const std::string& site, const Plan& plan) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto [it, inserted] = sites().emplace(site, SiteState{plan, 0});
+  if (!inserted) {
+    it->second.plan = plan;
+    it->second.global_fires = 0;
+  }
+  n_armed_.store(static_cast<int>(sites().size()),
+                 std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  sites().erase(site);
+  n_armed_.store(static_cast<int>(sites().size()),
+                 std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  sites().clear();
+  n_armed_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset_local_hits() { local_tallies().clear(); }
+
+long FaultInjector::fires(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = sites().find(site);
+  return it == sites().end() ? 0 : it->second.global_fires;
+}
+
+void FaultInjector::throw_point(const char* site) {
+  Action action;
+  if (!decide(site, &action)) return;
+  const std::string what = std::string("injected fault at ") + site;
+  switch (action) {
+    case Action::kConvergenceError:
+      throw ConvergenceError(what);
+    case Action::kRuntimeError:
+      throw std::runtime_error(what);
+    case Action::kNanValue:
+    case Action::kTruncateText:
+    case Action::kForceBranch:
+      // Value-corruption plans do not fire at throw points; a site is armed
+      // with the action its hook understands.
+      return;
+  }
+}
+
+bool FaultInjector::trip(const char* site) {
+  Action action;
+  return decide(site, &action) && action == Action::kForceBranch;
+}
+
+double FaultInjector::corrupt_double(const char* site, double value) {
+  Action action;
+  if (!decide(site, &action)) return value;
+  if (action == Action::kNanValue) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return value;
+}
+
+void FaultInjector::corrupt_text(const char* site, std::string& text) {
+  Action action;
+  if (!decide(site, &action)) return;
+  if (action == Action::kTruncateText) {
+    text.resize(text.size() / 2);
+  }
+}
+
+}  // namespace charlie::util

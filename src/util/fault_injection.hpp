@@ -1,0 +1,124 @@
+// Deterministic fault-injection harness.
+//
+// The library plants named fault sites at its documented failure
+// boundaries (crossing solver, channel state update, thread-pool work item,
+// text-file reads). Disarmed -- the production state -- a site costs one
+// relaxed atomic load and a predicted-false branch; nothing is locked,
+// counted, or allocated, so release hot paths stay clean. Tests arm a site
+// with a Plan and the harness fires the configured fault (throw, NaN
+// corruption, text truncation) at a deterministic hit index.
+//
+// Determinism across thread counts: hits are counted per *locality* -- a
+// thread-local tally that run supervisors reset at the start of each
+// logical run (BatchRunner resets before every run it executes). A plan
+// "fire on the k-th hit" therefore fires in exactly the runs whose own
+// event content reaches k hits of that site, no matter which worker
+// executes which run or how runs interleave. Global fire totals are kept
+// separately for assertions.
+//
+// Sites in the library (see docs/robustness.md for the documented outcome
+// of each):
+//   "crossing.solve"       -- two-exp crossing solver entry  [throw]
+//   "crossing.newton"      -- force the Newton -> Brent fallback  [branch]
+//   "hybrid_channel.state" -- channel analog state at a mode switch  [NaN]
+//   "thread_pool.item"     -- worker-thread work item  [throw]
+//   "io.read_text_file"    -- netlist / characterization-cache read  [truncate]
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace charlie::util {
+
+class FaultInjector {
+ public:
+  enum class Action {
+    kConvergenceError,  // throw charlie::ConvergenceError at the site
+    kRuntimeError,      // throw std::runtime_error at the site
+    kNanValue,          // replace a double with quiet NaN
+    kTruncateText,      // truncate a text buffer to half its length
+    kForceBranch,       // make a branch site take its degraded path
+  };
+
+  struct Plan {
+    Action action = Action::kRuntimeError;
+    /// Local (per-run) hits skipped before the first fire.
+    long fire_after = 0;
+    /// Maximum fires per locality; -1 = every eligible hit.
+    long count = -1;
+  };
+
+  /// Arm `site` with `plan`, replacing any previous plan for the site.
+  static void arm(const std::string& site, const Plan& plan);
+  static void disarm(const std::string& site);
+  static void disarm_all();
+
+  /// Reset the calling thread's hit tallies (start of a logical run).
+  static void reset_local_hits();
+
+  /// Total fires of `site` across all threads since it was armed.
+  static long fires(const std::string& site);
+
+  /// True iff any site is armed. The only check on disarmed hot paths.
+  static bool armed() {
+    return n_armed_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // --- site hooks (called through the CHARLIE_FAULT_* macros) --------------
+
+  /// Throws per the site's plan if it fires; no-op otherwise.
+  static void throw_point(const char* site);
+  /// Returns NaN if the site fires, `value` otherwise.
+  static double corrupt_double(const char* site, double value);
+  /// Truncates `text` to half its length if the site fires.
+  static void corrupt_text(const char* site, std::string& text);
+  /// True iff the site fires with a kForceBranch plan; no other effect.
+  /// For sites whose fault is a forced control-flow branch (e.g. skipping
+  /// Newton so the Brent fallback is exercised).
+  static bool trip(const char* site);
+
+  /// RAII guard for tests: disarms everything and clears the local tallies
+  /// on destruction, so a failing test cannot leak armed faults into the
+  /// rest of the suite.
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      disarm_all();
+      reset_local_hits();
+    }
+  };
+
+ private:
+  static std::atomic<int> n_armed_;
+};
+
+}  // namespace charlie::util
+
+// Site macros: the armed() fast-path check stays inline; everything else is
+// behind the call.
+#define CHARLIE_FAULT_POINT(site)                          \
+  do {                                                     \
+    if (::charlie::util::FaultInjector::armed()) {         \
+      ::charlie::util::FaultInjector::throw_point(site);   \
+    }                                                      \
+  } while (false)
+
+#define CHARLIE_FAULT_DOUBLE(site, value)                          \
+  (::charlie::util::FaultInjector::armed()                         \
+       ? ::charlie::util::FaultInjector::corrupt_double((site), (value)) \
+       : (value))
+
+#define CHARLIE_FAULT_BRANCH(site)                  \
+  (::charlie::util::FaultInjector::armed() &&       \
+   ::charlie::util::FaultInjector::trip(site))
+
+#define CHARLIE_FAULT_TEXT(site, text)                     \
+  do {                                                     \
+    if (::charlie::util::FaultInjector::armed()) {         \
+      ::charlie::util::FaultInjector::corrupt_text((site), (text)); \
+    }                                                      \
+  } while (false)

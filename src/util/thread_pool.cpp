@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace charlie::util {
 
@@ -107,6 +108,10 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       }
       for (std::uint32_t item = begin; item < end; ++item) {
         try {
+          // Fault site: an exception escaping a work item on the worker
+          // thread itself (as opposed to inside the job body) must follow
+          // the same capture-and-rethrow contract.
+          CHARLIE_FAULT_POINT("thread_pool.item");
           (*job)(worker_index, item);
         } catch (...) {
           // Remember this worker's first failure; remaining items still

@@ -12,6 +12,7 @@
 #include "core/nor_params.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace charlie {
 namespace {
@@ -162,6 +163,30 @@ TEST(CellLibrary, LoadRejectsMalformedFiles) {
     text.replace(at, eol - at, "\nINV,rise,0,oops");
     write(text);
     EXPECT_THROW(cell::CellLibrary::load_csv(path), ConfigError);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CellLibrary, TruncatedCacheReadIsADiagnosedError) {
+  // A characterization cache whose read comes back cut off (simulated via
+  // the injection site in util::read_text_file) must fail with a ConfigError
+  // naming the file -- a half-loaded library (missing cells or fields) is
+  // never silently returned.
+  util::FaultInjector::Scope scope;
+  util::FaultInjector::reset_local_hits();
+
+  const std::string path = ::testing::TempDir() + "cell_library_trunc.csv";
+  cell::CellLibrary::reference().save_csv(path);
+  EXPECT_NO_THROW(cell::CellLibrary::load_csv(path));  // intact read is fine
+
+  util::FaultInjector::arm(
+      "io.read_text_file",
+      {util::FaultInjector::Action::kTruncateText, 0, -1});
+  try {
+    cell::CellLibrary::load_csv(path);
+    FAIL() << "expected ConfigError from the truncated cache";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
   }
   std::remove(path.c_str());
 }

@@ -8,6 +8,7 @@
 
 #include "cell/netlist.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace charlie {
 namespace {
@@ -193,6 +194,60 @@ TEST(NetlistParser, ReadsFilesAndPrefixesErrorsWithThePath) {
     FAIL() << "expected ConfigError";
   } catch (const ConfigError& e) {
     EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(NetlistParser, FileErrorsCarryAContiguousPathLinePrefix) {
+  // Regression: the path and line number must form one clickable
+  // `path:line:` token at the start of the message, not a path somewhere
+  // and a line number somewhere else.
+  const std::string path = ::testing::TempDir() + "netlist_parser_prefix.net";
+  {
+    std::ofstream out(path);
+    out << "input(a)\nNOR2(out, a,)\n";
+  }
+  try {
+    cell::read_netlist_file(path);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find(path + ":2:"), 0u) << what;
+  }
+  std::remove(path.c_str());
+
+  // In-memory parses default to a "netlist" source name with the same
+  // contiguous shape.
+  try {
+    cell::parse_netlist("input(a)\nNOR2(out, a,)\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(std::string(e.what()).find("netlist:2:"), 0u) << e.what();
+  }
+}
+
+TEST(NetlistParser, TruncatedFileReadIsADiagnosedSyntaxError) {
+  // A read that comes back cut off (simulated via the injection site in
+  // util::read_text_file) must surface as an ordinary path:line syntax
+  // error, never as a crash or a silently half-parsed netlist.
+  util::FaultInjector::Scope scope;
+  util::FaultInjector::reset_local_hits();
+
+  const std::string path = ::testing::TempDir() + "netlist_parser_trunc.net";
+  {
+    std::ofstream out(path);
+    out << "input(a)\nNOR2(out, a, a)\n";
+  }
+  EXPECT_EQ(cell::read_netlist_file(path).n_gates(), 1u);
+
+  util::FaultInjector::arm(
+      "io.read_text_file",
+      {util::FaultInjector::Action::kTruncateText, 0, -1});
+  try {
+    cell::read_netlist_file(path);
+    FAIL() << "expected ConfigError from the truncated statement";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(std::string(e.what()).find(path + ":"), 0u) << e.what();
   }
   std::remove(path.c_str());
 }

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "cell/cell_library.hpp"
 #include "cell/netlist.hpp"
@@ -10,7 +12,9 @@
 #include "sim/circuit_builder.hpp"
 #include "sim/hybrid_nor_channel.hpp"
 #include "sim/pure_delay.hpp"
+#include "sim/run_guard.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace charlie::sim {
 namespace {
@@ -253,6 +257,132 @@ TEST(BatchRunner, C432NetlistIsBitIdenticalAcrossThreadCounts) {
                 one.nets[n].response_delay.sum());
     }
   }
+}
+
+TEST(BatchRunner, PerRunEventBudgetTerminatesRunsNotTheBatch) {
+  // A budget every run exceeds: each run terminates with a structured
+  // status, the batch itself completes, and the cut is deterministic.
+  BatchConfig config = small_config();
+  config.budget.max_events = 40;  // every run carries 60 stimulus edges
+  auto run_with = [&](std::size_t n_threads) {
+    config.n_threads = n_threads;
+    BatchRunner runner(nor_factory(), "out", config);
+    return runner.run();
+  };
+  const auto one = run_with(1);
+  EXPECT_FALSE(one.all_ok());
+  EXPECT_EQ(one.n_failed, config.n_runs);
+  ASSERT_EQ(one.diagnostics.size(), config.n_runs);
+  for (std::size_t run = 0; run < config.n_runs; ++run) {
+    EXPECT_EQ(one.diagnostics[run].status, RunStatus::kBudgetExhausted);
+    // The guard stops after exactly max_events processed events.
+    EXPECT_EQ(one.events_per_run[run], 40);
+    EXPECT_EQ(one.diagnostics[run].n_events, 40);
+  }
+  // Terminated runs contribute no histogram samples (partial traces would
+  // skew the distributions silently).
+  EXPECT_EQ(one.pulse_width.count(), 0u);
+  EXPECT_EQ(one.response_delay.count(), 0u);
+  for (std::size_t n_threads : {2u, 4u}) {
+    const auto many = run_with(n_threads);
+    EXPECT_EQ(many.n_failed, one.n_failed);
+    EXPECT_EQ(many.events_per_run, one.events_per_run);
+  }
+}
+
+TEST(BatchRunner, InjectedFaultIsolatesFailingRunsDeterministically) {
+  util::FaultInjector::Scope scope;
+  util::FaultInjector::reset_local_hits();
+  const auto config = small_config();
+
+  // Clean baseline, no plans armed.
+  BatchRunner baseline_runner(nor_factory(), "out", config);
+  const auto baseline = baseline_runner.run();
+  ASSERT_TRUE(baseline.all_ok());
+  ASSERT_EQ(baseline.diagnostics.size(), config.n_runs);
+
+  // Measure each run's crossing-solve count with a counting no-op plan
+  // (kForceBranch never fires a throw at this site): run i of the batch
+  // draws Rng(base_seed + i), so a single-run batch at that seed replays
+  // exactly run i's content.
+  std::vector<long> solves;
+  for (std::size_t run = 0; run < config.n_runs; ++run) {
+    util::FaultInjector::arm(
+        "crossing.solve", {util::FaultInjector::Action::kForceBranch, 0, -1});
+    BatchConfig single = config;
+    single.n_runs = 1;
+    single.base_seed = config.base_seed + run;
+    BatchRunner one(nor_factory(), "out", single);
+    ASSERT_TRUE(one.run().all_ok());
+    solves.push_back(util::FaultInjector::fires("crossing.solve"));
+  }
+  const long lo = *std::min_element(solves.begin(), solves.end());
+  const long hi = *std::max_element(solves.begin(), solves.end());
+  ASSERT_LT(lo, hi) << "seeds produced identical solve counts; the "
+                       "partial-failure threshold needs spread";
+  // Runs needing more than `threshold` solves fail at solve `threshold`;
+  // the rest never reach it. Per-run tallies reset at each run boundary,
+  // so the failing set is a function of run content only.
+  const long threshold = (lo + hi) / 2;
+
+  auto faulted = [&](std::size_t n_threads) {
+    util::FaultInjector::arm(
+        "crossing.solve",
+        {util::FaultInjector::Action::kConvergenceError, threshold, 1});
+    BatchConfig c = config;
+    c.n_threads = n_threads;
+    BatchRunner runner(nor_factory(), "out", c);
+    return runner.run();
+  };
+  const auto one = faulted(1);
+  EXPECT_FALSE(one.all_ok());
+  EXPECT_GT(one.n_failed, 0u);
+  EXPECT_LT(one.n_failed, config.n_runs);
+  ASSERT_EQ(one.diagnostics.size(), config.n_runs);
+  for (std::size_t run = 0; run < config.n_runs; ++run) {
+    const bool should_fail = solves[run] > threshold;
+    EXPECT_EQ(one.diagnostics[run].status != RunStatus::kOk, should_fail)
+        << "run " << run << " solves " << solves[run];
+    if (should_fail) {
+      EXPECT_EQ(one.diagnostics[run].status, RunStatus::kFailed);
+      EXPECT_NE(one.diagnostics[run].error.find("injected fault"),
+                std::string::npos)
+          << one.diagnostics[run].error;
+    } else {
+      // Isolation: a surviving run is bit-identical to the clean baseline.
+      EXPECT_EQ(one.events_per_run[run], baseline.events_per_run[run]);
+      EXPECT_TRUE(one.diagnostics[run].error.empty());
+    }
+  }
+
+  // The per-run outcome vector is thread-count invariant.
+  for (std::size_t n_threads : {2u, 4u}) {
+    const auto many = faulted(n_threads);
+    EXPECT_EQ(many.n_failed, one.n_failed) << n_threads << " threads";
+    EXPECT_EQ(many.events_per_run, one.events_per_run);
+    ASSERT_EQ(many.diagnostics.size(), one.diagnostics.size());
+    for (std::size_t run = 0; run < config.n_runs; ++run) {
+      EXPECT_EQ(many.diagnostics[run].status, one.diagnostics[run].status);
+    }
+    EXPECT_EQ(many.pulse_width.bins(), one.pulse_width.bins());
+    EXPECT_EQ(many.response_delay.sum(), one.response_delay.sum());
+  }
+
+  // The pool and its clones survive a faulted batch: a disarmed rerun on
+  // the same runner reproduces the clean baseline bit-identically.
+  BatchConfig c2 = config;
+  c2.n_threads = 2;
+  BatchRunner persistent(nor_factory(), "out", c2);
+  util::FaultInjector::arm(
+      "crossing.solve",
+      {util::FaultInjector::Action::kConvergenceError, threshold, 1});
+  EXPECT_EQ(persistent.run().n_failed, one.n_failed);
+  util::FaultInjector::disarm("crossing.solve");
+  const auto clean = persistent.run();
+  EXPECT_TRUE(clean.all_ok());
+  EXPECT_EQ(clean.events_per_run, baseline.events_per_run);
+  EXPECT_EQ(clean.pulse_width.bins(), baseline.pulse_width.bins());
+  EXPECT_EQ(clean.response_delay.sum(), baseline.response_delay.sum());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // cells) so the lock covers SIS, hybrid MIS, and mixed fanout structure.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "sim/circuit_builder.hpp"
 #include "sim/sharded_circuit.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 #include "waveform/generator.hpp"
 
@@ -159,6 +161,98 @@ TEST(ShardedCircuit, UnknownNetThrows) {
   const auto stimuli = stimuli_for(sharded->n_inputs(), 3);
   const auto result = sharded->simulate(stimuli, 0.0, t_end_for(stimuli));
   EXPECT_THROW(result.trace("no_such_net"), ConfigError);
+}
+
+TEST(ShardedCircuit, UnbudgetedRunReportsOkDiagnostics) {
+  const auto b = builder();
+  auto sharded = b.build_sharded(c432(), 3);
+  const auto stimuli = stimuli_for(sharded->n_inputs(), 13);
+  const auto result = sharded->simulate(stimuli, 0.0, t_end_for(stimuli));
+  EXPECT_EQ(result.status, sim::RunStatus::kOk);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.diagnostics.status, sim::RunStatus::kOk);
+  EXPECT_EQ(result.diagnostics.n_events, result.n_events);
+  EXPECT_TRUE(result.diagnostics.error.empty());
+}
+
+TEST(ShardedCircuit, EventBudgetTripIsThreadCountInvariant) {
+  // The event ceiling is enforced on the coordinating thread at wavefront
+  // step granularity, so the trip point (and the partial event count) is a
+  // function of the shard/window schedule only, never of thread timing.
+  const auto b = builder();
+  const auto stimuli = stimuli_for(c432().inputs.size(), 7);
+  const double t_end = t_end_for(stimuli);
+  auto sharded = b.build_sharded(c432(), 4);
+  const long full_events =
+      sharded->simulate(stimuli, 0.0, t_end).n_events;
+  ASSERT_GT(full_events, 100);
+
+  sim::ShardedSimConfig config;
+  config.budget.max_events = full_events / 2;
+  long first_partial = -1;
+  for (const std::size_t n_threads : {1u, 2u, 4u}) {
+    config.n_threads = n_threads;
+    const auto result = sharded->simulate(stimuli, 0.0, t_end, config);
+    EXPECT_EQ(result.status, sim::RunStatus::kBudgetExhausted);
+    EXPECT_FALSE(result.ok());
+    EXPECT_GT(result.n_events, 0);
+    EXPECT_LT(result.n_events, full_events);
+    EXPECT_LT(result.diagnostics.t_horizon, t_end);
+    if (first_partial < 0) {
+      first_partial = result.n_events;
+    } else {
+      EXPECT_EQ(result.n_events, first_partial) << n_threads << " threads";
+    }
+  }
+}
+
+TEST(ShardedCircuit, PresetCancellationStopsTheWavefront) {
+  std::atomic<bool> cancel{true};
+  const auto b = builder();
+  auto sharded = b.build_sharded(c432(), 3);
+  const auto stimuli = stimuli_for(sharded->n_inputs(), 7);
+  sim::ShardedSimConfig config;
+  config.budget.cancel = &cancel;
+  config.budget.check_interval = 1;
+  const auto result =
+      sharded->simulate(stimuli, 0.0, t_end_for(stimuli), config);
+  EXPECT_EQ(result.status, sim::RunStatus::kCancelled);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ShardedCircuit, InjectedShardFaultYieldsStructuredFailure) {
+  util::FaultInjector::Scope scope;
+  util::FaultInjector::reset_local_hits();
+
+  const auto b = builder();
+  const auto mono_circuit = b.build(c432());
+  const auto stimuli = stimuli_for(mono_circuit->n_inputs(), 7);
+  const double t_end = t_end_for(stimuli);
+  const auto mono = mono_circuit->simulate(stimuli, 0.0, t_end);
+
+  auto sharded = b.build_sharded(c432(), 4);
+  sim::ShardedSimConfig config;
+  config.n_threads = 2;
+
+  // Poison the first hybrid mode switch: the failing shard's session is
+  // stamped, the exception reaches the coordinator through the pool, and
+  // the whole run reports kFailed instead of throwing or hanging.
+  util::FaultInjector::arm(
+      "hybrid_channel.state", {util::FaultInjector::Action::kNanValue, 0, -1});
+  const auto faulted = sharded->simulate(stimuli, 0.0, t_end, config);
+  EXPECT_EQ(faulted.status, sim::RunStatus::kFailed);
+  EXPECT_FALSE(faulted.ok());
+  EXPECT_NE(faulted.diagnostics.error.find("non-finite"), std::string::npos)
+      << faulted.diagnostics.error;
+  EXPECT_LE(faulted.diagnostics.t_horizon, t_end);
+
+  // The instance (pool, shard circuits) survives the failure: a disarmed
+  // re-simulation is bit-identical to the monolithic engine.
+  util::FaultInjector::disarm("hybrid_channel.state");
+  const auto clean = sharded->simulate(stimuli, 0.0, t_end, config);
+  EXPECT_EQ(clean.status, sim::RunStatus::kOk);
+  expect_bit_identical(mono, *mono_circuit, clean, c432(),
+                       "recovery after injected shard fault");
 }
 
 }  // namespace

@@ -1,0 +1,107 @@
+#include "util/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace charlie::util {
+namespace {
+
+using Action = FaultInjector::Action;
+using Plan = FaultInjector::Plan;
+
+TEST(FaultInjector, DisarmedSitesAreInert) {
+  FaultInjector::Scope scope;
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_NO_THROW(FaultInjector::throw_point("some.site"));
+  EXPECT_EQ(FaultInjector::corrupt_double("some.site", 1.5), 1.5);
+  std::string text = "hello";
+  FaultInjector::corrupt_text("some.site", text);
+  EXPECT_EQ(text, "hello");
+  EXPECT_FALSE(FaultInjector::trip("some.site"));
+  EXPECT_EQ(FaultInjector::fires("some.site"), 0);
+}
+
+TEST(FaultInjector, ThrowPointFiresPerPlan) {
+  FaultInjector::Scope scope;
+  FaultInjector::arm("t.site", Plan{Action::kConvergenceError, 0, -1});
+  EXPECT_THROW(FaultInjector::throw_point("t.site"), ConvergenceError);
+  FaultInjector::arm("t.site", Plan{Action::kRuntimeError, 0, -1});
+  EXPECT_THROW(FaultInjector::throw_point("t.site"), std::runtime_error);
+  EXPECT_EQ(FaultInjector::fires("t.site"), 1);  // arm() resets fire totals
+}
+
+TEST(FaultInjector, FireAfterSkipsEarlyHits) {
+  FaultInjector::Scope scope;
+  FaultInjector::reset_local_hits();
+  FaultInjector::arm("t.skip", Plan{Action::kRuntimeError, 2, -1});
+  EXPECT_NO_THROW(FaultInjector::throw_point("t.skip"));  // hit 0
+  EXPECT_NO_THROW(FaultInjector::throw_point("t.skip"));  // hit 1
+  EXPECT_THROW(FaultInjector::throw_point("t.skip"),      // hit 2 fires
+               std::runtime_error);
+  EXPECT_EQ(FaultInjector::fires("t.skip"), 1);
+}
+
+TEST(FaultInjector, CountLimitsFiresPerLocality) {
+  FaultInjector::Scope scope;
+  FaultInjector::reset_local_hits();
+  FaultInjector::arm("t.count", Plan{Action::kRuntimeError, 0, 1});
+  EXPECT_THROW(FaultInjector::throw_point("t.count"), std::runtime_error);
+  EXPECT_NO_THROW(FaultInjector::throw_point("t.count"));  // budget spent
+  // A new logical run (reset tallies) fires again.
+  FaultInjector::reset_local_hits();
+  EXPECT_THROW(FaultInjector::throw_point("t.count"), std::runtime_error);
+  EXPECT_EQ(FaultInjector::fires("t.count"), 2);
+}
+
+TEST(FaultInjector, CorruptDoubleYieldsNan) {
+  FaultInjector::Scope scope;
+  FaultInjector::reset_local_hits();
+  FaultInjector::arm("t.nan", Plan{Action::kNanValue, 0, -1});
+  EXPECT_TRUE(std::isnan(FaultInjector::corrupt_double("t.nan", 3.0)));
+}
+
+TEST(FaultInjector, CorruptTextTruncates) {
+  FaultInjector::Scope scope;
+  FaultInjector::reset_local_hits();
+  FaultInjector::arm("t.text", Plan{Action::kTruncateText, 0, -1});
+  std::string text = "0123456789";
+  FaultInjector::corrupt_text("t.text", text);
+  EXPECT_EQ(text, "01234");
+}
+
+TEST(FaultInjector, TripRequiresForceBranchPlan) {
+  FaultInjector::Scope scope;
+  FaultInjector::reset_local_hits();
+  FaultInjector::arm("t.branch", Plan{Action::kForceBranch, 0, -1});
+  EXPECT_TRUE(FaultInjector::trip("t.branch"));
+  // Macro form compiles to the same decision.
+  EXPECT_TRUE(CHARLIE_FAULT_BRANCH("t.branch"));
+}
+
+TEST(FaultInjector, SitesAreIndependent) {
+  FaultInjector::Scope scope;
+  FaultInjector::reset_local_hits();
+  FaultInjector::arm("t.a", Plan{Action::kRuntimeError, 0, -1});
+  EXPECT_NO_THROW(FaultInjector::throw_point("t.b"));
+  EXPECT_THROW(FaultInjector::throw_point("t.a"), std::runtime_error);
+  FaultInjector::disarm("t.a");
+  EXPECT_NO_THROW(FaultInjector::throw_point("t.a"));
+}
+
+TEST(FaultInjector, ScopeDisarmsOnExit) {
+  {
+    FaultInjector::Scope scope;
+    FaultInjector::arm("t.scoped", Plan{Action::kRuntimeError, 0, -1});
+    EXPECT_TRUE(FaultInjector::armed());
+  }
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_NO_THROW(FaultInjector::throw_point("t.scoped"));
+}
+
+}  // namespace
+}  // namespace charlie::util

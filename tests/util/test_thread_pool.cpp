@@ -104,6 +104,54 @@ TEST(ThreadPool, RepeatedFailingBatchesDoNotWedgeThePool) {
   EXPECT_EQ(count.load(), 16);
 }
 
+TEST(ThreadPool, WavefrontStepFailureLeavesLaterStepsUsable) {
+  // The sharded-circuit pattern: a sequence of dependent parallel_for
+  // "steps" on one pool, where a mid-sequence step fails. The failing
+  // step's remaining items must still run (its non-faulted shard tasks
+  // complete their window), the exception must reach the coordinating
+  // thread at that step, and every later step must execute normally.
+  for (std::size_t n_threads : {1u, 2u, 4u}) {
+    ThreadPool pool(n_threads);
+    std::vector<std::atomic<int>> step_hits(6);
+    bool threw_at_step = false;
+    for (std::size_t step = 0; step < step_hits.size(); ++step) {
+      try {
+        pool.parallel_for(4, 1, [&](std::size_t, std::size_t item) {
+          ++step_hits[step];
+          if (step == 2 && item == 1) {
+            throw std::runtime_error("shard task failed");
+          }
+        });
+      } catch (const std::runtime_error&) {
+        EXPECT_EQ(step, 2u);
+        threw_at_step = true;
+      }
+    }
+    EXPECT_TRUE(threw_at_step) << n_threads << " threads";
+    // Every step ran all its items, including the failing one and all
+    // steps after it.
+    for (const auto& h : step_hits) EXPECT_EQ(h.load(), 4);
+  }
+}
+
+TEST(ThreadPool, NestedExceptionTypeSurvivesPropagation) {
+  // The engine throws domain types (ConvergenceError and friends) out of
+  // worker threads; the pool must rethrow the original type, not a
+  // slice or a generic wrapper.
+  struct DomainError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(8, 1, [&](std::size_t, std::size_t item) {
+      if (item == 5) throw DomainError("typed");
+    });
+    FAIL() << "expected DomainError";
+  } catch (const DomainError& e) {
+    EXPECT_STREQ(e.what(), "typed");
+  }
+}
+
 TEST(ThreadPool, ManySmallBatchesKeepExactSemantics) {
   // Regression for the generation-tagged cursor: a worker waking late for
   // an old batch must never claim items of a newer one. Hammer the

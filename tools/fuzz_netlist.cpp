@@ -1,0 +1,107 @@
+// Fuzz harness for the structural netlist parser (cell::parse_netlist).
+//
+// The parser is the library's main untrusted-input boundary: netlist files
+// come from users and generators, so every byte sequence must either parse
+// or throw a structured ConfigError -- never assert, crash, or hang. The
+// harness also round-trips anything that parses through write_netlist and
+// re-parses it, so printer/parser drift traps too.
+//
+// Two build modes share LLVMFuzzerTestOneInput:
+//
+//   * libFuzzer (clang, -DCHARLIE_LIBFUZZER=ON): coverage-guided fuzzing.
+//       ./fuzz_netlist -max_total_time=30 tests/fuzz/netlist
+//   * standalone (any compiler, the default): a corpus replay driver that
+//     feeds every file (or every regular file under a directory) to the
+//     same entry point. Wired into ctest so the seed corpus is replayed by
+//     the tier-1 suite on every build, gcc included.
+//       ./fuzz_netlist tests/fuzz/netlist seed.net ...
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cell/netlist.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const charlie::cell::NetlistDesc desc =
+        charlie::cell::parse_netlist(text, "fuzz");
+    // Round-trip invariant: a parsed netlist serializes to text that parses
+    // back to the same shape.
+    const charlie::cell::NetlistDesc again = charlie::cell::parse_netlist(
+        charlie::cell::write_netlist(desc), "fuzz");
+    if (again.inputs.size() != desc.inputs.size() ||
+        again.outputs.size() != desc.outputs.size() ||
+        again.instances.size() != desc.instances.size() ||
+        again.wires.size() != desc.wires.size()) {
+      __builtin_trap();
+    }
+  } catch (const charlie::ConfigError&) {
+    // The one contractual failure mode: a structured syntax error.
+  }
+  return 0;
+}
+
+#ifndef CHARLIE_FUZZ_LIBFUZZER
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace {
+
+int replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz_netlist: cannot open %s\n",
+                 path.string().c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(text.data()),
+                         text.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: fuzz_netlist <corpus-file-or-dir>...\n"
+                 "(standalone replay driver; build with "
+                 "-DCHARLIE_LIBFUZZER=ON under clang for real fuzzing)\n");
+    return 2;
+  }
+  int failures = 0;
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        failures += replay_file(file);
+        ++replayed;
+      }
+    } else {
+      failures += replay_file(arg);
+      ++replayed;
+    }
+  }
+  std::printf("fuzz_netlist: replayed %zu input%s, %d unreadable\n", replayed,
+              replayed == 1 ? "" : "s", failures);
+  return failures == 0 ? 0 : 1;
+}
+
+#endif  // CHARLIE_FUZZ_LIBFUZZER
