@@ -31,7 +31,7 @@ if [ "$build_type" != "Release" ]; then
 fi
 
 # The deepest thread count the suites exercise (BM_BatchThroughput/4,
-# BM_ShardedCircuitThroughput shards:4/threads:4).
+# BM_StatBatchThroughput/4, BM_ShardedCircuitThroughput shards:4/threads:4).
 max_bench_threads=4
 n_cores=$(nproc)
 warnings=()
@@ -55,6 +55,8 @@ trap 'rm -rf "$tmp_dir"' EXIT
   >"$tmp_dir/wire.json"
 ./build/bench/bench_sharded_throughput --benchmark_format=json \
   >"$tmp_dir/sharded.json"
+./build/bench/bench_process_derive --benchmark_format=json \
+  >"$tmp_dir/process.json"
 
 # Merge into a temp file and move it into place atomically: a failure
 # anywhere above (set -euo pipefail) or inside the merge leaves any previous
@@ -66,7 +68,8 @@ merge_warnings=""
 if [ "${#warnings[@]}" -gt 0 ]; then merge_warnings="${warnings[0]}"; fi
 WARNINGS="$merge_warnings" python3 - "$tmp_dir/runtime.json" \
   "$tmp_dir/batch.json" "$tmp_dir/netlist.json" "$tmp_dir/wire.json" \
-  "$tmp_dir/sharded.json" "$tmp_dir/merged.json" <<'EOF'
+  "$tmp_dir/sharded.json" "$tmp_dir/process.json" \
+  "$tmp_dir/merged.json" <<'EOF'
 import json, os, sys
 runtime, *extras, out = sys.argv[1:]
 with open(runtime) as f:

@@ -9,12 +9,23 @@
 // clones share the library's per-cell mode tables, so the mode derivation
 // happens exactly once per cell no matter how many runs or threads.
 //
-//   ./example_monte_carlo [n_runs] [n_threads] [netlist_file] [max_events]
+//   ./example_monte_carlo [n_runs] [n_threads] [netlist_file] [max_events] \
+//                         [sigma_vdd=S] [sigma_vth=S] [sigma_drive=S]
+//                         [grid=N] [deadline=T]
 //
 // The observed nets are the netlist's `output(...)` declarations (all of
 // them -- each gets its own aggregate); a netlist without declarations
 // falls back to the last instance's output. Try
 // examples/netlists/c432.net for a large multi-output workload.
+//
+// Variation mode: any non-zero sigma_* knob (key=value arguments, any
+// position) switches the batch to statistical timing -- every run draws its
+// own process sample (supply scale, threshold shift, drive scale) from a
+// counter-based stream, the per-worker circuit clones are rebound through
+// the collocation grid (`grid=N` points per active axis), and the report
+// grows the critical-delay distribution: mean/stddev, quantiles, yield
+// against `deadline=T` (seconds), and per-net criticality counts. See
+// docs/statistical_timing.md.
 //
 // Every run executes under a RunGuard: an optional per-run event budget
 // (4th argument; 0 = unlimited) plus the numerical-guard telemetry. The
@@ -24,6 +35,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cell/cell_library.hpp"
 #include "cell/netlist.hpp"
@@ -72,11 +84,44 @@ void print_histogram(const char* title, const sim::Histogram& h) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // key=value knobs may sit at any position; the rest stay positional.
+  sim::ProcessVariation variation;
+  double deadline = 0.0;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      positional.push_back(arg);
+      continue;
+    }
+    const std::string key = arg.substr(0, eq);
+    const double value = std::atof(arg.c_str() + eq + 1);
+    if (key == "sigma_vdd") {
+      variation.vdd_sigma = value;
+    } else if (key == "sigma_vth") {
+      variation.vth_sigma = value;
+    } else if (key == "sigma_drive") {
+      variation.drive_sigma = value;
+    } else if (key == "grid") {
+      variation.grid_levels = static_cast<int>(value);
+    } else if (key == "deadline") {
+      deadline = value;
+    } else {
+      std::fprintf(stderr, "unknown knob \"%s\"\n", key.c_str());
+      return 1;
+    }
+  }
   const std::size_t n_runs =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 64;
+      positional.size() > 0
+          ? static_cast<std::size_t>(std::atoi(positional[0].c_str()))
+          : 64;
   const std::size_t n_threads =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 0;
-  const long max_events = argc > 4 ? std::atol(argv[4]) : 0;
+      positional.size() > 1
+          ? static_cast<std::size_t>(std::atoi(positional[1].c_str()))
+          : 0;
+  const long max_events =
+      positional.size() > 3 ? std::atol(positional[3].c_str()) : 0;
 
   // Characterize-once / instantiate-many: the reference library derives
   // each cell's mode tables a single time; every worker clone below shares
@@ -84,8 +129,8 @@ int main(int argc, char** argv) {
   const auto library =
       std::make_shared<const cell::CellLibrary>(cell::CellLibrary::reference());
   const cell::NetlistDesc netlist =
-      argc > 3 && argv[3][0] != '\0'
-          ? cell::read_netlist_file(argv[3])
+      positional.size() > 2 && !positional[2].empty()
+          ? cell::read_netlist_file(positional[2])
           : cell::parse_netlist(kNorChain);  // "" = embedded chain
   if (netlist.instances.empty()) {
     std::fprintf(stderr, "netlist has no gates\n");
@@ -105,6 +150,8 @@ int main(int argc, char** argv) {
   config.n_threads = n_threads;
   config.base_seed = 2022;
   config.budget.max_events = max_events;  // 0 = unlimited
+  config.variation = variation;
+  config.stat_deadline = deadline;
 
   sim::BatchRunner runner(factory, out_nets, config);
   const auto result = runner.run();
@@ -124,6 +171,39 @@ int main(int argc, char** argv) {
   }
   print_histogram("output pulse width", result.pulse_width);
   print_histogram("response delay", result.response_delay);
+
+  // Statistical timing report (variation mode): the critical-delay
+  // distribution across process samples.
+  if (variation.enabled()) {
+    const sim::BatchStats& st = result.stats;
+    std::printf("process sigmas  : vdd %.3g, vth %.3g V, drive %.3g "
+                "(grid %d^axis, clamp %.1f sigma)\n",
+                variation.vdd_sigma, variation.vth_sigma,
+                variation.drive_sigma, variation.grid_levels,
+                variation.max_sigma);
+    std::printf("critical delay  : n=%zu mean=%s stddev=%s min=%s max=%s\n",
+                st.n_samples, units::format_time(st.mean).c_str(),
+                units::format_time(st.stddev).c_str(),
+                units::format_time(st.min).c_str(),
+                units::format_time(st.max).c_str());
+    for (const auto& [q, value] : st.quantiles) {
+      std::printf("  q%-5.3g       : %s\n", 100.0 * q,
+                  units::format_time(value).c_str());
+    }
+    if (st.deadline > 0.0) {
+      std::printf("yield           : %.1f%% (%zu/%zu meet %s)\n",
+                  100.0 * st.yield, st.n_meeting_deadline, st.n_samples,
+                  units::format_time(st.deadline).c_str());
+    }
+    std::printf("criticality     :");
+    for (std::size_t n = 0; n < result.nets.size(); ++n) {
+      if (st.criticality[n] > 0) {
+        std::printf(" %s=%llu", result.nets[n].net.c_str(),
+                    static_cast<unsigned long long>(st.criticality[n]));
+      }
+    }
+    std::printf("\n");
+  }
 
   // Run health: per-run outcomes and the numerical degradation-path
   // telemetry the guards collected (all zero on a healthy batch).

@@ -252,15 +252,86 @@ CellLibrary CellLibrary::reference() {
   return lib;
 }
 
+CellLibrary CellLibrary::at_corner(const core::ProcessPoint& point) const {
+  point.validate();
+  if (corner_ != core::ProcessPoint::nominal().fingerprint()) {
+    throw ConfigError(
+        "cell library: at_corner requires a nominal library (corners do not "
+        "compose)");
+  }
+  if (point.is_nominal()) return *this;
+
+  // The SIS delay scale needs the technology supply; every library carries
+  // hybrid cells, whose fitted vdd is that supply.
+  double vdd_nominal = 0.0;
+  for (const auto& spec : specs_) {
+    if (spec.hybrid) {
+      vdd_nominal = spec.params.vdd;
+      break;
+    }
+  }
+  CHARLIE_ASSERT_MSG(vdd_nominal > 0.0, "library without hybrid cells");
+  const double s = point.resistance_scale(vdd_nominal);
+
+  CellLibrary lib;
+  lib.fingerprint_ = fingerprint_;
+  lib.corner_ = point.fingerprint();
+  lib.specs_ = specs_;
+  for (auto& spec : lib.specs_) {
+    if (spec.hybrid) {
+      spec.params = spec.params.derive_for(point);
+      // Corner tables are memoized like the nominal fit (keyed by cell +
+      // tech + corner fingerprints) so concurrent libraries at the same
+      // corner share one table per cell. Reference libraries (empty tech
+      // fingerprint) skip the memo: their derivation is already instant.
+      if (!fingerprint_.empty()) {
+        const std::string key =
+            fingerprint_ + "\x1f" + lib.corner_;
+        std::lock_guard<std::mutex> lock(g_cache_mutex);
+        auto it = fit_cache().find({key, spec.name});
+        if (it == fit_cache().end()) {
+          FittedCell cell;
+          cell.params = spec.params;
+          cell.tables = core::GateModeTables::make(spec.params);
+          it = fit_cache().emplace(std::pair{key, spec.name}, std::move(cell))
+                   .first;
+          // No run_counts() bump: the SPICE pipeline did not run.
+        }
+        spec.tables = it->second.tables;
+      } else {
+        spec.tables = core::GateModeTables::make(spec.params);
+      }
+    } else {
+      spec.rise_delay *= s;
+      spec.fall_delay *= s;
+    }
+  }
+  return lib;
+}
+
+CellLibrary CellLibrary::characterize_at(const spice::Technology& tech,
+                                         const core::ProcessPoint& point) {
+  return characterize(tech).at_corner(point);
+}
+
 CellLibrary CellLibrary::characterize_cached(const std::string& csv_path,
                                              const spice::Technology& tech) {
+  return characterize_cached(csv_path, tech, core::ProcessPoint::nominal());
+}
+
+CellLibrary CellLibrary::characterize_cached(const std::string& csv_path,
+                                             const spice::Technology& tech,
+                                             const core::ProcessPoint& point) {
   try {
     CellLibrary lib = load_csv(csv_path);
-    if (lib.fingerprint_ == tech.fingerprint()) return lib;
+    if (lib.fingerprint_ == tech.fingerprint() &&
+        lib.corner_ == point.fingerprint()) {
+      return lib;
+    }
   } catch (const ConfigError&) {
     // Missing, stale, or malformed cache: fall through and regenerate.
   }
-  CellLibrary lib = characterize(tech);
+  CellLibrary lib = characterize_at(tech, point);
   try {
     lib.save_csv(csv_path);
   } catch (const ConfigError&) {
@@ -272,7 +343,12 @@ CellLibrary CellLibrary::characterize_cached(const std::string& csv_path,
 
 void CellLibrary::save_csv(const std::string& path) const {
   util::CsvWriter w(path, {"cell", "field", "index", "value"});
+  // Schema version first: load_csv requires an exact match, so files from
+  // an older schema (or written before versioning existed) regenerate
+  // instead of silently loading with missing fields.
+  w.row_text({"_format", "version", "0", std::to_string(kCsvFormatVersion)});
   w.row_text({"_tech", "fingerprint", "0", fingerprint_});
+  w.row_text({"_corner", "fingerprint", "0", corner_});
   for (const auto& spec : specs_) {
     if (spec.hybrid) {
       const core::GateParams& p = spec.params;
@@ -357,7 +433,15 @@ CellLibrary CellLibrary::load_csv(const std::string& path) {
                                     path + " " + cell + "/" + field);
   };
 
+  const long version =
+      util::parse_long_field(lookup("_format", "version", 0), path + " version");
+  if (version != kCsvFormatVersion) {
+    throw ConfigError("cell library " + path + ": schema version " +
+                      std::to_string(version) + " (expected " +
+                      std::to_string(kCsvFormatVersion) + ")");
+  }
   const std::string fingerprint = lookup("_tech", "fingerprint", 0);
+  const std::string corner = lookup("_corner", "fingerprint", 0);
 
   std::map<std::string, FittedCell> fitted;
   double inv_rise = 0.0;
@@ -387,6 +471,7 @@ CellLibrary CellLibrary::load_csv(const std::string& path) {
 
   CellLibrary lib;
   lib.fingerprint_ = fingerprint;
+  lib.corner_ = corner;
   lib.specs_ = build_specs(fitted, inv_rise, inv_fall);
   // build_specs re-derives the composite SIS cells; the stored rows take
   // precedence so explicit edits (set_sis_delays before save, or a

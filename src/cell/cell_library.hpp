@@ -36,6 +36,7 @@
 
 #include "core/gate_mode_tables.hpp"
 #include "core/gate_params.hpp"
+#include "core/process_point.hpp"
 #include "sim/channel.hpp"
 #include "sim/circuit.hpp"
 #include "spice/technology.hpp"
@@ -78,12 +79,33 @@ class CellLibrary {
   /// per process; later calls reuse the cached fit and shared mode tables.
   static CellLibrary characterize(const spice::Technology& tech);
 
+  /// Library at a process corner: characterize(tech) at nominal (the only
+  /// place SPICE runs), then derive every cell analytically via
+  /// GateParams::derive_for. Corner mode tables are memoized process-wide,
+  /// keyed by (cell, tech fingerprint, corner fingerprint), so every
+  /// library built for the same corner shares one table per cell.
+  static CellLibrary characterize_at(const spice::Technology& tech,
+                                     const core::ProcessPoint& point);
+
   /// Load `csv_path` if it holds a library characterized for `tech`
   /// (matching fingerprint); otherwise characterize and (re)write the file.
   /// The CSV is a cache: a missing, stale, or malformed file is regenerated,
   /// never an error.
   static CellLibrary characterize_cached(const std::string& csv_path,
                                          const spice::Technology& tech);
+
+  /// Corner-aware flavor of characterize_cached: the file must match both
+  /// the technology and the corner fingerprint, else it is regenerated via
+  /// characterize_at (no SPICE re-run when the nominal fit is memoized).
+  static CellLibrary characterize_cached(const std::string& csv_path,
+                                         const spice::Technology& tech,
+                                         const core::ProcessPoint& point);
+
+  /// Derive this (nominal) library at a process point: hybrid cells via
+  /// GateParams::derive_for, SIS cells by scaling their inertial delays
+  /// with the common resistance factor. Throws ConfigError when called on
+  /// an already-derived (non-nominal) library -- corners do not compose.
+  CellLibrary at_corner(const core::ProcessPoint& point) const;
 
   /// Persist the library (long-format CSV `cell,field,index,value`,
   /// full-precision values, fingerprint row first).
@@ -107,6 +129,15 @@ class CellLibrary {
   /// empty for reference() libraries.
   const std::string& tech_fingerprint() const { return fingerprint_; }
 
+  /// Fingerprint of the process corner the cells are derived at
+  /// (core::ProcessPoint::fingerprint(); the nominal fingerprint unless the
+  /// library came from at_corner / characterize_at).
+  const std::string& corner_fingerprint() const { return corner_; }
+
+  /// CSV schema version written by save_csv and required by load_csv; files
+  /// from older schemas fail to load and regenerate silently.
+  static constexpr int kCsvFormatVersion = 2;
+
   const std::vector<CellSpec>& specs() const { return specs_; }
 
   /// Testing hooks for the characterize-once guarantee: number of times the
@@ -121,6 +152,7 @@ class CellLibrary {
 
   std::vector<CellSpec> specs_;  // registry order
   std::string fingerprint_;
+  std::string corner_ = core::ProcessPoint::nominal().fingerprint();
 };
 
 }  // namespace charlie::cell

@@ -1,0 +1,64 @@
+#include "cell/corner_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+namespace charlie::cell {
+
+namespace {
+
+// FNV-1a 64-bit over the key string; the fingerprint stays in the file
+// itself, so the name only has to spread corners across distinct files.
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+CornerCache::CornerCache(std::string directory, spice::Technology tech)
+    : dir_(std::move(directory)), tech_(std::move(tech)) {
+  tech_.validate();
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // A failed mkdir is deliberately ignored: library_at still works, the
+  // CSV writes just keep failing silently (characterize_cached semantics).
+}
+
+std::string CornerCache::corner_path(const core::ProcessPoint& point) const {
+  const std::uint64_t h =
+      fnv1a64(tech_.fingerprint() + "\x1f" + point.fingerprint());
+  char name[32];
+  std::snprintf(name, sizeof name, "corner_%016llx.csv",
+                static_cast<unsigned long long>(h));
+  return dir_ + "/" + name;
+}
+
+std::shared_ptr<const CellLibrary> CornerCache::library_at(
+    const core::ProcessPoint& point) {
+  const std::string key = point.fingerprint();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+  // Load/characterize outside the cache lock: CellLibrary has its own
+  // process-wide memo lock, and two threads racing on the same corner just
+  // produce identical libraries (last insert wins).
+  auto lib = std::make_shared<const CellLibrary>(
+      CellLibrary::characterize_cached(corner_path(point), tech_, point));
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memo_.emplace(key, std::move(lib)).first->second;
+}
+
+std::size_t CornerCache::n_memoized() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memo_.size();
+}
+
+}  // namespace charlie::cell

@@ -1,0 +1,54 @@
+// Multi-corner characterization cache: a directory of per-corner cell
+// library CSVs plus an in-memory memo.
+//
+// Statistical flows touch many process corners of one technology. The
+// expensive step -- the SPICE measure+fit pipeline -- only ever runs at
+// nominal (corners derive analytically, see CellLibrary::characterize_at),
+// but corner libraries are still worth caching: the CSV makes cold starts
+// instant and the memo makes repeated lookups free.
+//
+// Each corner gets its own file, named by a hash of (technology fingerprint,
+// corner fingerprint), with CellLibrary's bit-exact CSV format and
+// silent-regeneration semantics: a truncated, garbage, or wrong-corner file
+// is rewritten from the memoized nominal fit without re-running SPICE, and
+// corruption of one corner's file never touches any other corner.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cell/cell_library.hpp"
+#include "core/process_point.hpp"
+#include "spice/technology.hpp"
+
+namespace charlie::cell {
+
+class CornerCache {
+ public:
+  /// The directory is created if missing; creation failure degrades to
+  /// memo-plus-characterize (the cache never turns an IO problem into an
+  /// error).
+  CornerCache(std::string directory, spice::Technology tech);
+
+  /// The library at `point`, from (in order): the in-memory memo, a valid
+  /// cached CSV, or characterize_at + rewrite. Thread-safe.
+  std::shared_ptr<const CellLibrary> library_at(
+      const core::ProcessPoint& point);
+
+  /// File a corner is cached under (hash-named within the directory).
+  std::string corner_path(const core::ProcessPoint& point) const;
+
+  const std::string& directory() const { return dir_; }
+  std::size_t n_memoized() const;
+
+ private:
+  std::string dir_;
+  spice::Technology tech_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const CellLibrary>> memo_;
+};
+
+}  // namespace charlie::cell

@@ -70,6 +70,10 @@ ModeTable derive_mode_table(const ode::AffineOde2& mode_ode) {
 }
 
 GateModeTables::GateModeTables(const GateParams& params) : params_(params) {
+  derive_tables();
+}
+
+void GateModeTables::derive_tables() {
   params_.validate();
   vth_ = params_.vth();
   tables_.resize(gate_n_states(params_.n_inputs()));
@@ -84,6 +88,23 @@ GateModeTables::GateModeTables(const GateParams& params) : params_(params) {
     }
   }
   horizon_ = 60.0 * slowest;
+}
+
+void GateModeTables::rederive(const GateParams& params) {
+  if (params.n_inputs() != params_.n_inputs()) {
+    throw ConfigError("GateModeTables::rederive: arity mismatch");
+  }
+  params_ = params;
+  derive_tables();
+}
+
+void GateModeTables::rederive_at(const GateParams& nominal,
+                                 const ProcessPoint& point) {
+  if (nominal.n_inputs() != params_.n_inputs()) {
+    throw ConfigError("GateModeTables::rederive_at: arity mismatch");
+  }
+  nominal.derive_for_into(point, params_);
+  derive_tables();
 }
 
 std::shared_ptr<const GateModeTables> GateModeTables::make(

@@ -74,6 +74,17 @@ class GateModeTables {
   /// Shared immutable table for reuse across many channel instances.
   static std::shared_ptr<const GateModeTables> make(const GateParams& params);
 
+  /// Re-derive every table in place for new parameters of the same arity.
+  /// No reallocation: this is the per-sample path of process-variation
+  /// batches, where a worker-local copy of a cell's tables is rebound to a
+  /// fresh process sample before each run. Throws ConfigError on invalid
+  /// params or arity mismatch.
+  void rederive(const GateParams& params);
+
+  /// rederive(nominal.derive_for(point)) without the temporary: scales the
+  /// nominal parameters directly into this object's storage.
+  void rederive_at(const GateParams& nominal, const ProcessPoint& point);
+
   const GateParams& gate_params() const { return params_; }
   int n_inputs() const { return params_.n_inputs(); }
   GateState n_states() const {
@@ -96,6 +107,14 @@ class GateModeTables {
   }
 
  private:
+  // ModeTableGrid writes interpolated fields straight into the tables of a
+  // worker-local instance (interpolate_into), bypassing full re-derivation.
+  friend class ModeTableGrid;
+
+  /// Derive all 2^N tables + horizon from params_ (shared by the ctor and
+  /// the rederive paths; resize is a no-op when the arity is unchanged).
+  void derive_tables();
+
   GateParams params_;
   double vth_ = 0.0;
   double horizon_ = 0.0;

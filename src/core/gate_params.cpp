@@ -56,6 +56,35 @@ std::string GateParams::to_string() const {
   return os.str();
 }
 
+GateParams GateParams::derive_for(const ProcessPoint& point) const {
+  GateParams out;
+  derive_for_into(point, out);
+  return out;
+}
+
+void GateParams::derive_for_into(const ProcessPoint& point,
+                                 GateParams& out) const {
+  rescale_into(point.resistance_scale(vdd), point.vdd_scale, out);
+}
+
+void GateParams::rescale_into(double resistance_scale, double vdd_scale,
+                              GateParams& out) const {
+  const double s = resistance_scale;
+  out.topology = topology;
+  out.r_series.resize(r_series.size());
+  out.r_parallel.resize(r_parallel.size());
+  for (std::size_t i = 0; i < r_series.size(); ++i) {
+    out.r_series[i] = r_series[i] * s;
+  }
+  for (std::size_t i = 0; i < r_parallel.size(); ++i) {
+    out.r_parallel[i] = r_parallel[i] * s;
+  }
+  out.c_int = c_int;
+  out.c_out = c_out;
+  out.vdd = vdd * vdd_scale;
+  out.delta_min = delta_min * s;  // pure delay rides the RC product
+}
+
 GateParams GateParams::from_nor(const NorParams& p) {
   GateParams g;
   g.topology = GateTopology::kNorLike;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/nor_params.hpp"
+#include "core/process_point.hpp"
 
 namespace charlie::core {
 
@@ -65,6 +66,26 @@ struct GateParams {
   void validate() const;
 
   std::string to_string() const;
+
+  /// Parameters of this (nominal) cell at a process point: every
+  /// on-resistance and delta_min scale by point.resistance_scale(vdd), the
+  /// supply by vdd_scale, the capacitances stay fitted (see
+  /// core/process_point.hpp for the scale rule). derive_for(nominal()) is
+  /// the identity.
+  GateParams derive_for(const ProcessPoint& point) const;
+
+  /// Same, writing into `out` without reallocating when arities match (the
+  /// per-sample path of GateModeTables::rederive_at). `out` must not alias
+  /// this object.
+  void derive_for_into(const ProcessPoint& point, GateParams& out) const;
+
+  /// derive_for_into with the resistance scale already computed: callers on
+  /// the per-sample hot path (ModeTableGrid::interpolate_into) need
+  /// point.resistance_scale(vdd) for their own stencil and pass it through
+  /// instead of paying the validation and division twice. Bit-identical to
+  /// derive_for_into for matching arguments.
+  void rescale_into(double resistance_scale, double vdd_scale,
+                    GateParams& out) const;
 
   /// The paper's NOR2 as a GateParams: r_series = {R1, R2},
   /// r_parallel = {R3, R4}, c_int = C_N, c_out = C_O. Mode ODEs built from

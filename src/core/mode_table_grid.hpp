@@ -1,0 +1,115 @@
+// Collocation-style process-point interpolation of gate mode tables.
+//
+// GateModeTables::rederive_at() re-derives all 2^N mode expansions exactly at
+// a process point -- cheap, but still per-mode eigen-solves and divisions on
+// every Monte-Carlo sample. Following the probabilistic-collocation idea
+// (derive exactly at a small set of collocation points, interpolate between),
+// ModeTableGrid derives the tables exactly at the corners of a tensor grid
+// over the active process axes at construction, then serves any interior
+// point by blending the derived per-mode quantities: particular solutions,
+// eigenvalues, projector rows, spectral matrices, steady states, and the
+// crossing-search horizon.
+//
+// The blend exploits the scale-rule structure of the derivation: a derived
+// GateParams set -- and therefore the whole table set -- depends on the
+// process point only through TWO scalars, the common resistance factor
+// s = ProcessPoint::resistance_scale() (which absorbs vth_shift and
+// drive_scale entirely) and vdd_scale. The vth x drive face of the tensor
+// grid therefore samples a one-dimensional family of table sets indexed by
+// s. A query computes its exact s, interpolates piecewise-linearly between
+// the two bracketing s-knots at each vdd level (all corners of that level,
+// sorted by their corner s), and lerps across the two bracketing vdd
+// levels: at most four corners per query instead of the naive eight, with
+// knot spacing finer than the per-axis level spacing.
+//
+// What is blended and what is exact:
+//   * Blended: every ModeTable field the event hot path reads through the
+//     scalar/spectral expansions (xp, d, l1, l2, p1c, p1d, s1, s2, steady)
+//     plus the horizon. The derived quantities are smooth rational functions
+//     of the resistance scale over the narrow spans used for variation
+//     (a few sigma around nominal), so multilinear error is second order in
+//     the cell spacing; tests/core/test_mode_table_grid.cpp and the RK45
+//     cross-check lock the observed bound (docs/statistical_timing.md).
+//   * Exact: the GateParams themselves (derive_for is closed-form) and
+//     vth = vdd'/2.
+//   * NOT interpolated: the raw per-mode AffineOde2. Interpolated tables are
+//     only built for cells whose every mode has a valid scalar + spectral
+//     expansion at every corner (construction throws otherwise), so the
+//     generic ODE scan fallback -- the only reader of ModeTable::ode -- is
+//     unreachable; the target object keeps whatever ODE it was constructed
+//     with (its nominal one).
+//
+// interpolate_into() is allocation-free and const: a grid is built once per
+// cell and shared read-only across all batch workers.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/gate_mode_tables.hpp"
+#include "core/gate_params.hpp"
+#include "core/process_point.hpp"
+
+namespace charlie::core {
+
+class ModeTableGrid {
+ public:
+  /// One process axis of the grid. levels == 1 pins the axis at `lo`
+  /// (requires hi == lo); levels >= 2 spans [lo, hi] uniformly.
+  struct Axis {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::size_t levels = 1;
+  };
+
+  /// Grid extents. Defaults pin every axis at nominal.
+  struct Spec {
+    Axis vdd_scale{1.0, 1.0, 1};
+    Axis vth_shift{0.0, 0.0, 1};
+    Axis drive_scale{1.0, 1.0, 1};
+  };
+
+  /// Derives `nominal`'s tables exactly at every grid corner. Throws
+  /// ConfigError on an invalid spec, an out-of-validity corner (closed
+  /// overdrive), or a cell whose mode structure is not interpolation-safe
+  /// (a mode without scalar/spectral expansion, or expansion structure that
+  /// changes across corners).
+  ModeTableGrid(const GateParams& nominal, const Spec& spec);
+
+  /// Blend the tables at `point` into `out` (a mutable per-worker copy of
+  /// this cell's tables; arity must match). Pinned axes require the exact
+  /// pinned coordinate; active-axis coordinates are clamped to the span.
+  /// Allocation-free; safe to call concurrently from many threads.
+  void interpolate_into(const ProcessPoint& point, GateModeTables& out) const;
+
+  /// Convenience: a freshly allocated interpolated table (tests, one-offs).
+  std::shared_ptr<const GateModeTables> interpolate(
+      const ProcessPoint& point) const;
+
+  const GateParams& nominal() const { return nominal_; }
+  std::size_t n_corners() const { return n_corners_; }
+
+ private:
+  std::size_t corner_offset(std::size_t iv, std::size_t it,
+                            std::size_t id) const;
+
+  /// One corner of a vdd level, addressed by its exact resistance scale.
+  struct SKnot {
+    double s;
+    const double* corner;  // into data_; stable once the ctor returns
+  };
+
+  GateParams nominal_;
+  Axis axes_[3];                    // vdd_scale, vth_shift, drive_scale
+  std::size_t n_modes_ = 0;
+  std::size_t n_corners_ = 0;
+  std::size_t corner_stride_ = 0;   // doubles per corner
+  std::vector<double> data_;        // corner-major packed fields
+  std::vector<std::vector<SKnot>> s_knots_;  // per vdd level, sorted by s,
+                                             // exact duplicates dropped
+  std::vector<unsigned char> fold1_;  // per-mode structure flags (corner-
+  std::vector<unsigned char> fold2_;  // independent by construction)
+};
+
+}  // namespace charlie::core

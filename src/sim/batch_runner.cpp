@@ -1,6 +1,7 @@
 #include "sim/batch_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
@@ -82,13 +83,21 @@ struct RunStats {
   RunDiagnostics diagnostics;
   std::vector<NetStats> nets;  // parallel to the observed-net list;
                                // empty when the run did not finish kOk
+  // Largest response delay of the run across all observed nets, and the
+  // index of the net it occurred on; -1 when the run produced no response
+  // sample (or did not finish kOk).
+  double critical_delay = -1.0;
+  int critical_net = -1;
 };
 
 RunStats run_one(Circuit& circuit, const std::vector<Circuit::NetId>& outputs,
                  Circuit::SimResult& arena, std::vector<double>& stim_times,
-                 const BatchConfig& config, std::uint64_t seed,
-                 double pulse_hi, double response_hi) {
-  util::Rng rng(seed);
+                 const BatchConfig& config, const RunSpec& spec,
+                 ProcessBinder* binder, double pulse_hi, double response_hi) {
+  // Retarget the worker's clone to this run's process sample before any
+  // channel state is initialized (simulate_into reinitializes all of it).
+  if (binder != nullptr) binder->bind(spec.point);
+  util::Rng rng(spec.stimulus_seed);
   const auto stimuli =
       waveform::generate_traces(config.trace, circuit.n_inputs(), rng);
   double t_last = config.trace.t_start;
@@ -121,12 +130,12 @@ RunStats run_one(Circuit& circuit, const std::vector<Circuit::NetId>& outputs,
   std::sort(stim_times.begin(), stim_times.end());
 
   stats.nets.reserve(outputs.size());
-  for (const Circuit::NetId output : outputs) {
+  for (std::size_t n = 0; n < outputs.size(); ++n) {
     NetStats net;
     net.pulse_width = Histogram(0.0, pulse_hi, config.histogram_bins);
     net.response_delay = Histogram(0.0, response_hi, config.histogram_bins);
 
-    const auto& out = result.trace(output);
+    const auto& out = result.trace(outputs[n]);
     net.transitions = static_cast<long long>(out.n_transitions());
     for (std::size_t k = 1; k < out.n_transitions(); ++k) {
       net.pulse_width.add(out.transitions()[k] - out.transitions()[k - 1]);
@@ -140,7 +149,13 @@ RunStats run_one(Circuit& circuit, const std::vector<Circuit::NetId>& outputs,
       const double t = out.transitions()[k];
       while (si + 1 < stim_times.size() && stim_times[si + 1] <= t) ++si;
       if (si < stim_times.size() && stim_times[si] <= t) {
-        net.response_delay.add(t - stim_times[si]);
+        const double delay = t - stim_times[si];
+        net.response_delay.add(delay);
+        // Strict > ties the run's critical delay to the lowest net index.
+        if (delay > stats.critical_delay) {
+          stats.critical_delay = delay;
+          stats.critical_net = static_cast<int>(n);
+        }
       }
     }
     stats.nets.push_back(std::move(net));
@@ -170,6 +185,23 @@ void BatchRunner::ensure_workers() {
       workers_[w].outputs.push_back(workers_[w].circuit->find_net(name));
     }
   }
+
+  // Variation batches: one collocation grid per distinct cell table
+  // (shared by every worker whose clone shares the table, i.e. the
+  // CircuitBuilder path pays the corner derivation once per cell), plus a
+  // per-worker binder owning the worker-local table copies.
+  if (config_.variation.enabled()) {
+    config_.variation.validate();
+    const core::ModeTableGrid::Spec spec = config_.variation.grid_spec();
+    ProcessBinder::GridMap grids;
+    for (Worker& w : workers_) {
+      ProcessBinder::build_grids(*w.circuit, spec, grids);
+    }
+    for (Worker& w : workers_) {
+      w.binder = std::make_unique<ProcessBinder>(
+          *w.circuit, grids, config_.variation.vdd_nominal);
+    }
+  }
 }
 
 BatchResult BatchRunner::run() {
@@ -196,9 +228,19 @@ BatchResult BatchRunner::run() {
         if (util::FaultInjector::armed()) {
           util::FaultInjector::reset_local_hits();
         }
+        // The run's content derives from its global index through
+        // counter-based streams: splitting or re-basing a batch via
+        // first_run_index reproduces per-run content exactly.
+        const std::uint64_t index = config_.first_run_index + run;
+        RunSpec spec;
+        spec.stimulus_seed =
+            util::CounterRng(config_.base_seed, index).next_u64();
+        if (config_.variation.enabled()) {
+          spec.point = config_.variation.sample(config_.base_seed, index);
+        }
         try {
           per_run[run] = run_one(*w.circuit, w.outputs, w.arena, w.stim_times,
-                                 config_, config_.base_seed + run, pulse_hi,
+                                 config_, spec, w.binder.get(), pulse_hi,
                                  response_hi);
         } catch (const std::exception& e) {
           // Isolation backstop for failures outside the engine's no-throw
@@ -224,13 +266,24 @@ BatchResult BatchRunner::run() {
     result.nets.push_back(std::move(agg));
   }
   result.diagnostics.reserve(config_.n_runs);
+  result.critical_delays.reserve(config_.n_runs);
+  result.stats.criticality.assign(result.nets.size(), 0);
+  std::vector<double> sample;  // critical delays of contributing runs
+  sample.reserve(config_.n_runs);
   for (RunStats& stats : per_run) {
     result.total_events += stats.n_events;
     result.events_per_run.push_back(stats.n_events);
     result.diagnostics.push_back(std::move(stats.diagnostics));
     if (result.diagnostics.back().status != RunStatus::kOk) {
       ++result.n_failed;
-      continue;  // no histogram contribution from a terminated run
+      result.critical_delays.push_back(-1.0);
+      continue;  // no histogram/statistics contribution from a failed run
+    }
+    result.critical_delays.push_back(stats.critical_delay);
+    if (stats.critical_delay >= 0.0) {
+      sample.push_back(stats.critical_delay);
+      ++result.stats.criticality[static_cast<std::size_t>(
+          stats.critical_net)];
     }
     for (std::size_t n = 0; n < result.nets.size(); ++n) {
       result.nets[n].transitions += stats.nets[n].transitions;
@@ -242,6 +295,44 @@ BatchResult BatchRunner::run() {
   result.total_output_transitions = result.nets.front().transitions;
   result.pulse_width = result.nets.front().pulse_width;
   result.response_delay = result.nets.front().response_delay;
+
+  // Distribution queries over the per-run critical delays. `sample` was
+  // collected in run order and is reduced with fixed-order arithmetic, so
+  // every statistic is bit-identical for any thread count.
+  BatchStats& st = result.stats;
+  st.n_samples = sample.size();
+  if (!sample.empty()) {
+    double sum = 0.0;
+    for (const double x : sample) sum += x;
+    st.mean = sum / static_cast<double>(sample.size());
+    double ss = 0.0;
+    for (const double x : sample) ss += (x - st.mean) * (x - st.mean);
+    st.stddev = std::sqrt(ss / static_cast<double>(sample.size()));
+    std::vector<double> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    st.min = sorted.front();
+    st.max = sorted.back();
+    st.quantiles.reserve(config_.quantiles.size());
+    for (const double q : config_.quantiles) {
+      // Nearest-rank: the ceil(q n)-th order statistic, clamped to the
+      // sample range for q outside (0, 1].
+      const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+      const auto i = static_cast<std::size_t>(std::clamp(
+          rank, 1.0, static_cast<double>(sorted.size())));
+      st.quantiles.emplace_back(q, sorted[i - 1]);
+    }
+    if (config_.stat_deadline > 0.0) {
+      st.deadline = config_.stat_deadline;
+      for (const double x : sample) {
+        if (x <= st.deadline) ++st.n_meeting_deadline;
+      }
+      st.yield = static_cast<double>(st.n_meeting_deadline) /
+                 static_cast<double>(st.n_samples);
+    }
+  } else {
+    for (const double q : config_.quantiles) st.quantiles.emplace_back(q, 0.0);
+    if (config_.stat_deadline > 0.0) st.deadline = config_.stat_deadline;
+  }
   return result;
 }
 

@@ -18,9 +18,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/process_point.hpp"
 #include "sim/circuit.hpp"
+#include "sim/process_variation.hpp"
 #include "util/thread_pool.hpp"
 #include "waveform/generator.hpp"
 
@@ -58,7 +61,12 @@ class Histogram {
 struct BatchConfig {
   waveform::TraceConfig trace;   // stimulus statistics, per run
   std::size_t n_runs = 16;
-  std::uint64_t base_seed = 1;   // run i draws from Rng(base_seed + i)
+  // Run i's stimulus stream and process sample are pure functions of
+  // (base_seed, first_run_index + i) through counter-based RNG keys (see
+  // util::CounterRng), so per-run content is independent of the thread
+  // count and of how a batch is split across BatchRunner instances.
+  std::uint64_t base_seed = 1;
+  std::uint64_t first_run_index = 0;  // global index of this batch's run 0
   std::size_t n_threads = 1;     // 0 = hardware concurrency
   double t_settle = 1e-9;        // simulated tail after the last stimulus edge
   std::size_t histogram_bins = 32;
@@ -71,6 +79,15 @@ struct BatchConfig {
   // the corresponding status in BatchResult::diagnostics; the batch
   // continues.
   RunBudget budget;
+  // Gaussian process variation; all sigmas zero (default) = nominal-only
+  // batch, the pre-variation fast path with no grids or rebinding.
+  ProcessVariation variation;
+  // Critical-delay quantiles reported in BatchResult::stats (values in
+  // (0, 1], evaluated by nearest rank on the sorted sample).
+  std::vector<double> quantiles = {0.5, 0.95, 0.99};
+  // Timing deadline for the yield query [s]; 0 = no deadline (the yield
+  // fields of BatchResult::stats stay zero).
+  double stat_deadline = 0.0;
 };
 
 /// Aggregates of one observed net across the whole batch.
@@ -82,6 +99,32 @@ struct NetAggregate {
   // Latency of every transition relative to the latest stimulus transition
   // at or before it (input-to-output response proxy).
   Histogram response_delay;
+};
+
+/// Distribution queries over the per-run critical delays (the largest
+/// response delay a run observes across all observed nets). Failed runs and
+/// runs with no response sample are excluded; everything here is reduced in
+/// run order from per-run values, so it is bit-identical for any thread
+/// count.
+struct BatchStats {
+  std::size_t n_samples = 0;  // runs contributing a critical delay
+  double mean = 0.0;          // of the critical delays [s]
+  double stddev = 0.0;        // population standard deviation [s]
+  double min = 0.0;
+  double max = 0.0;
+  // (q, delay) per requested quantile: nearest-rank (ceil(q n)-th order
+  // statistic) on the sorted sample; 0 when the sample is empty.
+  std::vector<std::pair<double, double>> quantiles;
+  // Yield against BatchConfig::stat_deadline: the fraction of sampled runs
+  // whose critical delay meets (<=) the deadline. All zero when no
+  // deadline was configured.
+  double deadline = 0.0;
+  std::size_t n_meeting_deadline = 0;
+  double yield = 0.0;
+  // Per observed net (parallel to BatchResult::nets): the number of
+  // sampled runs whose critical delay occurred on that net (ties go to the
+  // lowest net index).
+  std::vector<std::uint64_t> criticality;
 };
 
 struct BatchResult {
@@ -101,6 +144,11 @@ struct BatchResult {
   // above -- they contribute only their diagnostics and event count.
   std::vector<RunDiagnostics> diagnostics;
   std::size_t n_failed = 0;  // runs with a non-kOk status
+  // Per-run critical delay (see BatchStats), indexed by run; -1.0 for runs
+  // excluded from the statistics (failed, or no response sample).
+  std::vector<double> critical_delays;
+  // Statistical queries over critical_delays.
+  BatchStats stats;
 
   bool all_ok() const { return n_failed == 0; }
   const NetAggregate& net(const std::string& name) const;
@@ -141,6 +189,10 @@ class BatchRunner {
     std::vector<Circuit::NetId> outputs;  // observed nets, resolved per clone
     Circuit::SimResult arena;             // reused trace storage
     std::vector<double> stim_times;       // reused merged-stimulus scratch
+    // Per-worker process retargeting (variation batches only). The grids
+    // behind it are shared across workers; the worker-local table copies
+    // are re-filled in place per run, so rebinding never allocates.
+    std::unique_ptr<ProcessBinder> binder;
   };
 
   void ensure_workers();

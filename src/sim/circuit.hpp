@@ -169,6 +169,24 @@ class Circuit {
   /// i-th declared input (stimulus order).
   NetId input_net(std::size_t i) const { return primary_inputs_[i]; }
 
+  /// Visit every native multi-input (MIS) channel, in gate construction
+  /// order. Process-variation binding walks these to retarget channels
+  /// between runs; mutating a channel mid-simulation is undefined.
+  template <typename Fn>
+  void for_each_mis_channel(Fn&& fn) {
+    for (auto& gate : gates_) {
+      if (gate.mis != nullptr) fn(*gate.mis);
+    }
+  }
+
+  /// Visit every SIS delay channel, in gate construction order.
+  template <typename Fn>
+  void for_each_sis_channel(Fn&& fn) {
+    for (auto& gate : gates_) {
+      if (gate.sis != nullptr) fn(*gate.sis);
+    }
+  }
+
  private:
   friend class SimSession;
   struct Gate {

@@ -23,6 +23,18 @@ HybridGateChannel::HybridGateChannel(
   n_inputs_ = tables_->n_inputs();
 }
 
+void HybridGateChannel::rebind_tables(
+    std::shared_ptr<const core::GateModeTables> tables) {
+  CHARLIE_ASSERT(tables != nullptr);
+  CHARLIE_ASSERT_MSG(tables->n_inputs() == n_inputs_,
+                     "rebind_tables: arity mismatch");
+  tables_ = std::move(tables);
+  mt_ = &tables_->state_table(state_);
+  vth_ = tables_->vth();
+  horizon_ = tables_->horizon();
+  delta_min_ = tables_->delta_min();
+}
+
 void HybridGateChannel::initialize(double t0,
                                    const std::vector<bool>& values) {
   CHARLIE_ASSERT(values.size() == static_cast<std::size_t>(n_inputs_));
@@ -31,6 +43,11 @@ void HybridGateChannel::initialize(double t0,
     state_ = core::gate_state_with(state_, i, values[i]);
   }
   mt_ = &tables_->state_table(state_);
+  // Re-read the cached scalars: a shared worker-local table may have been
+  // re-derived in place (process-variation rebinding) since the last run.
+  vth_ = tables_->vth();
+  horizon_ = tables_->horizon();
+  delta_min_ = tables_->delta_min();
   t_ref_ = t0;
   // Steady state; an isolated internal stack node defaults to the
   // worst-case history value (GND for NOR-like, VDD for NAND-like).

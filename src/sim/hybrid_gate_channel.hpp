@@ -57,6 +57,12 @@ class HybridGateChannel : public GateChannel {
     return tables_;
   }
 
+  /// Swap in different mode tables of the same arity (the per-run
+  /// process-variation rebinding path). Only legal between runs: call
+  /// initialize() before the next simulation. Rebinding the original
+  /// tables restores the channel bit-exactly.
+  void rebind_tables(std::shared_ptr<const core::GateModeTables> tables);
+
  private:
   std::optional<PendingEvent> next_crossing(double t_from) const;
   std::optional<PendingEvent> next_crossing_scan(double t_from) const;

@@ -9,6 +9,12 @@ InertialChannel::InertialChannel(double delay_up, double delay_down)
   CHARLIE_ASSERT(delay_up >= 0.0 && delay_down >= 0.0);
 }
 
+void InertialChannel::set_delays(double delay_up, double delay_down) {
+  CHARLIE_ASSERT(delay_up >= 0.0 && delay_down >= 0.0);
+  delay_up_ = delay_up;
+  delay_down_ = delay_down;
+}
+
 void InertialChannel::initialize(double t0, bool value) {
   (void)t0;
   output_ = value;

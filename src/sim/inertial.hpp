@@ -18,6 +18,14 @@ class InertialChannel final : public SisChannel {
   std::optional<PendingEvent> pending() const override { return pending_; }
   bool initial_output() const override { return output_; }
 
+  double delay_up() const { return delay_up_; }
+  double delay_down() const { return delay_down_; }
+
+  /// Retarget the delays (per-run process-variation binding). Only legal
+  /// between runs: an already-pending event keeps the delay it was
+  /// scheduled with.
+  void set_delays(double delay_up, double delay_down);
+
  private:
   double delay_up_;
   double delay_down_;

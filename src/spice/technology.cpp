@@ -10,13 +10,18 @@ std::string Technology::fingerprint() const {
   // %.17g round-trips IEEE doubles exactly, so the fingerprint changes iff
   // some parameter value changes. No commas: the string is embedded in CSV
   // cell-library caches.
+  // The leading v<N> is the fingerprint format version: growing this struct
+  // must bump kFingerprintVersion so every pre-existing cache mismatches
+  // instead of colliding with the old parameter set (two technologies that
+  // differ only in a not-yet-fingerprinted field would otherwise share a
+  // fingerprint).
   char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "vdd=%.17g;nmos=%.17g/%.17g/%.17g;pmos=%.17g/%.17g/%.17g;"
+                "v%d;vdd=%.17g;nmos=%.17g/%.17g/%.17g;pmos=%.17g/%.17g/%.17g;"
                 "c_int=%.17g;c_out=%.17g;c_gd=%.17g;c_gs=%.17g;t_rise=%.17g",
-                vdd, nmos.vt, nmos.k, nmos.lambda, pmos.vt, pmos.k,
-                pmos.lambda, c_internal, c_output, c_gd, c_gs,
-                input_rise_time);
+                kFingerprintVersion, vdd, nmos.vt, nmos.k, nmos.lambda,
+                pmos.vt, pmos.k, pmos.lambda, c_internal, c_output, c_gd,
+                c_gs, input_rise_time);
   return buf;
 }
 

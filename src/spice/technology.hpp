@@ -31,7 +31,15 @@ struct Technology {
   /// Value-identity key of every device/parasitic parameter (full-precision
   /// field dump). Two technologies with equal fingerprints produce identical
   /// characterization results, so caches (cell::CellLibrary) key on it.
+  ///
+  /// The string leads with a format-version field (kFingerprintVersion):
+  /// adding a Technology parameter must bump the version so cached
+  /// characterizations written before the field existed can never silently
+  /// match a technology that now differs in it.
   std::string fingerprint() const;
+
+  /// Bump when the set of parameters participating in fingerprint() grows.
+  static constexpr int kFingerprintVersion = 2;
 
   /// Default preset tuned to the paper's 15 nm delay regime.
   static Technology freepdk15_like();

@@ -1,5 +1,7 @@
 #include "util/rng.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace charlie::util {
@@ -45,6 +47,59 @@ Rng Rng::fork() {
   // decorrelates consecutive forks.
   const std::uint64_t child = engine_() ^ 0x9e3779b97f4a7c15ULL;
   return Rng(child);
+}
+
+namespace {
+
+// splitmix64 finalizer (Steele/Lea/Flood): full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+CounterRng::CounterRng(std::uint64_t seed, std::uint64_t index)
+    // Two mix rounds keyed by (seed, index) decorrelate adjacent indices and
+    // adjacent seeds; without the second round, streams for (s, i) and
+    // (s+1, i-1) style key pairs would share long prefixes.
+    : state_(mix64(mix64(seed + kGamma) ^ (index * kGamma + 1))) {}
+
+std::uint64_t CounterRng::next_u64() {
+  state_ += kGamma;
+  return mix64(state_);
+}
+
+double CounterRng::uniform01() {
+  // Top 53 bits -> [0, 1) on the double grid.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double CounterRng::uniform(double lo, double hi) {
+  CHARLIE_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+double CounterRng::normal(double mu, double sigma) {
+  CHARLIE_ASSERT(sigma >= 0.0);
+  // Box-Muller, cosine branch only: exactly two uniforms per draw keeps the
+  // stream layout fixed (important for reproducibility across refactors).
+  const double u1 = uniform01();
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(1.0 - u1));  // 1-u1 in (0,1]
+  const double z = r * std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mu + sigma * z;
+}
+
+double CounterRng::normal_clamped(double mu, double sigma, double max_sigma) {
+  CHARLIE_ASSERT(max_sigma > 0.0);
+  double z = normal(0.0, 1.0);
+  if (z < -max_sigma) z = -max_sigma;
+  if (z > max_sigma) z = max_sigma;
+  return mu + sigma * z;
 }
 
 }  // namespace charlie::util

@@ -39,4 +39,35 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Counter-based stream keyed by (seed, index): a splitmix64 generator whose
+/// state is a mix of the key, so the stream for index k is a pure function of
+/// the key and never depends on how many other streams were drawn first.
+/// This is what makes Monte-Carlo sample k's draws order-independent: any
+/// worker, on any thread, at any time reconstructs exactly the same stream
+/// from (base_seed, run_index).
+class CounterRng {
+ public:
+  CounterRng(std::uint64_t seed, std::uint64_t index);
+
+  /// Next raw 64-bit word of the stream.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Normal(mu, sigma) via Box-Muller (two uniforms per draw; sigma >= 0).
+  double normal(double mu, double sigma);
+
+  /// Normal(mu, sigma) with the standard score clamped to [-max_sigma,
+  /// +max_sigma]; truncation keeps sampled process points inside the span a
+  /// collocation grid was built for.
+  double normal_clamped(double mu, double sigma, double max_sigma);
+
+ private:
+  std::uint64_t state_;
+};
+
 }  // namespace charlie::util

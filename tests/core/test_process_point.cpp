@@ -1,0 +1,126 @@
+#include "core/process_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/gate_mode_tables.hpp"
+#include "core/gate_params.hpp"
+#include "util/error.hpp"
+
+namespace charlie::core {
+namespace {
+
+TEST(ProcessPoint, NominalScaleIsExactlyOne) {
+  EXPECT_EQ(ProcessPoint::nominal().resistance_scale(0.8), 1.0);
+  EXPECT_TRUE(ProcessPoint::nominal().is_nominal());
+}
+
+TEST(ProcessPoint, DeriveForNominalIsBitExactIdentity) {
+  const GateParams nominal = GateParams::nor2_reference();
+  const GateParams derived = nominal.derive_for(ProcessPoint::nominal());
+  EXPECT_EQ(derived.r_series, nominal.r_series);
+  EXPECT_EQ(derived.r_parallel, nominal.r_parallel);
+  EXPECT_EQ(derived.c_int, nominal.c_int);
+  EXPECT_EQ(derived.c_out, nominal.c_out);
+  EXPECT_EQ(derived.vdd, nominal.vdd);
+  EXPECT_EQ(derived.delta_min, nominal.delta_min);
+}
+
+TEST(ProcessPoint, ScaleRuleDirections) {
+  // Weaker drive -> larger resistance; higher supply -> more overdrive ->
+  // smaller resistance; higher device threshold -> less overdrive -> larger.
+  ProcessPoint weak;
+  weak.drive_scale = 0.8;
+  EXPECT_GT(weak.resistance_scale(0.8), 1.0);
+
+  ProcessPoint hot_supply;
+  hot_supply.vdd_scale = 1.1;
+  EXPECT_LT(hot_supply.resistance_scale(0.8), 1.0);
+
+  ProcessPoint high_vt;
+  high_vt.vth_shift = 0.05;
+  EXPECT_GT(high_vt.resistance_scale(0.8), 1.0);
+}
+
+TEST(ProcessPoint, DriveScaleIsExactInverse) {
+  ProcessPoint p;
+  p.drive_scale = 2.0;
+  EXPECT_DOUBLE_EQ(p.resistance_scale(0.8), 0.5);
+}
+
+TEST(ProcessPoint, ClosedOverdriveThrows) {
+  ProcessPoint p;
+  p.vth_shift = 0.6;  // > 0.7 * vdd for vdd = 0.8
+  EXPECT_THROW(p.resistance_scale(0.8), ConfigError);
+  ProcessPoint collapse;
+  collapse.vdd_scale = 0.2;  // supply below the device threshold
+  EXPECT_THROW(collapse.resistance_scale(0.8), ConfigError);
+}
+
+TEST(ProcessPoint, ValidateRejectsNonPositiveScales) {
+  ProcessPoint p;
+  p.vdd_scale = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = ProcessPoint{};
+  p.drive_scale = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProcessPoint, FingerprintDistinguishesPoints) {
+  ProcessPoint a;
+  ProcessPoint b;
+  b.vth_shift = 1e-15;  // even a sub-ulp-of-printf-6 shift must show
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), ProcessPoint::nominal().fingerprint());
+}
+
+TEST(ProcessPoint, DeriveForScalesResistancesAndDelay) {
+  const GateParams nominal = GateParams::nand3_reference();
+  ProcessPoint p;
+  p.drive_scale = 0.5;  // resistance doubles exactly
+  const GateParams slow = nominal.derive_for(p);
+  for (int i = 0; i < nominal.n_inputs(); ++i) {
+    EXPECT_DOUBLE_EQ(slow.r_series[i], 2.0 * nominal.r_series[i]);
+    EXPECT_DOUBLE_EQ(slow.r_parallel[i], 2.0 * nominal.r_parallel[i]);
+  }
+  EXPECT_DOUBLE_EQ(slow.delta_min, 2.0 * nominal.delta_min);
+  EXPECT_EQ(slow.c_int, nominal.c_int);
+  EXPECT_EQ(slow.c_out, nominal.c_out);
+  EXPECT_EQ(slow.vdd, nominal.vdd);
+}
+
+TEST(GateModeTables, RederiveAtMatchesFreshConstruction) {
+  const GateParams nominal = GateParams::nor2_reference();
+  ProcessPoint p;
+  p.vdd_scale = 1.05;
+  p.vth_shift = 0.02;
+  p.drive_scale = 0.9;
+
+  GateModeTables inplace(nominal);
+  inplace.rederive_at(nominal, p);
+  const GateModeTables fresh(nominal.derive_for(p));
+
+  ASSERT_EQ(inplace.n_states(), fresh.n_states());
+  EXPECT_EQ(inplace.vth(), fresh.vth());
+  EXPECT_EQ(inplace.horizon(), fresh.horizon());
+  EXPECT_EQ(inplace.delta_min(), fresh.delta_min());
+  for (GateState s = 0; s < fresh.n_states(); ++s) {
+    const ModeTable& a = inplace.state_table(s);
+    const ModeTable& b = fresh.state_table(s);
+    EXPECT_EQ(a.scalar_valid, b.scalar_valid);
+    EXPECT_EQ(a.d, b.d);
+    EXPECT_EQ(a.l1, b.l1);
+    EXPECT_EQ(a.l2, b.l2);
+    EXPECT_EQ(a.p1c, b.p1c);
+    EXPECT_EQ(a.p1d, b.p1d);
+    EXPECT_EQ(a.steady.x, b.steady.x);
+    EXPECT_EQ(a.steady.y, b.steady.y);
+  }
+}
+
+TEST(GateModeTables, RederiveRejectsArityMismatch) {
+  GateModeTables tables(GateParams::nor2_reference());
+  EXPECT_THROW(tables.rederive(GateParams::nor3_reference()), ConfigError);
+}
+
+}  // namespace
+}  // namespace charlie::core

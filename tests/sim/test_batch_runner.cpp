@@ -302,16 +302,16 @@ TEST(BatchRunner, InjectedFaultIsolatesFailingRunsDeterministically) {
   ASSERT_EQ(baseline.diagnostics.size(), config.n_runs);
 
   // Measure each run's crossing-solve count with a counting no-op plan
-  // (kForceBranch never fires a throw at this site): run i of the batch
-  // draws Rng(base_seed + i), so a single-run batch at that seed replays
-  // exactly run i's content.
+  // (kForceBranch never fires a throw at this site): run i's content is a
+  // pure function of (base_seed, first_run_index + i), so a single-run
+  // batch re-based at run i replays exactly run i's content.
   std::vector<long> solves;
   for (std::size_t run = 0; run < config.n_runs; ++run) {
     util::FaultInjector::arm(
         "crossing.solve", {util::FaultInjector::Action::kForceBranch, 0, -1});
     BatchConfig single = config;
     single.n_runs = 1;
-    single.base_seed = config.base_seed + run;
+    single.first_run_index = run;
     BatchRunner one(nor_factory(), "out", single);
     ASSERT_TRUE(one.run().all_ok());
     solves.push_back(util::FaultInjector::fires("crossing.solve"));
