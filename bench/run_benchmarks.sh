@@ -57,6 +57,8 @@ trap 'rm -rf "$tmp_dir"' EXIT
   >"$tmp_dir/sharded.json"
 ./build/bench/bench_process_derive --benchmark_format=json \
   >"$tmp_dir/process.json"
+./build/bench/bench_sta --benchmark_format=json \
+  >"$tmp_dir/sta.json"
 
 # Merge into a temp file and move it into place atomically: a failure
 # anywhere above (set -euo pipefail) or inside the merge leaves any previous
@@ -68,7 +70,7 @@ merge_warnings=""
 if [ "${#warnings[@]}" -gt 0 ]; then merge_warnings="${warnings[0]}"; fi
 WARNINGS="$merge_warnings" python3 - "$tmp_dir/runtime.json" \
   "$tmp_dir/batch.json" "$tmp_dir/netlist.json" "$tmp_dir/wire.json" \
-  "$tmp_dir/sharded.json" "$tmp_dir/process.json" \
+  "$tmp_dir/sharded.json" "$tmp_dir/process.json" "$tmp_dir/sta.json" \
   "$tmp_dir/merged.json" <<'EOF'
 import json, os, sys
 runtime, *extras, out = sys.argv[1:]

@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::size_t n_runs =
-      positional.size() > 0
+      !positional.empty()
           ? static_cast<std::size_t>(std::atoi(positional[0].c_str()))
           : 64;
   const std::size_t n_threads =
@@ -196,11 +196,9 @@ int main(int argc, char** argv) {
                   units::format_time(st.deadline).c_str());
     }
     std::printf("criticality     :");
-    for (std::size_t n = 0; n < result.nets.size(); ++n) {
-      if (st.criticality[n] > 0) {
-        std::printf(" %s=%llu", result.nets[n].net.c_str(),
-                    static_cast<unsigned long long>(st.criticality[n]));
-      }
+    for (const auto& [net, count] : result.criticality_ranking()) {
+      std::printf(" %s=%llu", net.c_str(),
+                  static_cast<unsigned long long>(count));
     }
     std::printf("\n");
   }

@@ -168,6 +168,25 @@ std::unique_ptr<sim::SisChannel> CellSpec::make_sis_channel() const {
   return std::make_unique<sim::InertialChannel>(rise_delay, fall_delay);
 }
 
+CellArcTable CellSpec::arc_table() const {
+  CellArcTable arcs;
+  if (hybrid) {
+    CHARLIE_ASSERT_MSG(tables != nullptr, "cell library: hybrid cell "
+                                          "without mode tables");
+    core::GateArcEnvelope env = core::gate_arc_envelope(*tables);
+    arcs.output_rise = std::move(env.rise);
+    arcs.output_fall = std::move(env.fall);
+    // The event channel applies the pure delay to every input switch before
+    // the mode change; arcs carry the total input-to-crossing time.
+    for (double& d : arcs.output_rise) d += params.delta_min;
+    for (double& d : arcs.output_fall) d += params.delta_min;
+  } else {
+    arcs.output_rise.assign(static_cast<std::size_t>(arity), rise_delay);
+    arcs.output_fall.assign(static_cast<std::size_t>(arity), fall_delay);
+  }
+  return arcs;
+}
+
 // --- CellLibrary ----------------------------------------------------------
 
 const std::vector<std::string>& CellLibrary::cell_names() {

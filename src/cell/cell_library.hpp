@@ -43,6 +43,16 @@
 
 namespace charlie::cell {
 
+/// Per-arc pin-to-pin delay table of one cell: the static-timing-analysis
+/// front door. Entry i bounds the time from input i's transition to the
+/// output V_th crossing in the named direction, over every switching
+/// context the event engine can produce (sta layer; conservatism argument
+/// in docs/sta.md).
+struct CellArcTable {
+  std::vector<double> output_rise;  // arc input i -> output rising [s]
+  std::vector<double> output_fall;  // arc input i -> output falling [s]
+};
+
 struct CellSpec {
   std::string name;          // canonical upper-case, e.g. "NOR2"
   sim::GateKind kind = sim::GateKind::kBuf;
@@ -62,6 +72,14 @@ struct CellSpec {
 
   /// Inertial output channel (SIS cells only).
   std::unique_ptr<sim::SisChannel> make_sis_channel() const;
+
+  /// Static per-arc delays of this cell at its characterized (or derived)
+  /// process point. Hybrid cells evaluate the conservative characteristic
+  /// envelope on the shared mode tables (core::gate_arc_envelope) and add
+  /// the pure delay delta_min -- the same total delay path the event
+  /// channel applies; SIS cells report their inertial rise/fall delay on
+  /// every pin. A corner library (at_corner) yields that corner's arcs.
+  CellArcTable arc_table() const;
 };
 
 class CellLibrary {

@@ -55,11 +55,10 @@ ode::Vec2 advance(const ModeTable& mt, const ode::Vec2& x_ref, double tau) {
   return mt.ode.state_at(tau, x_ref);
 }
 
-// First direction-matching V_th crossing inside one segment [0, tau_end],
-// located by a dense scan plus Brent refinement. Returns a negative value
-// when the segment has no such crossing.
-double segment_crossing(const ModeTable& mt, const ode::Vec2& x_ref,
-                        double tau_end, double vth, bool rising) {
+}  // namespace
+
+double mode_table_crossing(const ModeTable& mt, const ode::Vec2& x_ref,
+                           double tau_end, double vth, bool rising) {
   const ScalarVo sc = scalar_for(mt, x_ref);
   auto vo = [&](double tau) {
     if (sc.valid) {
@@ -88,8 +87,6 @@ double segment_crossing(const ModeTable& mt, const ode::Vec2& x_ref,
   return -1.0;
 }
 
-}  // namespace
-
 double gate_output_crossing(const GateModeTables& tables, GateState s0,
                             double v_int_hold,
                             std::span<const GateInputEvent> events,
@@ -101,7 +98,7 @@ double gate_output_crossing(const GateModeTables& tables, GateState s0,
   const double vth = tables.vth();
 
   auto search_segment = [&](const ModeTable& mt, double tau_end) {
-    const double tau = segment_crossing(mt, x, tau_end, vth, rising);
+    const double tau = mode_table_crossing(mt, x, tau_end, vth, rising);
     return tau >= 0.0 ? t_seg + tau : -1.0;
   };
 
@@ -175,6 +172,16 @@ GateSisDelays gate_characteristic_delays(const GateModeTables& tables) {
   out.rise_all =
       gate_output_crossing(tables, all, hold, all_fall, /*rising=*/true);
   return out;
+}
+
+GateArcEnvelope gate_arc_envelope(const GateModeTables& tables) {
+  const GateSisDelays sis = gate_characteristic_delays(tables);
+  GateArcEnvelope env;
+  env.rise.reserve(sis.rise.size());
+  env.fall.reserve(sis.fall.size());
+  for (const double d : sis.rise) env.rise.push_back(std::max(d, sis.rise_all));
+  for (const double d : sis.fall) env.fall.push_back(std::max(d, sis.fall_all));
+  return env;
 }
 
 }  // namespace charlie::core

@@ -21,6 +21,16 @@ struct GateInputEvent {
   bool value = false;
 };
 
+/// First `rising`-direction V_th crossing of the mode's output component on
+/// the trajectory entered at `x_ref`, searched over [0, tau_end]; negative
+/// when the segment has no such crossing. Dense scan + Brent refinement on
+/// the two-exponential scalar expansion (generic state advance when the
+/// spectrum is defective). Shared by the gate characteristic-delay
+/// evaluation below and the wire-arc extraction of the static timing
+/// analyzer (wire::WireModeTables::step_delay).
+double mode_table_crossing(const ModeTable& mt, const ode::Vec2& x_ref,
+                           double tau_end, double vth, bool rising);
+
 /// First V_th crossing of V_O in the `rising` direction on the trajectory
 /// that starts in the steady state of `s0` at t = 0 (a frozen internal node
 /// starts at `v_int_hold`) and switches modes per `events` (time-sorted,
@@ -47,5 +57,26 @@ struct GateSisDelays {
 };
 
 GateSisDelays gate_characteristic_delays(const GateModeTables& tables);
+
+/// Conservative per-pin arc delays for static timing analysis, *excluding*
+/// delta_min: entry i bounds the time from input i's (effective) switch to
+/// the output V_th crossing over every switching context the event engine
+/// can produce.
+///
+///   rise[i] = max(rise[i], rise_all) of gate_characteristic_delays
+///   fall[i] = max(fall[i], fall_all)
+///
+/// The envelope argument (docs/sta.md): single-input switching with the
+/// worst-case internal-node hold bounds staggered arrivals where input i
+/// switches last into a settled stack, while the simultaneous-switch delay
+/// bounds the near-simultaneous MIS regime -- the internal node at the last
+/// arrival is always at least as favorable as one of the two extremes, so
+/// the max of both covers the continuum between them.
+struct GateArcEnvelope {
+  std::vector<double> rise;  // output-rising arc through input i [s]
+  std::vector<double> fall;  // output-falling arc through input i [s]
+};
+
+GateArcEnvelope gate_arc_envelope(const GateModeTables& tables);
 
 }  // namespace charlie::core

@@ -52,6 +52,13 @@ const NetAggregate& BatchResult::net(const std::string& name) const {
   throw ConfigError("batch result: net \"" + name + "\" was not observed");
 }
 
+std::vector<NetCriticality> BatchResult::criticality_ranking() const {
+  std::vector<std::string> names;
+  names.reserve(nets.size());
+  for (const auto& agg : nets) names.push_back(agg.net);
+  return rank_net_criticality(names, stats.criticality);
+}
+
 BatchRunner::BatchRunner(CircuitFactory factory, std::string output_net,
                          BatchConfig config)
     : BatchRunner(std::move(factory),

@@ -23,6 +23,7 @@
 
 #include "core/process_point.hpp"
 #include "sim/circuit.hpp"
+#include "sim/net_criticality.hpp"
 #include "sim/process_variation.hpp"
 #include "util/thread_pool.hpp"
 #include "waveform/generator.hpp"
@@ -152,6 +153,12 @@ struct BatchResult {
 
   bool all_ok() const { return n_failed == 0; }
   const NetAggregate& net(const std::string& name) const;
+
+  /// stats.criticality as a ranked list (rank_net_criticality over the
+  /// observed nets): most-critical net first, zero-count nets dropped. The
+  /// same presentation the sta layer uses for corner criticality, so batch
+  /// and STA reports read side-by-side.
+  std::vector<NetCriticality> criticality_ranking() const;
 };
 
 /// Builds one circuit instance per worker. Called from the coordinating

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/wire_channel.hpp"
@@ -38,49 +39,34 @@ wire::WireParams wire_params_of(const cell::NetlistWire& wire) {
   return params;
 }
 
-// Unified element indexing: gates first, wires after, so one driver map and
-// one topological pass cover both. Element e >= n_gates is wire e - n_gates.
+// Unified element indexing (gates first, wires after) lives on
+// NetlistTopology so the sta layer walks netlists the same way.
 bool is_wire(const cell::NetlistDesc& desc, std::size_t e) {
-  return e >= desc.instances.size();
+  return NetlistTopology::is_wire(desc, e);
 }
 
 const cell::NetlistWire& wire_of(const cell::NetlistDesc& desc,
                                  std::size_t e) {
-  return desc.wires[e - desc.instances.size()];
+  return NetlistTopology::wire_of(desc, e);
 }
 
 const std::string& output_of(const cell::NetlistDesc& desc, std::size_t e) {
-  return is_wire(desc, e) ? wire_of(desc, e).output
-                          : desc.instances[e].output;
+  return NetlistTopology::output_of(desc, e);
 }
 
 template <typename Visit>
 void for_each_input(const cell::NetlistDesc& desc, std::size_t e,
                     Visit&& visit) {
-  if (is_wire(desc, e)) {
-    visit(wire_of(desc, e).input);
-  } else {
-    for (const auto& input : desc.instances[e].inputs) visit(input);
-  }
+  NetlistTopology::for_each_input(desc, e, std::forward<Visit>(visit));
 }
 
-// Validated netlist, ready for emission: the resolved cell spec per
-// instance, the driver map (net name -> -1 for a primary input, element
-// index otherwise), and the element topological order. Shared by build()
-// and build_sharded().
-struct Prepared {
-  std::vector<const cell::CellSpec*> specs;
-  std::unordered_map<std::string, int> driver;
-  std::vector<int> order;
-};
-
-Prepared prepare_netlist(const cell::NetlistDesc& desc,
-                         const cell::CellLibrary& library) {
+NetlistTopology prepare_netlist(const cell::NetlistDesc& desc,
+                                const cell::CellLibrary& library) {
   // --- semantic validation -------------------------------------------------
   const std::size_t n_gates = desc.instances.size();
   const std::size_t n_elems = n_gates + desc.wires.size();
 
-  Prepared prep;
+  NetlistTopology prep;
   for (const auto& name : desc.inputs) {
     if (!prep.driver.emplace(name, -1).second) {
       throw ConfigError("circuit builder: primary input \"" + name +
@@ -195,6 +181,11 @@ CircuitBuilder::CircuitBuilder(const cell::CellLibrary& library)
     : library_(std::make_shared<cell::CellLibrary>(library)),
       wire_cache_(std::make_shared<WireTableCache>()) {}
 
+NetlistTopology CircuitBuilder::analyze_topology(
+    const cell::NetlistDesc& desc) const {
+  return prepare_netlist(desc, *library_);
+}
+
 std::size_t CircuitBuilder::n_wire_tables() const {
   std::lock_guard<std::mutex> lock(wire_cache_->mutex);
   return wire_cache_->tables.size();
@@ -243,7 +234,7 @@ void CircuitBuilder::emit_element(Circuit& circuit,
 
 std::unique_ptr<Circuit> CircuitBuilder::build(
     const cell::NetlistDesc& desc) const {
-  const Prepared prep = prepare_netlist(desc, *library_);
+  const NetlistTopology prep = prepare_netlist(desc, *library_);
   auto circuit = std::make_unique<Circuit>();
   for (const auto& name : desc.inputs) circuit->add_input(name);
   for (const int e : prep.order) {
@@ -254,7 +245,7 @@ std::unique_ptr<Circuit> CircuitBuilder::build(
 
 std::unique_ptr<ShardedCircuit> CircuitBuilder::build_sharded(
     const cell::NetlistDesc& desc, std::size_t n_shards) const {
-  const Prepared prep = prepare_netlist(desc, *library_);
+  const NetlistTopology prep = prepare_netlist(desc, *library_);
   const std::size_t n_elems = prep.order.size();
   const std::size_t n_parts = std::clamp<std::size_t>(
       n_shards, 1, std::max<std::size_t>(n_elems, 1));

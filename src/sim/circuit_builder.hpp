@@ -40,6 +40,43 @@
 
 namespace charlie::sim {
 
+/// Validated netlist topology, ready for emission or static analysis: the
+/// resolved cell spec per instance, the driver map, and the element
+/// topological order. Elements use unified indexing -- gates first in
+/// netlist order, wires after, so element e >= desc.instances.size() is
+/// wire e - desc.instances.size(). Produced by
+/// CircuitBuilder::analyze_topology (which performs the full build()
+/// validation pass) and consumed by build()/build_sharded() internally and
+/// by the sta layer's timing graph construction.
+struct NetlistTopology {
+  std::vector<const cell::CellSpec*> specs;     // per instance, netlist order
+  std::unordered_map<std::string, int> driver;  // net -> -1 (primary input)
+                                                //     or element index
+  std::vector<int> order;                       // elements, topo order
+
+  static bool is_wire(const cell::NetlistDesc& desc, std::size_t e) {
+    return e >= desc.instances.size();
+  }
+  static const cell::NetlistWire& wire_of(const cell::NetlistDesc& desc,
+                                          std::size_t e) {
+    return desc.wires[e - desc.instances.size()];
+  }
+  static const std::string& output_of(const cell::NetlistDesc& desc,
+                                      std::size_t e) {
+    return is_wire(desc, e) ? wire_of(desc, e).output
+                            : desc.instances[e].output;
+  }
+  template <typename Visit>
+  static void for_each_input(const cell::NetlistDesc& desc, std::size_t e,
+                             Visit&& visit) {
+    if (is_wire(desc, e)) {
+      visit(wire_of(desc, e).input);
+    } else {
+      for (const auto& input : desc.instances[e].inputs) visit(input);
+    }
+  }
+};
+
 class CircuitBuilder {
  public:
   /// The library is shared, not copied: every circuit built refers to the
@@ -69,6 +106,20 @@ class CircuitBuilder {
   /// any shard count.
   std::unique_ptr<ShardedCircuit> build_sharded(const cell::NetlistDesc& desc,
                                                 std::size_t n_shards) const;
+
+  /// Validate `desc` against the library (the same checks and ConfigError
+  /// diagnostics as build()) and return its topology without instantiating
+  /// any channel. This is the static-analysis entry point: the sta layer
+  /// walks the returned topological order to build its timing graph.
+  NetlistTopology analyze_topology(const cell::NetlistDesc& desc) const;
+
+  /// Collapsed wire tables of one validated WIRE statement (shared,
+  /// memoized per distinct geometry). The sta layer reads static per-arc
+  /// wire delays off these tables.
+  std::shared_ptr<const wire::WireModeTables> wire_tables(
+      const cell::NetlistWire& wire) const {
+    return wire_tables_for(wire);
+  }
 
   const cell::CellLibrary& library() const { return *library_; }
 

@@ -1,0 +1,31 @@
+#include "sim/net_criticality.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace charlie::sim {
+
+std::vector<NetCriticality> rank_net_criticality(
+    const std::vector<std::string>& nets,
+    const std::vector<std::uint64_t>& counts) {
+  CHARLIE_ASSERT_MSG(nets.size() == counts.size(),
+                     "net criticality: counts not parallel to nets");
+  std::vector<std::size_t> index;
+  index.reserve(nets.size());
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    if (counts[n] > 0) index.push_back(n);
+  }
+  std::stable_sort(index.begin(), index.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return counts[a] > counts[b];
+                   });
+  std::vector<NetCriticality> ranked;
+  ranked.reserve(index.size());
+  for (const std::size_t n : index) {
+    ranked.push_back({nets[n], counts[n]});
+  }
+  return ranked;
+}
+
+}  // namespace charlie::sim

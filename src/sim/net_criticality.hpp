@@ -1,0 +1,32 @@
+// Shared net-criticality ranking.
+//
+// Two subsystems count how often each net is the critical one: BatchRunner
+// tallies which observed net carried each run's critical delay (Monte
+// Carlo), and the sta layer tallies which endpoint owned the worst slack
+// across sampled corners. Both reduce to the same shape -- a count per
+// named net -- and both want the same presentation: non-zero entries,
+// most-critical first, deterministic tie order. This header is that one
+// shared path, so reports from the two engines stay comparable
+// side-by-side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace charlie::sim {
+
+/// One net's criticality tally.
+struct NetCriticality {
+  std::string net;
+  std::uint64_t count = 0;
+};
+
+/// Rank nets by criticality count: descending count, ties broken by the
+/// position in `nets` (declaration order), zero-count nets dropped.
+/// `counts` must be parallel to `nets`.
+std::vector<NetCriticality> rank_net_criticality(
+    const std::vector<std::string>& nets,
+    const std::vector<std::uint64_t>& counts);
+
+}  // namespace charlie::sim

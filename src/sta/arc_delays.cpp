@@ -1,0 +1,35 @@
+#include "sta/arc_delays.hpp"
+
+#include <unordered_map>
+
+namespace charlie::sta {
+
+ArcSet extract_arcs(const cell::NetlistDesc& desc,
+                    const cell::CellLibrary& library,
+                    const sim::CircuitBuilder& wire_builder) {
+  const std::size_t n_gates = desc.instances.size();
+  ArcSet arcs;
+  arcs.elements.resize(n_gates + desc.wires.size());
+
+  // One arc_table() evaluation per distinct cell spec: the envelope solves
+  // a handful of crossing problems per cell, and a netlist instantiates
+  // each cell many times.
+  std::unordered_map<const cell::CellSpec*, cell::CellArcTable> cache;
+  for (std::size_t i = 0; i < n_gates; ++i) {
+    const cell::CellSpec& spec = library.spec(desc.instances[i].cell);
+    auto it = cache.find(&spec);
+    if (it == cache.end()) {
+      it = cache.emplace(&spec, spec.arc_table()).first;
+    }
+    arcs.elements[i].rise = it->second.output_rise;
+    arcs.elements[i].fall = it->second.output_fall;
+  }
+  for (std::size_t w = 0; w < desc.wires.size(); ++w) {
+    const auto tables = wire_builder.wire_tables(desc.wires[w]);
+    arcs.elements[n_gates + w].rise = {tables->step_delay(/*rising=*/true)};
+    arcs.elements[n_gates + w].fall = {tables->step_delay(/*rising=*/false)};
+  }
+  return arcs;
+}
+
+}  // namespace charlie::sta

@@ -1,0 +1,55 @@
+// Static per-arc delay extraction: the bridge from the fitted hybrid model
+// to the timing graph.
+//
+// The event engine answers "when does this output cross V_th" per stimulus;
+// static timing analysis wants one number per (input pin, output direction)
+// arc that bounds every answer the engine can produce. Those numbers come
+// straight from the characterized model, no simulation:
+//
+//   * hybrid MIS gates: the conservative characteristic envelope
+//     core::gate_arc_envelope on the cell's shared mode tables -- per pin,
+//     the max of the single-input-switching delay (worst-case internal
+//     hold) and the all-inputs-simultaneous delay -- plus the pure delay
+//     delta_min (cell::CellSpec::arc_table);
+//   * SIS cells: the characterized inertial rise/fall delay on every pin;
+//   * wires: the collapsed Pade model's settled-line step-response crossing
+//     plus the drive-shape correction (wire::WireModeTables::step_delay).
+//
+// The conservatism argument (why these bound the event engine's delays over
+// every switching context) is spelled out in docs/sta.md.
+#pragma once
+
+#include <vector>
+
+#include "cell/cell_library.hpp"
+#include "cell/netlist.hpp"
+#include "sim/circuit_builder.hpp"
+
+namespace charlie::sta {
+
+/// Static pin-to-pin arcs of one netlist element (gate or wire): entry i
+/// bounds the delay from input i's transition to the output crossing in the
+/// named direction.
+struct ElementArcs {
+  std::vector<double> rise;  // arc input i -> output rising [s]
+  std::vector<double> fall;  // arc input i -> output falling [s]
+};
+
+/// Arc delays of every element of a netlist, unified element indexing
+/// (gates first in netlist order, wires after; sim::NetlistTopology).
+struct ArcSet {
+  std::vector<ElementArcs> elements;
+};
+
+/// Extract the static arc set of `desc` at `library`'s process point. Gate
+/// arcs evaluate once per distinct cell spec (instances share); wire arcs
+/// read the collapsed tables through `wire_builder` (memoized per geometry,
+/// and process-independent: wires stay nominal at every corner, matching
+/// sim::ProcessBinder). `library` may be a corner library (at_corner);
+/// `wire_builder` may be bound to a different (e.g. nominal) library.
+/// Throws ConfigError for instances of cells the library does not have.
+ArcSet extract_arcs(const cell::NetlistDesc& desc,
+                    const cell::CellLibrary& library,
+                    const sim::CircuitBuilder& wire_builder);
+
+}  // namespace charlie::sta

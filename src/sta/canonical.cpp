@@ -1,0 +1,124 @@
+#include "sta/canonical.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace charlie::sta {
+
+namespace {
+constexpr double kSqrt2Pi = 2.5066282746310002;
+}  // namespace
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / kSqrt2Pi;
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double normal_quantile(double q) {
+  CHARLIE_ASSERT_MSG(q > 0.0 && q < 1.0,
+                     "normal_quantile: q outside (0, 1)");
+  // Acklam's rational approximation (|rel err| < 1.2e-9), polished by one
+  // Halley step against the exact CDF.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00, 2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  double x = 0.0;
+  if (q < kLow) {
+    const double u = std::sqrt(-2.0 * std::log(q));
+    x = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  } else if (q <= 1.0 - kLow) {
+    const double u = q - 0.5;
+    const double r = u * u;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        u /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double u = std::sqrt(-2.0 * std::log(1.0 - q));
+    x = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u +
+          c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  }
+  const double e = normal_cdf(x) - q;
+  const double u = e * kSqrt2Pi * std::exp(0.5 * x * x);
+  return x - u / (1.0 + 0.5 * x * u);
+}
+
+double Canonical::variance() const {
+  double v = sigma_rand * sigma_rand;
+  for (const double s : sens) v += s * s;
+  return v;
+}
+
+double Canonical::sigma() const { return std::sqrt(variance()); }
+
+double Canonical::quantile(double q) const {
+  return mean + normal_quantile(q) * sigma();
+}
+
+double Canonical::prob_below(double x) const {
+  const double s = sigma();
+  if (s <= 0.0) return x >= mean ? 1.0 : 0.0;
+  return normal_cdf((x - mean) / s);
+}
+
+Canonical& Canonical::operator+=(const Canonical& other) {
+  mean += other.mean;
+  for (std::size_t i = 0; i < kNAxes; ++i) sens[i] += other.sens[i];
+  sigma_rand = std::hypot(sigma_rand, other.sigma_rand);
+  return *this;
+}
+
+Canonical operator+(Canonical a, const Canonical& b) {
+  a += b;
+  return a;
+}
+
+Canonical statistical_max(const Canonical& a, const Canonical& b) {
+  const double va = a.variance();
+  const double vb = b.variance();
+  // Covariance through the shared axes only; the residuals are independent.
+  double cov = 0.0;
+  for (std::size_t i = 0; i < kNAxes; ++i) cov += a.sens[i] * b.sens[i];
+  const double theta2 = va + vb - 2.0 * cov;
+  // (Nearly) perfectly correlated -- A - B is deterministic at this scale,
+  // so the max is whichever form sits higher. The threshold is relative to
+  // the spread itself, so purely deterministic inputs land here too.
+  if (theta2 <= 1e-24 * (va + vb) || theta2 <= 0.0) {
+    return a.mean >= b.mean ? a : b;
+  }
+  const double theta = std::sqrt(theta2);
+  const double alpha = (a.mean - b.mean) / theta;
+  const double phi = normal_pdf(alpha);
+  const double big_phi = normal_cdf(alpha);
+
+  Canonical out;
+  out.mean = a.mean * big_phi + b.mean * (1.0 - big_phi) + theta * phi;
+  for (std::size_t i = 0; i < kNAxes; ++i) {
+    out.sens[i] = a.sens[i] * big_phi + b.sens[i] * (1.0 - big_phi);
+  }
+  // Variance by the exact second moment of the max, residual matched so the
+  // canonical form reproduces it.
+  const double second = (a.mean * a.mean + va) * big_phi +
+                        (b.mean * b.mean + vb) * (1.0 - big_phi) +
+                        (a.mean + b.mean) * theta * phi;
+  double var = second - out.mean * out.mean;
+  for (const double s : out.sens) var -= s * s;
+  out.sigma_rand = var > 0.0 ? std::sqrt(var) : 0.0;
+  return out;
+}
+
+}  // namespace charlie::sta

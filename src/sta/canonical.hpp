@@ -1,0 +1,68 @@
+// Canonical first-order delay form for statistical STA.
+//
+// Every delay and arrival time is represented as
+//
+//   D = mean + a_0 dX_0 + a_1 dX_1 + a_2 dX_2 + r dR
+//
+// where dX_i are the standardized (N(0,1)) global process axes -- supply
+// scale, threshold shift, drive scale, the same axes core::ProcessPoint
+// spans and sim::ProcessVariation samples -- and dR is an independent
+// standard normal collecting whatever the shared axes cannot express (the
+// variance the statistical max cannot attribute to them). Sums of canonical
+// forms are exact (shared axes add coefficient-wise, independent residuals
+// add in quadrature); the max of two jointly normal forms is matched to a
+// canonical form by Clark's moment method. Propagating these through the
+// timing graph yields the full circuit-delay distribution in one pass --
+// the screening alternative to a Monte-Carlo batch.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace charlie::sta {
+
+/// Standard normal helpers (shared by the canonical algebra and the yield
+/// queries; quantile is the inverse CDF, accurate to ~1e-15 after
+/// refinement).
+double normal_pdf(double z);
+double normal_cdf(double z);
+double normal_quantile(double q);  // q in (0, 1)
+
+/// Number of correlated process axes: vdd_scale, vth_shift, drive_scale
+/// (core::ProcessPoint order).
+inline constexpr std::size_t kNAxes = 3;
+
+struct Canonical {
+  double mean = 0.0;
+  std::array<double, kNAxes> sens{};  // delay shift per +1 sigma of axis [s]
+  double sigma_rand = 0.0;            // independent residual sigma [s]
+
+  static Canonical constant(double value) {
+    Canonical c;
+    c.mean = value;
+    return c;
+  }
+
+  double variance() const;
+  double sigma() const;
+
+  /// Value at the q-th quantile of the implied normal: mean + z_q sigma.
+  double quantile(double q) const;
+
+  /// P(D <= x) under the implied normal; 1 or 0 for a deterministic form.
+  double prob_below(double x) const;
+
+  Canonical& operator+=(const Canonical& other);
+};
+
+Canonical operator+(Canonical a, const Canonical& b);
+
+/// Clark's moment-matched statistical max: the exact mean, axis
+/// covariances, and variance of max(A, B) for jointly normal A, B are
+/// computed in closed form; the result is re-expressed canonically with
+/// tightness-weighted sensitivities and a variance-matched residual. When
+/// the two forms are (nearly) perfectly correlated the max degenerates to
+/// whichever has the larger mean.
+Canonical statistical_max(const Canonical& a, const Canonical& b);
+
+}  // namespace charlie::sta

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/gate_delay.hpp"
 #include "util/error.hpp"
 
 namespace charlie::wire {
@@ -96,6 +97,20 @@ WireModeTables::WireModeTables(const WireParams& params) : params_(params) {
   CHARLIE_ASSERT_MSG(rate < 0.0, "wire collapse: unstable reduced system");
   slowest = 1.0 / -rate;
   horizon_ = 60.0 * slowest;
+
+  // Static per-arc delays: the step-response V_th crossing from the settled
+  // opposite rail (the event channel's settled-line case), plus the
+  // drive-shape correction applied to every drive switch.
+  const double rise =
+      core::mode_table_crossing(high_, low_.steady, horizon_, vth_,
+                                /*rising=*/true);
+  const double fall =
+      core::mode_table_crossing(low_, high_.steady, horizon_, vth_,
+                                /*rising=*/false);
+  CHARLIE_ASSERT_MSG(rise >= 0.0 && fall >= 0.0,
+                     "wire collapse: step response never crosses V_th");
+  step_delay_rise_ = rise + drive_delay_;
+  step_delay_fall_ = fall + drive_delay_;
 }
 
 std::shared_ptr<const WireModeTables> WireModeTables::make(

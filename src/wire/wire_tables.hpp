@@ -74,6 +74,17 @@ class WireModeTables {
   /// crossing. WireChannel defers every drive switch by this much.
   double drive_delay() const { return drive_delay_; }
 
+  /// Static pin-to-pin arc delay of the wire in the given output direction:
+  /// the V_th crossing time of the collapsed model's step response from the
+  /// settled opposite rail, plus drive_delay(). This is exactly the delay
+  /// sim::WireChannel produces for a drive switch into a settled line; a
+  /// switch into a partially charged line crosses no later (the state is
+  /// closer to the destination rail), so the settled-line delay is the
+  /// conservative per-arc bound the static timing analyzer uses.
+  double step_delay(bool rising) const {
+    return rising ? step_delay_rise_ : step_delay_fall_;
+  }
+
   /// Mode table of the given drive state. The wire output voltage is the
   /// state's .y component; .x is the auxiliary slope state
   /// u = (b2/b1) dV_out/dt.
@@ -88,6 +99,8 @@ class WireModeTables {
   double b1_ = 0.0;
   double b2_ = 0.0;
   double drive_delay_ = 0.0;
+  double step_delay_rise_ = 0.0;
+  double step_delay_fall_ = 0.0;
   core::ModeTable low_;
   core::ModeTable high_;
 };

@@ -1,0 +1,152 @@
+// sta::Canonical algebra: normal helpers, exact sums, quantiles, and
+// Clark's statistical max validated against direct Monte-Carlo sampling of
+// the same jointly normal pair.
+#include "sta/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace charlie::sta {
+namespace {
+
+TEST(Normal, CdfAnchors) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - normal_cdf(1.0), 1e-15);
+  EXPECT_NEAR(normal_cdf(1.6448536269514722), 0.95, 1e-12);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+  for (double q : {0.001, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(q)), q, 1e-12) << "q=" << q;
+  }
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  // Symmetry: z_q = -z_{1-q}.
+  EXPECT_NEAR(normal_quantile(0.95), -normal_quantile(0.05), 1e-12);
+}
+
+TEST(Normal, PdfIsTheCdfDerivative) {
+  const double h = 1e-6;
+  for (double z : {-2.0, -0.5, 0.0, 0.7, 1.8}) {
+    const double numeric = (normal_cdf(z + h) - normal_cdf(z - h)) / (2 * h);
+    EXPECT_NEAR(normal_pdf(z), numeric, 1e-8) << "z=" << z;
+  }
+}
+
+TEST(Canonical, ConstantIsDeterministic) {
+  const Canonical c = Canonical::constant(3e-10);
+  EXPECT_DOUBLE_EQ(c.mean, 3e-10);
+  EXPECT_DOUBLE_EQ(c.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.95), 3e-10);
+  EXPECT_DOUBLE_EQ(c.prob_below(4e-10), 1.0);
+  EXPECT_DOUBLE_EQ(c.prob_below(2e-10), 0.0);
+}
+
+Canonical make(double mean, double s0, double s1, double s2, double rand) {
+  Canonical c;
+  c.mean = mean;
+  c.sens = {s0, s1, s2};
+  c.sigma_rand = rand;
+  return c;
+}
+
+TEST(Canonical, SumIsExact) {
+  const Canonical a = make(1e-10, 2e-12, -3e-12, 1e-12, 4e-12);
+  const Canonical b = make(2e-10, -1e-12, 5e-12, 0.0, 3e-12);
+  const Canonical s = a + b;
+  EXPECT_DOUBLE_EQ(s.mean, 3e-10);
+  // Shared axes add coefficient-wise...
+  EXPECT_DOUBLE_EQ(s.sens[0], 1e-12);
+  EXPECT_DOUBLE_EQ(s.sens[1], 2e-12);
+  EXPECT_DOUBLE_EQ(s.sens[2], 1e-12);
+  // ...independent residuals in quadrature.
+  EXPECT_NEAR(s.sigma_rand, std::hypot(4e-12, 3e-12), 1e-24);
+}
+
+TEST(Canonical, QuantilesMatchTheImpliedNormal) {
+  const Canonical c = make(1e-9, 30e-12, -40e-12, 0.0, 50e-12);
+  const double sigma =
+      std::sqrt(30e-12 * 30e-12 + 40e-12 * 40e-12 + 50e-12 * 50e-12);
+  EXPECT_NEAR(c.sigma(), sigma, 1e-24);
+  EXPECT_NEAR(c.quantile(0.5), 1e-9, 1e-21);
+  EXPECT_NEAR(c.quantile(0.95), 1e-9 + 1.6448536269514722 * sigma, 1e-15);
+  EXPECT_NEAR(c.prob_below(c.quantile(0.99)), 0.99, 1e-12);
+}
+
+TEST(StatisticalMax, DegeneratesToTheLargerMean) {
+  // Perfectly correlated forms (identical sensitivities): max(A, B) is
+  // whichever mean dominates, with the shared spread intact.
+  const Canonical a = make(1e-9, 20e-12, 10e-12, 0.0, 0.0);
+  const Canonical b = make(1.2e-9, 20e-12, 10e-12, 0.0, 0.0);
+  const Canonical m = statistical_max(a, b);
+  EXPECT_DOUBLE_EQ(m.mean, b.mean);
+  EXPECT_DOUBLE_EQ(m.sens[0], b.sens[0]);
+  EXPECT_DOUBLE_EQ(m.sigma_rand, 0.0);
+}
+
+TEST(StatisticalMax, FarSeparatedMeansPickTheWinner) {
+  const Canonical a = make(1e-9, 10e-12, 0.0, 0.0, 5e-12);
+  const Canonical b = make(2e-9, 0.0, 8e-12, 0.0, 5e-12);
+  const Canonical m = statistical_max(a, b);
+  // 1 ns apart at ~10 ps sigma: tightness is essentially 0/1.
+  EXPECT_NEAR(m.mean, b.mean, 1e-15);
+  EXPECT_NEAR(m.sens[1], b.sens[1], 1e-14);
+  EXPECT_NEAR(m.sens[0], 0.0, 1e-14);
+  EXPECT_NEAR(m.sigma(), b.sigma(), 1e-14);
+}
+
+TEST(StatisticalMax, MatchesMonteCarloMoments) {
+  // Partially correlated pair: shared axis 0, opposing axis 1, private
+  // residuals. Clark's mean and sigma must match brute-force sampling of
+  // the same joint distribution.
+  const Canonical a = make(1.0e-9, 40e-12, 25e-12, 0.0, 20e-12);
+  const Canonical b = make(1.02e-9, 40e-12, -30e-12, 10e-12, 15e-12);
+  const Canonical m = statistical_max(a, b);
+
+  std::mt19937 rng(12345);
+  std::normal_distribution<double> unit(0.0, 1.0);
+  const std::size_t n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = unit(rng);
+    const double x1 = unit(rng);
+    const double x2 = unit(rng);
+    const double va = a.mean + a.sens[0] * x0 + a.sens[1] * x1 +
+                      a.sens[2] * x2 + a.sigma_rand * unit(rng);
+    const double vb = b.mean + b.sens[0] * x0 + b.sens[1] * x1 +
+                      b.sens[2] * x2 + b.sigma_rand * unit(rng);
+    const double v = std::max(va, vb);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mc_mean = sum / static_cast<double>(n);
+  const double mc_sigma =
+      std::sqrt(sum2 / static_cast<double>(n) - mc_mean * mc_mean);
+  // Clark's mean and variance are exact for the jointly normal pair; the
+  // tolerance is Monte-Carlo noise (~sigma/sqrt(n)), not model error.
+  EXPECT_NEAR(m.mean, mc_mean, 5e-13);
+  EXPECT_NEAR(m.sigma(), mc_sigma, 2e-12);
+  // The max of two normals is super-mean and the canonical match keeps it.
+  EXPECT_GE(m.mean, std::max(a.mean, b.mean));
+}
+
+TEST(StatisticalMax, CommutesAndDominatesSummands) {
+  const Canonical a = make(1.0e-9, 40e-12, 25e-12, 5e-12, 20e-12);
+  const Canonical b = make(0.98e-9, -30e-12, 35e-12, 0.0, 10e-12);
+  const Canonical ab = statistical_max(a, b);
+  const Canonical ba = statistical_max(b, a);
+  EXPECT_NEAR(ab.mean, ba.mean, 1e-21);
+  EXPECT_NEAR(ab.sigma(), ba.sigma(), 1e-21);
+  for (std::size_t i = 0; i < kNAxes; ++i) {
+    EXPECT_NEAR(ab.sens[i], ba.sens[i], 1e-21) << "axis " << i;
+  }
+  EXPECT_GE(ab.mean, std::max(a.mean, b.mean));
+}
+
+}  // namespace
+}  // namespace charlie::sta

@@ -1,0 +1,219 @@
+// sta::TimingGraph semantics on hand-built netlists with known SIS delays:
+// arrival sums, unateness (including non-unate XOR), required/slack against
+// a deadline, endpoint fallback, wire arcs in the graph, exact top-K path
+// enumeration, and the degenerate (deterministic) SSTA pass.
+#include "sta/timing_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cell/cell_library.hpp"
+#include "cell/netlist.hpp"
+#include "sim/process_variation.hpp"
+
+namespace charlie::sta {
+namespace {
+
+// Reference library with round SIS delays on the non-hybrid cells so path
+// sums are exact by construction: BUF 10/20 ps, INV 5/7 ps, AND2 1/2 ps,
+// OR2 3/4 ps, XOR2 3/4 ps (rise/fall).
+std::shared_ptr<const cell::CellLibrary> test_library() {
+  static const auto library = [] {
+    cell::CellLibrary lib = cell::CellLibrary::reference();
+    lib.set_sis_delays("BUF", 10e-12, 20e-12);
+    lib.set_sis_delays("INV", 5e-12, 7e-12);
+    lib.set_sis_delays("AND2", 1e-12, 2e-12);
+    lib.set_sis_delays("OR2", 3e-12, 4e-12);
+    lib.set_sis_delays("XOR2", 3e-12, 4e-12);
+    return std::make_shared<const cell::CellLibrary>(std::move(lib));
+  }();
+  return library;
+}
+
+TimingGraph make_graph(const std::string& text) {
+  return TimingGraph(cell::parse_netlist(text), test_library());
+}
+
+const NetTiming& timing_of(const TimingResult& result,
+                           const std::string& net) {
+  for (const NetTiming& t : result.nets) {
+    if (t.net == net) return t;
+  }
+  ADD_FAILURE() << "net " << net << " missing from the timing table";
+  static const NetTiming none;
+  return none;
+}
+
+// a -> BUF -> INV -> INV: arrivals are plain arc sums with the unateness
+// flips of each stage (BUF positive, INV negative).
+TEST(TimingGraph, ChainArrivalsSumTheArcs) {
+  const TimingGraph graph = make_graph(
+      "input(a)\n"
+      "BUF(b, a)\n"
+      "INV(c, b)\n"
+      "INV(d, c)\n"
+      "output(d)\n");
+  const TimingResult result = graph.analyze(graph.nominal_arcs(), 0.0);
+
+  const NetTiming& b = timing_of(result, "b");
+  EXPECT_NEAR(b.arrival_rise, 10e-12, 1e-18);
+  EXPECT_NEAR(b.arrival_fall, 20e-12, 1e-18);
+  // c falls when b rises (INV): 10 + 7; c rises when b falls: 20 + 5.
+  const NetTiming& c = timing_of(result, "c");
+  EXPECT_NEAR(c.arrival_fall, 17e-12, 1e-18);
+  EXPECT_NEAR(c.arrival_rise, 25e-12, 1e-18);
+  // d falls when c rises (INV): 25 + 7; d rises when c falls: 17 + 5.
+  const NetTiming& d = timing_of(result, "d");
+  EXPECT_NEAR(d.arrival_rise, 22e-12, 1e-18);
+  EXPECT_NEAR(d.arrival_fall, 32e-12, 1e-18);
+
+  EXPECT_NEAR(result.critical_delay, 32e-12, 1e-18);
+  EXPECT_EQ(result.critical_endpoint, "d");
+  EXPECT_FALSE(result.critical_rising);
+  // Unconstrained: slack is measured against the critical delay itself.
+  EXPECT_NEAR(result.worst_slack, 0.0, 1e-18);
+}
+
+TEST(TimingGraph, DeadlineSetsRequiredTimesAndSlack) {
+  const TimingGraph graph = make_graph(
+      "input(a)\n"
+      "BUF(b, a)\n"
+      "INV(c, b)\n"
+      "INV(d, c)\n"
+      "output(d)\n");
+  const TimingResult result =
+      graph.analyze(graph.nominal_arcs(), 36e-12);
+
+  const NetTiming& d = timing_of(result, "d");
+  EXPECT_NEAR(d.required_rise, 36e-12, 1e-18);
+  EXPECT_NEAR(d.required_fall, 36e-12, 1e-18);
+  EXPECT_NEAR(d.slack, 4e-12, 1e-18);
+  // Backward through the chain: a rising reaches d rising after 22 ps, a
+  // falling reaches d falling after 32 ps.
+  const NetTiming& a = timing_of(result, "a");
+  EXPECT_NEAR(a.required_rise, 36e-12 - 22e-12, 1e-18);
+  EXPECT_NEAR(a.required_fall, 36e-12 - 32e-12, 1e-18);
+  EXPECT_NEAR(a.slack, 4e-12, 1e-18);
+  EXPECT_NEAR(result.worst_slack, 4e-12, 1e-18);
+
+  // A deadline tighter than the critical delay goes negative.
+  const TimingResult late = graph.analyze(graph.nominal_arcs(), 25e-12);
+  EXPECT_NEAR(late.worst_slack, -7e-12, 1e-18);
+}
+
+// XOR feeds BOTH input directions into both output directions; the same
+// netlist with AND2 (positive unate) sees only the matching direction.
+TEST(TimingGraph, XorIsNonUnate) {
+  const TimingGraph xg = make_graph(
+      "input(a, b)\n"
+      "INV(n, a)\n"
+      "XOR2(x, n, b)\n"
+      "output(x)\n");
+  const TimingResult xr = xg.analyze(xg.nominal_arcs(), 0.0);
+  // n arrives rise 5 / fall 7 ps; XOR rise arcs take the LATER direction.
+  EXPECT_NEAR(timing_of(xr, "x").arrival_rise, 7e-12 + 3e-12, 1e-18);
+  EXPECT_NEAR(timing_of(xr, "x").arrival_fall, 7e-12 + 4e-12, 1e-18);
+
+  const TimingGraph ag = make_graph(
+      "input(a, b)\n"
+      "INV(n, a)\n"
+      "AND2(x, n, b)\n"
+      "output(x)\n");
+  const TimingResult ar = ag.analyze(ag.nominal_arcs(), 0.0);
+  // AND2 rising only sees n rising (5 ps), not n falling (7 ps).
+  EXPECT_NEAR(timing_of(ar, "x").arrival_rise, 5e-12 + 1e-12, 1e-18);
+  EXPECT_NEAR(timing_of(ar, "x").arrival_fall, 7e-12 + 2e-12, 1e-18);
+}
+
+TEST(TimingGraph, EndpointsFallBackToTheLastInstanceOutput) {
+  const TimingGraph declared = make_graph(
+      "input(a)\n"
+      "INV(x, a)\n"
+      "INV(y, x)\n"
+      "output(x)\n");
+  EXPECT_EQ(declared.endpoints(), std::vector<std::string>{"x"});
+  const TimingGraph fallback = make_graph(
+      "input(a)\n"
+      "INV(x, a)\n"
+      "INV(y, x)\n");
+  EXPECT_EQ(fallback.endpoints(), std::vector<std::string>{"y"});
+}
+
+TEST(TimingGraph, WireArcsEnterThePath) {
+  const TimingGraph graph = make_graph(
+      "input(a)\n"
+      "BUF(b, a)\n"
+      "WIRE(w, b, r=200, c=50e-15, tdrive=10e-12)\n"
+      "output(w)\n");
+  // Unified element order: the wire is element 1 (after the one gate).
+  const ArcSet& arcs = graph.nominal_arcs();
+  ASSERT_EQ(arcs.elements.size(), 2u);
+  const double step_rise = arcs.elements[1].rise[0];
+  const double step_fall = arcs.elements[1].fall[0];
+  EXPECT_GT(step_rise, 0.0);
+  const TimingResult result = graph.analyze(arcs, 0.0);
+  EXPECT_NEAR(timing_of(result, "w").arrival_rise, 10e-12 + step_rise,
+              1e-18);
+  EXPECT_NEAR(timing_of(result, "w").arrival_fall, 20e-12 + step_fall,
+              1e-18);
+}
+
+TEST(TimingGraph, CriticalPathsComeOutInExactDecreasingOrder) {
+  const TimingGraph graph = make_graph(
+      "input(a, b)\n"
+      "BUF(p, a)\n"
+      "BUF(q1, b)\n"
+      "BUF(q, q1)\n"
+      "AND2(y, p, q)\n"
+      "output(y)\n");
+  // Four distinct input-to-endpoint paths:
+  //   b falling via q1, q : 20 + 20 + 2 = 42 ps
+  //   a falling via p     : 20      + 2 = 22 ps
+  //   b rising  via q1, q : 10 + 10 + 1 = 21 ps
+  //   a rising  via p     : 10      + 1 = 11 ps
+  const auto paths = graph.critical_paths(graph.nominal_arcs(), 10);
+  ASSERT_EQ(paths.size(), 4u);
+  EXPECT_NEAR(paths[0].delay, 42e-12, 1e-18);
+  EXPECT_NEAR(paths[1].delay, 22e-12, 1e-18);
+  EXPECT_NEAR(paths[2].delay, 21e-12, 1e-18);
+  EXPECT_NEAR(paths[3].delay, 11e-12, 1e-18);
+
+  // The winner's steps: b v @ 0 -> q1 v @ 20 -> q v @ 40 -> y v @ 42.
+  const CriticalPath& top = paths[0];
+  ASSERT_EQ(top.steps.size(), 4u);
+  EXPECT_EQ(top.steps[0].net, "b");
+  EXPECT_EQ(top.steps[1].net, "q1");
+  EXPECT_EQ(top.steps[2].net, "q");
+  EXPECT_EQ(top.steps[3].net, "y");
+  for (const PathStep& step : top.steps) EXPECT_FALSE(step.rising);
+  EXPECT_NEAR(top.steps[0].t, 0.0, 1e-18);
+  EXPECT_NEAR(top.steps[1].t, 20e-12, 1e-18);
+  EXPECT_NEAR(top.steps[2].t, 40e-12, 1e-18);
+  EXPECT_NEAR(top.steps[3].t, 42e-12, 1e-18);
+
+  // k truncates without reordering.
+  const auto top2 = graph.critical_paths(graph.nominal_arcs(), 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_NEAR(top2[0].delay, 42e-12, 1e-18);
+  EXPECT_NEAR(top2[1].delay, 22e-12, 1e-18);
+}
+
+TEST(TimingGraph, DisabledVariationSstaDegeneratesToTheCriticalDelay) {
+  const TimingGraph graph = make_graph(
+      "input(a, b)\n"
+      "BUF(p, a)\n"
+      "BUF(q1, b)\n"
+      "BUF(q, q1)\n"
+      "AND2(y, p, q)\n"
+      "output(y)\n");
+  const sim::ProcessVariation off;  // all sigmas 0
+  const Canonical delay = graph.analyze_ssta(graph.canonical_arcs(off));
+  EXPECT_NEAR(delay.mean, 42e-12, 1e-18);
+  EXPECT_DOUBLE_EQ(delay.sigma(), 0.0);
+}
+
+}  // namespace
+}  // namespace charlie::sta

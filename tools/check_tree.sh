@@ -6,6 +6,9 @@
 #
 # Hygiene: no build tree (build*/) may be tracked by git -- PR 3
 # accidentally committed 641 build artifacts, this keeps them out for good.
+# The determinism lint (tools/lint_determinism.sh) rides along: src/ must
+# stay free of nondeterminism sources (bare rand(), std::random_device,
+# wall-clock seeding, unordered-container iteration).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +19,8 @@ if [[ -n "$tracked_build" ]]; then
   echo "$tracked_build" | head -10 >&2
   exit 1
 fi
+
+tools/lint_determinism.sh
 
 if [[ "${1:-}" == "--hygiene-only" ]]; then
   echo "check_tree: hygiene OK"
