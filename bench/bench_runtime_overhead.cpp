@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/nor_params.hpp"
+#include "obs/trace_recorder.hpp"
 #include "sim/circuit.hpp"
 #include "sim/hybrid_nor_channel.hpp"
 #include "sim/nor_models.hpp"
@@ -140,6 +141,31 @@ void BM_HybridCircuitTraceGuarded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HybridCircuitTraceGuarded);
+
+// Observability overhead: the same workload with the trace recorder armed
+// (per-advance spans into the per-thread ring). BM_HybridCircuitTrace is
+// the disarmed baseline -- its loop already pays the one-branch armed()
+// check, so the Trace/TraceInstrumented pair bounds both costs: disarmed
+// instrumentation must be in the noise, armed recording stays small (one
+// clock pair + ring store per window slice, not per event).
+void BM_HybridCircuitTraceInstrumented(benchmark::State& state) {
+  const auto params = core::NorParams::paper_table1();
+  sim::Circuit circuit;
+  const auto a = circuit.add_input("a");
+  const auto b = circuit.add_input("b");
+  circuit.add_nor2_mis("out", a, b,
+                       std::make_unique<sim::HybridNorChannel>(params));
+  const std::vector<waveform::DigitalTrace> stimuli{trace_a(), trace_b()};
+  obs::TraceRecorder::start();
+  for (auto _ : state) {
+    const auto out = circuit.simulate(stimuli, 0.0, t_end());
+    benchmark::DoNotOptimize(out.n_events);
+  }
+  obs::TraceRecorder::stop();
+  state.counters["events_traced"] =
+      static_cast<double>(obs::TraceRecorder::collect().events.size());
+}
+BENCHMARK(BM_HybridCircuitTraceInstrumented);
 
 void BM_ExpSingleEvent(benchmark::State& state) {
   sim::ExpChannelParams p;

@@ -11,7 +11,14 @@
 //
 //   ./example_monte_carlo [n_runs] [n_threads] [netlist_file] [max_events] \
 //                         [sigma_vdd=S] [sigma_vth=S] [sigma_drive=S]
-//                         [grid=N] [deadline=T]
+//                         [grid=N] [deadline=T] [trace_out=F] \
+//                         [metrics_out=F] [vcd_out=F]
+//
+// Observability knobs (docs/observability.md): trace_out=F arms the
+// execution tracer around the batch and writes Chrome trace-event JSON to
+// F (load in Perfetto); metrics_out=F writes the batch's aggregated
+// obs::MetricsRegistry as JSON; vcd_out=F captures run 0's input and
+// observed-net traces and writes them as a VCD waveform (load in GTKWave).
 //
 // The observed nets are the netlist's `output(...)` declarations (all of
 // them -- each gets its own aggregate); a netlist without declarations
@@ -39,11 +46,12 @@
 
 #include "cell/cell_library.hpp"
 #include "cell/netlist.hpp"
+#include "obs/trace_recorder.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/circuit_builder.hpp"
 #include "sim/run_guard.hpp"
-#include "util/diagnostics.hpp"
 #include "util/units.hpp"
+#include "waveform/vcd.hpp"
 
 using namespace charlie;
 
@@ -87,6 +95,9 @@ int main(int argc, char** argv) {
   // key=value knobs may sit at any position; the rest stay positional.
   sim::ProcessVariation variation;
   double deadline = 0.0;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string vcd_out;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -96,6 +107,18 @@ int main(int argc, char** argv) {
       continue;
     }
     const std::string key = arg.substr(0, eq);
+    if (key == "trace_out") {
+      trace_out = arg.substr(eq + 1);
+      continue;
+    }
+    if (key == "metrics_out") {
+      metrics_out = arg.substr(eq + 1);
+      continue;
+    }
+    if (key == "vcd_out") {
+      vcd_out = arg.substr(eq + 1);
+      continue;
+    }
     const double value = std::atof(arg.c_str() + eq + 1);
     if (key == "sigma_vdd") {
       variation.vdd_sigma = value;
@@ -152,9 +175,32 @@ int main(int argc, char** argv) {
   config.budget.max_events = max_events;  // 0 = unlimited
   config.variation = variation;
   config.stat_deadline = deadline;
+  if (!vcd_out.empty()) config.capture_run = 0;
 
   sim::BatchRunner runner(factory, out_nets, config);
+  if (!trace_out.empty()) obs::TraceRecorder::start();
   const auto result = runner.run();
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::stop();
+    const auto snapshot = obs::TraceRecorder::collect();
+    obs::write_chrome_trace(snapshot, trace_out);
+    std::printf("trace           : %zu events -> %s\n", snapshot.events.size(),
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    result.metrics.write_json(metrics_out);
+    std::printf("metrics         : %s\n", metrics_out.c_str());
+  }
+  if (!vcd_out.empty()) {
+    std::vector<waveform::VcdDigitalSignal> signals;
+    signals.reserve(result.captured.size());
+    for (const auto& captured : result.captured) {
+      signals.push_back({captured.net, &captured.trace});
+    }
+    waveform::write_vcd(vcd_out, signals);
+    std::printf("vcd             : run 0, %zu signals -> %s\n", signals.size(),
+                vcd_out.c_str());
+  }
 
   std::printf("gates           : %zu (observing %zu net%s)\n",
               netlist.n_gates(), out_nets.size(),
@@ -203,13 +249,12 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  // Run health: per-run outcomes and the numerical degradation-path
-  // telemetry the guards collected (all zero on a healthy batch).
+  // Run health: per-run outcomes plus the numerical degradation-path
+  // telemetry, read back from the batch's metrics registry (the per-run
+  // RunCounters fold into it during the run-order reduction).
   std::size_t per_status[5] = {};
-  util::RunCounters totals;
   for (const auto& diag : result.diagnostics) {
     ++per_status[static_cast<std::size_t>(diag.status)];
-    totals += diag.counters;
   }
   std::printf("run health      : %zu/%zu ok", result.n_runs - result.n_failed,
               result.n_runs);
@@ -220,11 +265,17 @@ int main(int argc, char** argv) {
     if (n > 0) std::printf(", %zu %s", n, sim::to_string(status));
   }
   std::printf("\n");
-  if (totals.any()) {
-    std::printf("guard telemetry : %ld newton->brent, %ld scan fallbacks, "
-                "%ld non-finite trips\n",
-                totals.newton_brent_fallbacks, totals.scan_fallbacks,
-                totals.nonfinite_guard_trips);
+  const long long newton_brent =
+      result.metrics.counter("run.newton_brent_fallbacks");
+  const long long scan = result.metrics.counter("run.scan_fallbacks");
+  const long long nonfinite =
+      result.metrics.counter("run.nonfinite_guard_trips");
+  if (newton_brent + scan + nonfinite +
+          result.metrics.counter("run.fit_fallbacks") >
+      0) {
+    std::printf("guard telemetry : %lld newton->brent, %lld scan fallbacks, "
+                "%lld non-finite trips\n",
+                newton_brent, scan, nonfinite);
   }
   for (std::size_t run = 0; run < result.diagnostics.size(); ++run) {
     const auto& diag = result.diagnostics[run];

@@ -8,6 +8,7 @@
 
 #include "core/gate_delay.hpp"
 #include "core/gate_parametrize.hpp"
+#include "obs/trace_recorder.hpp"
 #include "sim/hybrid_gate_channel.hpp"
 #include "sim/inertial.hpp"
 #include "spice/cells.hpp"
@@ -215,8 +216,15 @@ CellLibrary CellLibrary::characterize(const spice::Technology& tech) {
         // Run the pipeline fully before inserting: a throw (e.g. a SPICE
         // convergence failure) must not leave a half-built cache entry
         // behind for later calls to trip over.
-        const spice::GateSisTargets measured =
-            spice::measure_gate_targets(tech, spice_cell(name));
+        // The spice/core layers sit below obs, so the characterization
+        // pipeline is instrumented here at the cell seam: one span per
+        // stage, labeled with the cell being characterized.
+        spice::GateSisTargets measured;
+        {
+          obs::ScopedSpan obs_span("cell.measure");
+          obs_span.label(name);
+          measured = spice::measure_gate_targets(tech, spice_cell(name));
+        }
         core::GateTargets targets;
         targets.fall = measured.fall;
         targets.rise = measured.rise;
@@ -225,8 +233,12 @@ CellLibrary CellLibrary::characterize(const spice::Technology& tech) {
         core::GateFitOptions opts;
         opts.vdd = tech.vdd;
         opts.nelder_mead_evaluations = 1500;
-        const core::GateFitResult fit =
-            core::fit_gate_params(topology_of(name), targets, opts);
+        core::GateFitResult fit;
+        {
+          obs::ScopedSpan obs_span("cell.fit");
+          obs_span.label(name);
+          fit = core::fit_gate_params(topology_of(name), targets, opts);
+        }
         FittedCell cell;
         cell.params = fit.params;
         cell.tables = core::GateModeTables::make(fit.params);

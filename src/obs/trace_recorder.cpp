@@ -1,0 +1,263 @@
+#include "obs/trace_recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace charlie::obs {
+
+namespace {
+
+// One thread's event ring. Owned by the global registry (never freed while
+// the process lives -- pool workers persist across batches and may record
+// again), written only by its owning thread.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t thread_index) : tid(thread_index) {}
+  std::uint32_t tid;
+  std::vector<TraceEvent> ring;
+  std::uint64_t written = 0;  // total events recorded since the last start()
+
+  void push(const TraceEvent& event) {
+    if (ring.empty()) return;  // recorder armed with zero capacity
+    ring[static_cast<std::size_t>(written % ring.size())] = event;
+    ++written;
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::size_t capacity = 1 << 16;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: threads may record at exit
+  return *r;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+ThreadBuffer& local_buffer() {
+  if (tls_buffer == nullptr) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.buffers.push_back(std::make_unique<ThreadBuffer>(
+        static_cast<std::uint32_t>(r.buffers.size())));
+    tls_buffer = r.buffers.back().get();
+    tls_buffer->ring.resize(r.capacity);
+  }
+  return *tls_buffer;
+}
+
+// ThreadPool chunk-claim adapter: the pool lives below obs in the layer
+// graph, so it exposes a neutral observer hook and the recorder plugs this
+// adapter in while armed. Chunk begin stamps a per-thread clock; chunk end
+// records the complete span.
+class PoolChunkTracer : public util::ThreadPool::ChunkObserver {
+ public:
+  void on_chunk_begin(std::size_t /*worker*/, std::size_t /*first*/,
+                      std::size_t /*count*/) override {
+    chunk_start_ = TraceRecorder::now_ns();
+  }
+  void on_chunk_end(std::size_t /*worker*/, std::size_t first,
+                    std::size_t count) override {
+    TraceEvent event;
+    event.name = "pool.chunk";
+    event.t_start_ns = chunk_start_;
+    event.dur_ns = TraceRecorder::now_ns() - chunk_start_;
+    event.k0 = "first";
+    event.v0 = static_cast<long long>(first);
+    event.k1 = "count";
+    event.v1 = static_cast<long long>(count);
+    TraceRecorder::record(event);
+  }
+
+ private:
+  static thread_local long long chunk_start_;
+};
+
+thread_local long long PoolChunkTracer::chunk_start_ = 0;
+
+PoolChunkTracer g_pool_tracer;
+
+void json_escape_into(std::string& out, const char* text) {
+  for (const char* p = text; *p != 0; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::atomic<int> TraceRecorder::armed_{0};
+
+void TraceRecorder::start(std::size_t capacity_per_thread) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.capacity = capacity_per_thread;
+  for (auto& buffer : r.buffers) {
+    buffer->ring.assign(capacity_per_thread, TraceEvent{});
+    buffer->written = 0;
+  }
+  r.epoch = std::chrono::steady_clock::now();
+  util::ThreadPool::set_chunk_observer(&g_pool_tracer);
+  armed_.store(1, std::memory_order_release);
+}
+
+void TraceRecorder::stop() {
+  armed_.store(0, std::memory_order_release);
+  util::ThreadPool::set_chunk_observer(nullptr);
+}
+
+long long TraceRecorder::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - registry().epoch)
+      .count();
+}
+
+void TraceRecorder::record(const TraceEvent& event) {
+  ThreadBuffer& buffer = local_buffer();
+  TraceEvent stamped = event;
+  stamped.tid = buffer.tid;
+  buffer.push(stamped);
+}
+
+TraceRecorder::Snapshot TraceRecorder::collect() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  Snapshot snapshot;
+  for (const auto& buffer : r.buffers) {
+    const std::uint64_t capacity = buffer->ring.size();
+    const std::uint64_t kept = std::min<std::uint64_t>(buffer->written,
+                                                       capacity);
+    snapshot.n_dropped += buffer->written - kept;
+    // Oldest surviving event first (the ring overwrites forward).
+    const std::uint64_t begin = buffer->written - kept;
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      snapshot.events.push_back(
+          buffer->ring[static_cast<std::size_t>((begin + i) % capacity)]);
+    }
+  }
+  return snapshot;
+}
+
+void ScopedSpan::label(std::string_view text) {
+  if (start_ns_ < 0) return;
+  const std::size_t n = std::min(text.size(), sizeof(label_) - 1);
+  std::memcpy(label_, text.data(), n);
+  label_[n] = 0;
+}
+
+void ScopedSpan::finish() {
+  TraceEvent event;
+  event.name = name_;
+  event.t_start_ns = start_ns_;
+  event.dur_ns = TraceRecorder::now_ns() - start_ns_;
+  event.phase = 'X';
+  std::memcpy(event.label, label_, sizeof(label_));
+  event.k0 = k0_;
+  event.v0 = v0_;
+  event.k1 = k1_;
+  event.v1 = v1_;
+  TraceRecorder::record(event);
+}
+
+void record_instant(const char* name, const char* key0, long long value0) {
+  TraceEvent event;
+  event.name = name;
+  event.t_start_ns = TraceRecorder::now_ns();
+  event.dur_ns = -1;
+  event.phase = 'i';
+  event.k0 = key0;
+  event.v0 = value0;
+  TraceRecorder::record(event);
+}
+
+void write_chrome_trace(const TraceRecorder::Snapshot& snapshot,
+                        std::ostream& os) {
+  // Chrome trace-event format (the JSON-object form): "X" complete events
+  // carry ts+dur, "i" instants carry ts and a thread scope. Timestamps are
+  // microseconds (double), per the format spec.
+  std::string out;
+  out.reserve(snapshot.events.size() * 96 + 256);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : snapshot.events) {
+    if (event.name == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    json_escape_into(out, event.name);
+    out += "\",\"ph\":\"";
+    out += event.phase;
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"ts\":";
+    out += std::to_string(static_cast<double>(event.t_start_ns) * 1e-3);
+    if (event.phase == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(
+          static_cast<double>(event.dur_ns < 0 ? 0 : event.dur_ns) * 1e-3);
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    const bool has_args =
+        event.k0 != nullptr || event.k1 != nullptr || event.label[0] != 0;
+    if (has_args) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (event.label[0] != 0) {
+        out += "\"label\":\"";
+        json_escape_into(out, event.label);
+        out += "\"";
+        first_arg = false;
+      }
+      if (event.k0 != nullptr) {
+        if (!first_arg) out += ",";
+        out += "\"";
+        json_escape_into(out, event.k0);
+        out += "\":";
+        out += std::to_string(event.v0);
+        first_arg = false;
+      }
+      if (event.k1 != nullptr) {
+        if (!first_arg) out += ",";
+        out += "\"";
+        json_escape_into(out, event.k1);
+        out += "\":";
+        out += std::to_string(event.v1);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"n_dropped\":";
+  out += std::to_string(snapshot.n_dropped);
+  out += "}}\n";
+  os << out;
+}
+
+void write_chrome_trace(const TraceRecorder::Snapshot& snapshot,
+                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw ConfigError("trace recorder: cannot write " + path);
+  write_chrome_trace(snapshot, os);
+}
+
+}  // namespace charlie::obs

@@ -1,0 +1,167 @@
+// Execution tracing: per-thread ring-buffered spans behind a one-branch
+// disarmed check, exported as Chrome trace-event JSON.
+//
+// The engine's parallel execution modes (BatchRunner worker runs,
+// ShardedCircuit wavefront tasks, ThreadPool chunk claims) have so far been
+// observable only through aggregate counters; whether shard loads balance
+// or the wavefront stalls between steps was asserted from the design, not
+// seen. TraceRecorder makes runs inspectable: instrumented seams open a
+// ScopedSpan (RAII), the span records (name, thread, start, duration, up to
+// two integer args) into the recording thread's own fixed-capacity ring
+// buffer -- no lock, no allocation, no shared cache line on the hot path --
+// and write_chrome_trace() serializes a collected snapshot into the JSON
+// the Perfetto / chrome://tracing viewers load directly.
+//
+// Disarmed cost: exactly the util::FaultInjector pattern -- one relaxed
+// atomic load and a predicted-false branch per site (the
+// BM_HybridCircuitTrace[Instrumented] ledger pair documents that this is in
+// the host's measurement noise). Armed cost is one steady_clock read at
+// span entry and a clock read plus a ~96-byte ring store at span exit.
+//
+// Threading contract: recording is safe from any thread at any time. The
+// control surface -- start(), stop(), collect() -- must be called from a
+// coordinating thread while no instrumented work is in flight (e.g. between
+// BatchRunner::run() calls); the pool's batch-completion handshake gives
+// the happens-before edge that makes the workers' buffered events visible
+// to collect().
+//
+// Span names must be string literals (the recorder stores the pointer).
+// Dynamic context -- a cell name on a characterization span -- goes through
+// label(), which copies into a small fixed field; numeric context (shard,
+// window, run index) through the two integer args.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace charlie::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;   // static string (site name)
+  long long t_start_ns = 0;     // steady-clock ns since recorder start
+  long long dur_ns = -1;        // -1 for instant events
+  std::uint32_t tid = 0;        // recorder-assigned thread index
+  char phase = 'X';             // 'X' complete span, 'i' instant
+  char label[23] = {0};         // optional dynamic label (cold paths)
+  const char* k0 = nullptr;     // arg keys (static strings) and values
+  long long v0 = 0;
+  const char* k1 = nullptr;
+  long long v1 = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// Everything collected since start(): events in (thread, record) order
+  /// plus the count of events the per-thread rings had to drop.
+  struct Snapshot {
+    std::vector<TraceEvent> events;
+    std::uint64_t n_dropped = 0;
+  };
+
+  /// Arm recording. Clears previously buffered events and (re)sizes every
+  /// thread's ring to `capacity_per_thread` events. Coordinating thread
+  /// only, with no instrumented work in flight.
+  static void start(std::size_t capacity_per_thread = 1 << 16);
+
+  /// Disarm recording. Buffered events stay available to collect().
+  static void stop();
+
+  /// True iff recording is armed: the only check on disarmed hot paths.
+  static bool armed() { return armed_.load(std::memory_order_relaxed) != 0; }
+
+  /// Gather every thread's buffered events. Coordinating thread only, with
+  /// no instrumented work in flight (see the header comment).
+  static Snapshot collect();
+
+  // --- recording internals (called through ScopedSpan / the macros) --------
+
+  /// Append to the calling thread's ring (registers the thread first time).
+  static void record(const TraceEvent& event);
+
+  /// Monotonic timestamp relative to the recorder's start() epoch.
+  static long long now_ns();
+
+ private:
+  static std::atomic<int> armed_;
+};
+
+/// RAII span: stamps the clock at construction when armed, records one
+/// complete ('X') TraceEvent at scope exit. Does (almost) nothing disarmed.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : name_(name) {
+    label_[0] = 0;
+    if (TraceRecorder::armed()) start_ns_ = TraceRecorder::now_ns();
+  }
+  ScopedSpan(const char* name, const char* key0, long long value0)
+      : ScopedSpan(name) {
+    k0_ = key0;
+    v0_ = value0;
+  }
+  ScopedSpan(const char* name, const char* key0, long long value0,
+             const char* key1, long long value1)
+      : ScopedSpan(name, key0, value0) {
+    k1_ = key1;
+    v1_ = value1;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (start_ns_ >= 0) finish();
+  }
+
+  /// Update an arg value mid-span (e.g. events processed once known).
+  void set_value0(long long value) { v0_ = value; }
+  void set_value1(long long value) { v1_ = value; }
+
+  /// Attach a short dynamic label (truncated to the fixed field); intended
+  /// for cold paths such as per-cell characterization spans.
+  void label(std::string_view text);
+
+ private:
+  void finish();
+
+  long long start_ns_ = -1;  // -1: disarmed at construction, record nothing
+  const char* name_;
+  const char* k0_ = nullptr;
+  const char* k1_ = nullptr;
+  long long v0_ = 0;
+  long long v1_ = 0;
+  char label_[23];
+};
+
+/// Record an instant ('i') event; call sites should gate on armed() (the
+/// CHARLIE_OBS_INSTANT macro does).
+void record_instant(const char* name, const char* key0 = nullptr,
+                    long long value0 = 0);
+
+/// Serialize a snapshot as Chrome trace-event JSON ("traceEvents" array of
+/// "X"/"i" events, timestamps in microseconds), loadable in Perfetto and
+/// chrome://tracing. docs/observability.md documents the schema.
+void write_chrome_trace(const TraceRecorder::Snapshot& snapshot,
+                        std::ostream& os);
+void write_chrome_trace(const TraceRecorder::Snapshot& snapshot,
+                        const std::string& path);
+
+}  // namespace charlie::obs
+
+// Span macro: expands to a block-scoped RAII span with a unique name, so an
+// instrumented seam is one line. The disarmed cost is the armed() check
+// inside the ScopedSpan constructor.
+#define CHARLIE_OBS_CONCAT2(a, b) a##b
+#define CHARLIE_OBS_CONCAT(a, b) CHARLIE_OBS_CONCAT2(a, b)
+#define CHARLIE_OBS_SPAN(...)                                       \
+  ::charlie::obs::ScopedSpan CHARLIE_OBS_CONCAT(charlie_obs_span_,  \
+                                                __LINE__)(__VA_ARGS__)
+
+#define CHARLIE_OBS_INSTANT(...)                       \
+  do {                                                 \
+    if (::charlie::obs::TraceRecorder::armed()) {      \
+      ::charlie::obs::record_instant(__VA_ARGS__);     \
+    }                                                  \
+  } while (false)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace_recorder.hpp"
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
 #include "util/rng.hpp"
@@ -87,6 +88,7 @@ struct NetStats {
 
 struct RunStats {
   long n_events = 0;
+  long max_heap_depth = 0;
   RunDiagnostics diagnostics;
   std::vector<NetStats> nets;  // parallel to the observed-net list;
                                // empty when the run did not finish kOk
@@ -121,6 +123,7 @@ RunStats run_one(Circuit& circuit, const std::vector<Circuit::NetId>& outputs,
 
   RunStats stats;
   stats.n_events = result.n_events;
+  stats.max_heap_depth = result.max_heap_depth;
   stats.diagnostics = result.diagnostics;
   // A terminated run contributes its diagnostics and event count but no
   // histogram samples: partial traces would skew the distributions
@@ -226,9 +229,14 @@ BatchResult BatchRunner::run() {
   // them in run order, which is what makes the aggregate independent of
   // which worker executed which run.
   std::vector<RunStats> per_run(config_.n_runs);
+  // Exactly one run matches capture_run, so the slot is written by at most
+  // one worker (no synchronization needed beyond the pool's batch barrier).
+  std::vector<BatchResult::CapturedTrace> captured;
   pool_->parallel_for(
       config_.n_runs, [&](std::size_t worker, std::size_t run) {
         Worker& w = workers_[worker];
+        obs::ScopedSpan obs_span("batch.run", "run",
+                                 static_cast<long long>(run), "events", 0);
         // Fresh per-run fault tallies: an armed plan's fire index depends
         // only on this run's own content, not on which worker executes it
         // or how runs interleave (thread-count-invariant fault placement).
@@ -249,6 +257,17 @@ BatchResult BatchRunner::run() {
           per_run[run] = run_one(*w.circuit, w.outputs, w.arena, w.stim_times,
                                  config_, spec, w.binder.get(), pulse_hi,
                                  response_hi);
+          obs_span.set_value1(per_run[run].n_events);
+          if (config_.capture_run == static_cast<long>(run)) {
+            // Copy out of the arena before this worker's next run resets it.
+            for (std::size_t i = 0; i < w.circuit->n_inputs(); ++i) {
+              const Circuit::NetId id = w.circuit->input_net(i);
+              captured.push_back({w.circuit->net_name(id), w.arena.trace(id)});
+            }
+            for (const Circuit::NetId id : w.outputs) {
+              captured.push_back({w.circuit->net_name(id), w.arena.trace(id)});
+            }
+          }
         } catch (const std::exception& e) {
           // Isolation backstop for failures outside the engine's no-throw
           // boundary (stimulus generation, accounting): only this run
@@ -280,6 +299,12 @@ BatchResult BatchRunner::run() {
   for (RunStats& stats : per_run) {
     result.total_events += stats.n_events;
     result.events_per_run.push_back(stats.n_events);
+    // Observability aggregate, folded in run order like everything else.
+    obs::absorb_run_counters(result.metrics, stats.diagnostics.counters);
+    result.metrics.observe("sim.events_per_run",
+                           static_cast<double>(stats.n_events));
+    result.metrics.observe("sim.max_heap_depth",
+                           static_cast<double>(stats.max_heap_depth));
     result.diagnostics.push_back(std::move(stats.diagnostics));
     if (result.diagnostics.back().status != RunStatus::kOk) {
       ++result.n_failed;
@@ -298,6 +323,12 @@ BatchResult BatchRunner::run() {
       result.nets[n].response_delay.merge(stats.nets[n].response_delay);
     }
   }
+  result.metrics.add("batch.runs", static_cast<long long>(result.n_runs));
+  result.metrics.add("batch.runs_failed",
+                     static_cast<long long>(result.n_failed));
+  result.metrics.add("batch.events", result.total_events);
+  result.captured = std::move(captured);
+
   // Single-net compatibility view: the first observed net.
   result.total_output_transitions = result.nets.front().transitions;
   result.pulse_width = result.nets.front().pulse_width;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/process_point.hpp"
+#include "obs/metrics.hpp"
 #include "sim/circuit.hpp"
 #include "sim/net_criticality.hpp"
 #include "sim/process_variation.hpp"
@@ -89,6 +90,10 @@ struct BatchConfig {
   // Timing deadline for the yield query [s]; 0 = no deadline (the yield
   // fields of BatchResult::stats stay zero).
   double stat_deadline = 0.0;
+  // Batch-local index of one run whose traces (primary inputs + observed
+  // nets) are copied into BatchResult::captured, e.g. for VCD export; -1
+  // disables capture. A terminated run's partial traces are still captured.
+  long capture_run = -1;
 };
 
 /// Aggregates of one observed net across the whole batch.
@@ -150,6 +155,20 @@ struct BatchResult {
   std::vector<double> critical_delays;
   // Statistical queries over critical_delays.
   BatchStats stats;
+  // Batch-level observability aggregate, reduced in run order (bit-identical
+  // for any thread count): guard/fallback counters folded through
+  // obs::absorb_run_counters plus batch.* counters and sim.* histograms
+  // (events per run, peak event-heap depth). docs/observability.md lists
+  // the names.
+  obs::MetricsRegistry metrics;
+  // Traces of the BatchConfig::capture_run run (primary inputs first, then
+  // the observed nets, both in declaration order); empty when capture was
+  // disabled or the index is out of range.
+  struct CapturedTrace {
+    std::string net;
+    waveform::DigitalTrace trace;
+  };
+  std::vector<CapturedTrace> captured;
 
   bool all_ok() const { return n_failed == 0; }
   const NetAggregate& net(const std::string& name) const;

@@ -120,6 +120,11 @@ class Circuit {
   struct SimResult {
     std::vector<waveform::DigitalTrace> traces;  // indexed by NetId
     long n_events = 0;
+    /// Peak event-heap occupancy over the run: how many gate firings were
+    /// simultaneously scheduled. A cheap always-on observability counter
+    /// (obs::MetricsRegistry aggregates it across batch runs); lives here
+    /// rather than in RunDiagnostics, whose layout is frozen.
+    long max_heap_depth = 0;
     /// kOk unless the run was terminated early (budget, deadline,
     /// cancellation, captured failure). A non-kOk result's traces are a
     /// valid prefix of the full run up to diagnostics.t_horizon.

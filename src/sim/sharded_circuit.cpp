@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace_recorder.hpp"
 #include "sim/sim_session.hpp"
 #include "util/error.hpp"
 
@@ -49,6 +50,22 @@ std::size_t ShardedCircuit::n_gates() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) n += shard.circuit->n_gates();
   return n;
+}
+
+double ShardedCircuit::Result::load_imbalance() const {
+  if (shard_window_events.empty()) return 0.0;
+  long total = 0;
+  long busiest = 0;
+  for (const auto& windows : shard_window_events) {
+    long shard_total = 0;
+    for (const long n : windows) shard_total += n;
+    total += shard_total;
+    busiest = std::max(busiest, shard_total);
+  }
+  if (total == 0) return 0.0;
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(shard_window_events.size());
+  return static_cast<double>(busiest) / mean;
 }
 
 const waveform::DigitalTrace& ShardedCircuit::Result::trace(
@@ -150,6 +167,14 @@ ShardedCircuit::Result ShardedCircuit::simulate(
   for (auto& per_window : buckets) per_window.resize(n_windows);
   std::vector<std::size_t> export_cursor(edges_.size(), 0);
 
+  // Per-(shard, window) event counts, written by the owning task (distinct
+  // slot per task, so no synchronization beyond the pool's step barrier).
+  // Recorded unconditionally: a subtraction per window task is free next to
+  // the window's event processing, and it is the data load_imbalance() and
+  // the shard.* metrics summarize.
+  std::vector<std::vector<long>> shard_window_events(
+      n_shards, std::vector<long>(n_windows, 0));
+
   // --- conservative wavefront ----------------------------------------------
   // Task (shard k, window w) runs at step k + w; all tasks of one step are
   // mutually independent (distinct sessions, disjoint buckets), so each step
@@ -166,6 +191,11 @@ ShardedCircuit::Result ShardedCircuit::simulate(
             const std::size_t k = k_lo + task;
             const std::size_t w = step - k;
             SimSession& session = *sessions[k];
+            obs::ScopedSpan obs_span("shard.task", "shard",
+                                     static_cast<long long>(k), "window",
+                                     static_cast<long long>(w));
+            const long events_before =
+                session.n_stimulus_events() + session.n_gate_events();
             try {
               // Inject this window's boundary transitions, globally
               // time-sorted; the edge iteration order breaks (measure-zero)
@@ -187,6 +217,9 @@ ShardedCircuit::Result ShardedCircuit::simulate(
                 session.inject(ev.to_input, ev.t, ev.value);
               }
               session.advance(window_end(w));
+              shard_window_events[k][w] = session.n_stimulus_events() +
+                                          session.n_gate_events() -
+                                          events_before;
               // Export this window's production on every out-edge: all
               // not-yet-exported transitions up to the new horizon.
               for (const std::size_t edge_index : out_edges_[k]) {
@@ -239,12 +272,39 @@ ShardedCircuit::Result ShardedCircuit::simulate(
   Result result;
   result.owner = this;
   result.n_windows = n_windows;
+  result.shard_window_events = std::move(shard_window_events);
   result.shard_results.reserve(n_shards);
   long n_gate_events = 0;
   for (std::size_t s = 0; s < n_shards; ++s) {
     n_gate_events += sessions[s]->n_gate_events();
     result.shard_results.push_back(sessions[s]->take_result());
   }
+
+  // Observability aggregate, filled in fixed shard/window/edge order on the
+  // coordinating thread (deterministic for any thread count).
+  result.metrics.add("shard.count", static_cast<long long>(n_shards));
+  result.metrics.add("shard.windows", static_cast<long long>(n_windows));
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    long shard_total = 0;
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      const long n = result.shard_window_events[s][w];
+      shard_total += n;
+      result.metrics.observe("shard.window_events", static_cast<double>(n));
+    }
+    result.metrics.observe("shard.events", static_cast<double>(shard_total));
+    result.metrics.observe(
+        "sim.max_heap_depth",
+        static_cast<double>(result.shard_results[s].max_heap_depth));
+  }
+  long long boundary_transitions = 0;
+  for (std::size_t e = 0; e < buckets.size(); ++e) {
+    for (std::size_t w = 0; w < n_windows; ++w) {
+      result.metrics.observe("shard.boundary_bucket",
+                             static_cast<double>(buckets[e][w].size()));
+      boundary_transitions += static_cast<long long>(buckets[e][w].size());
+    }
+  }
+  result.metrics.add("shard.boundary_transitions", boundary_transitions);
   // The monolithic engine's event count is its processed stimulus events
   // plus gate firings. Shard-local stimulus counts double-count boundary
   // injections and multi-shard fanout of primary inputs, so the stimulus

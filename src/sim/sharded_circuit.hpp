@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/circuit.hpp"
 #include "util/thread_pool.hpp"
 #include "waveform/digital_trace.hpp"
@@ -109,6 +110,23 @@ class ShardedCircuit {
 
     bool ok() const { return status == RunStatus::kOk; }
     const waveform::DigitalTrace& trace(const std::string& net) const;
+
+    /// Events processed by each (shard, window) task: shard_window_events
+    /// [shard][window]. Always recorded (a subtraction per task, no tracing
+    /// required) -- this is the data that shows whether the topo-order
+    /// partition actually balances and where the wavefront's long pole is.
+    std::vector<std::vector<long>> shard_window_events;
+
+    /// Load imbalance of the shard partition: the busiest shard's total
+    /// event count over the per-shard mean (1.0 = perfectly balanced, K =
+    /// one shard did everything). 0 when no events were processed.
+    double load_imbalance() const;
+
+    /// Observability aggregate for this run: shard.* counters and
+    /// histograms (per-task window events, per-shard totals, exchange
+    /// bucket occupancy), filled in deterministic shard/edge order.
+    /// docs/observability.md lists the names.
+    obs::MetricsRegistry metrics;
 
     // Storage (public for the assembler; address traces via trace()).
     std::vector<Circuit::SimResult> shard_results;   // by shard

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_recorder.hpp"
 #include "util/error.hpp"
 
 namespace charlie::sim {
@@ -176,6 +177,11 @@ void SimSession::advance(double t_horizon) {
   CHARLIE_ASSERT(t_horizon >= horizon_);
   horizon_ = t_horizon;
 
+  // One span per advance slice; the event count is filled in at the end so
+  // windowed schedules (sharded wavefront) show per-window event volume.
+  const long events_before = n_stimulus_events_ + n_gate_events_;
+  obs::ScopedSpan obs_span("sim.advance", "events", 0);
+
   // Merge injected boundary transitions into the unprocessed stimulus tail.
   // Both ranges are time-sorted; inplace_merge is stable, so pre-known
   // stimuli precede injected events at equal times.
@@ -224,6 +230,8 @@ void SimSession::advance(double t_horizon) {
       const RunStatus st = guard_.check(n_stimulus_events_ + n_gate_events_);
       if (st != RunStatus::kOk) {
         status_ = st;
+        obs_span.set_value0(n_stimulus_events_ + n_gate_events_ -
+                            events_before);
         return;
       }
     }
@@ -236,6 +244,9 @@ void SimSession::advance(double t_horizon) {
       ++n_stimulus_events_;
       t_processed_ = ev.t;
       propagate_net_change(ev.net, ev.t, ev.value);
+      if (static_cast<long>(heap_.size()) > max_heap_depth_) {
+        max_heap_depth_ = static_cast<long>(heap_.size());
+      }
       continue;
     }
     const std::size_t gate_index = heap_.top_slot();
@@ -252,7 +263,13 @@ void SimSession::advance(double t_horizon) {
     }
     reschedule(gate_index);
     propagate_net_change(gate.output, fired.t, fired.value);
+    // Heap occupancy peaks right after an event's reschedules, before the
+    // next pop -- one compare per event keeps the counter always-on cheap.
+    if (static_cast<long>(heap_.size()) > max_heap_depth_) {
+      max_heap_depth_ = static_cast<long>(heap_.size());
+    }
   }
+  obs_span.set_value0(n_stimulus_events_ + n_gate_events_ - events_before);
 }
 
 namespace {
@@ -271,6 +288,7 @@ void stamp(Circuit::SimResult& result, const RunGuard& guard,
 const Circuit::SimResult& SimSession::result() {
   stamp(result_, guard_, status_, n_stimulus_events_ + n_gate_events_,
         status_ == RunStatus::kOk ? horizon_ : t_processed_, error_);
+  result_.max_heap_depth = max_heap_depth_;
   return result_;
 }
 

@@ -74,6 +74,9 @@ class SimSession {
   long n_stimulus_events() const { return n_stimulus_events_; }
   long n_gate_events() const { return n_gate_events_; }
 
+  /// Peak event-heap occupancy so far (see Circuit::SimResult).
+  long max_heap_depth() const { return max_heap_depth_; }
+
   /// kOk while the session may still advance; any other value is sticky.
   RunStatus status() const { return status_; }
 
@@ -123,6 +126,7 @@ class SimSession {
   std::vector<std::uint8_t> is_deferred_;
   long n_stimulus_events_ = 0;
   long n_gate_events_ = 0;
+  long max_heap_depth_ = 0;
 };
 
 }  // namespace charlie::sim

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "obs/trace_recorder.hpp"
+
 namespace charlie::sta {
 
 bool Report::meets_deadline() const {
@@ -19,12 +21,22 @@ Report analyze(const cell::NetlistDesc& desc,
 
   Report report;
   report.endpoints = graph.endpoints();
-  report.nominal = graph.analyze(graph.nominal_arcs(), options.deadline);
+  {
+    CHARLIE_OBS_SPAN("sta.nominal");
+    report.nominal = graph.analyze(graph.nominal_arcs(), options.deadline);
+  }
   report.deadline = options.deadline > 0.0 ? options.deadline
                                            : report.nominal.critical_delay;
-  report.paths = graph.critical_paths(graph.nominal_arcs(), options.n_paths);
+  {
+    CHARLIE_OBS_SPAN("sta.paths", "n_paths",
+                     static_cast<long long>(options.n_paths));
+    report.paths =
+        graph.critical_paths(graph.nominal_arcs(), options.n_paths);
+  }
 
   if (options.n_corners > 0 && options.variation.enabled()) {
+    CHARLIE_OBS_SPAN("sta.corners", "n_corners",
+                     static_cast<long long>(options.n_corners));
     std::unordered_map<std::string, std::size_t> endpoint_index;
     for (std::size_t i = 0; i < graph.endpoints().size(); ++i) {
       endpoint_index.emplace(graph.endpoints()[i], i);
@@ -45,6 +57,7 @@ Report analyze(const cell::NetlistDesc& desc,
   }
 
   if (options.variation.enabled()) {
+    CHARLIE_OBS_SPAN("sta.ssta");
     report.ssta.valid = true;
     report.ssta.delay =
         graph.analyze_ssta(graph.canonical_arcs(options.variation));

@@ -25,6 +25,8 @@ constexpr std::uint32_t cursor_item(std::uint64_t cursor) {
 
 }  // namespace
 
+std::atomic<ThreadPool::ChunkObserver*> ThreadPool::chunk_observer_{nullptr};
+
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
     n_threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
@@ -106,6 +108,11 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
                                          std::memory_order_acquire)) {
         continue;  // another worker moved the cursor; retry with its value
       }
+      ChunkObserver* const observer =
+          chunk_observer_.load(std::memory_order_relaxed);
+      if (observer != nullptr) {
+        observer->on_chunk_begin(worker_index, begin, end - begin);
+      }
       for (std::uint32_t item = begin; item < end; ++item) {
         try {
           // Fault site: an exception escaping a work item on the worker
@@ -118,6 +125,9 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
           // run (parallel_for's contract).
           if (!error) error = std::current_exception();
         }
+      }
+      if (observer != nullptr) {
+        observer->on_chunk_end(worker_index, begin, end - begin);
       }
       done_here += end - begin;
       cursor = cursor_.load(std::memory_order_acquire);

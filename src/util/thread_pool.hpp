@@ -55,6 +55,28 @@ class ThreadPool {
   void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Observability hook around each claimed chunk, invoked on the worker
+  /// thread: on_chunk_begin before the chunk's first item, on_chunk_end
+  /// after its last. The pool sits below the obs layer in the build graph,
+  /// so the tracer (obs::TraceRecorder) plugs in through this neutral
+  /// interface instead of the pool calling obs directly. The uninstalled
+  /// cost is one relaxed load and a predicted-false branch per chunk (not
+  /// per item).
+  struct ChunkObserver {
+    virtual ~ChunkObserver() = default;
+    virtual void on_chunk_begin(std::size_t worker, std::size_t first,
+                                std::size_t count) = 0;
+    virtual void on_chunk_end(std::size_t worker, std::size_t first,
+                              std::size_t count) = 0;
+  };
+
+  /// Install (or, with nullptr, remove) the process-wide chunk observer.
+  /// The observer must outlive every batch that runs while it is installed;
+  /// install/remove from a coordinating thread with no batch in flight.
+  static void set_chunk_observer(ChunkObserver* observer) {
+    chunk_observer_.store(observer, std::memory_order_release);
+  }
+
  private:
   void worker_loop(std::size_t worker_index);
 
@@ -76,6 +98,8 @@ class ThreadPool {
   std::size_t generation_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;
+
+  static std::atomic<ChunkObserver*> chunk_observer_;
 };
 
 }  // namespace charlie::util

@@ -1,0 +1,159 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/diagnostics.hpp"
+
+namespace charlie::obs {
+namespace {
+
+TEST(LogHistogram, BinsPowersOfTwo) {
+  LogHistogram h;
+  h.add(1.0);    // [2^0, 2^1)
+  h.add(1.5);    // same bin
+  h.add(2.0);    // [2^1, 2^2)
+  h.add(0.75);   // [2^-1, 2^0)
+  EXPECT_EQ(h.count(), 4u);
+  const std::size_t bin0 = static_cast<std::size_t>(0 - LogHistogram::kMinExp);
+  EXPECT_EQ(h.bins()[bin0], 2u);
+  EXPECT_EQ(h.bins()[bin0 + 1], 1u);
+  EXPECT_EQ(h.bins()[bin0 - 1], 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.75);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.5 + 2.0 + 0.75);
+  EXPECT_DOUBLE_EQ(LogHistogram::bin_lo(bin0), 1.0);
+}
+
+TEST(LogHistogram, EngineScaleValues) {
+  // The distributions this histogram exists for: second-scale delays down
+  // to sub-picosecond, and event counts up to millions.
+  LogHistogram h;
+  h.add(1e-12);     // typical gate delay
+  h.add(150e-12);   // stimulus mu
+  h.add(1e6);       // event count
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(LogHistogram, UnderOverflowAndNonPositive) {
+  LogHistogram h;
+  h.add(0.0);    // no log2 bin
+  h.add(-3.0);   // no log2 bin
+  h.add(1e-300);  // below 2^-50
+  h.add(1e300);   // above 2^34
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.underflow(), 3u);
+  EXPECT_EQ(h.overflow(), 1u);
+  // Moments still cover every sample.
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+}
+
+TEST(LogHistogram, MergeMatchesSequential) {
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram sequential;
+  for (int i = 1; i <= 10; ++i) {
+    // Exact quarters: merged partial sums associate exactly, so even the
+    // fp moments compare equal (operator== is exact).
+    const double v = 0.25 * i;
+    (i <= 5 ? a : b).add(v);
+    sequential.add(v);
+  }
+  a.merge(b);
+  EXPECT_TRUE(a == sequential);
+}
+
+TEST(MetricsRegistry, CountersAndHistograms) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.add("runs");
+  m.add("runs", 4);
+  m.add("events", 100);
+  m.observe("delay", 1e-10);
+  m.observe("delay", 2e-10);
+  EXPECT_EQ(m.counter("runs"), 5);
+  EXPECT_EQ(m.counter("events"), 100);
+  EXPECT_EQ(m.counter("never"), 0);
+  ASSERT_NE(m.histogram("delay"), nullptr);
+  EXPECT_EQ(m.histogram("delay")->count(), 2u);
+  EXPECT_EQ(m.histogram("never"), nullptr);
+}
+
+TEST(MetricsRegistry, MergeInFixedOrderIsDeterministic) {
+  // Partials merged in the same order produce identical registries, no
+  // matter how the samples were distributed over the partials -- the
+  // run-order-reduction property BatchRunner relies on.
+  auto fill = [](MetricsRegistry& m, int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      m.add("n", 1);
+      m.observe("v", 0.25 * (i + 1));  // exact quarters: fp sums associate
+                                       // exactly, so even to_json is equal
+    }
+  };
+  MetricsRegistry a1, a2, total_a;
+  fill(a1, 0, 7);
+  fill(a2, 7, 20);
+  total_a.merge(a1);
+  total_a.merge(a2);
+  MetricsRegistry b1, b2, total_b;
+  fill(b1, 0, 13);
+  fill(b2, 13, 20);
+  total_b.merge(b1);
+  total_b.merge(b2);
+  // Counters and bin counts are exact; sums differ only by fp association,
+  // and these sample values keep even the sums equal (integer quarters).
+  EXPECT_EQ(total_a.counter("n"), total_b.counter("n"));
+  EXPECT_EQ(total_a.histogram("v")->bins(), total_b.histogram("v")->bins());
+  EXPECT_EQ(total_a.to_json(), total_b.to_json());
+}
+
+TEST(MetricsRegistry, JsonShape) {
+  MetricsRegistry m;
+  m.add("b.count", 2);
+  m.add("a.count", 1);
+  m.observe("h", 1.0);
+  const std::string json = m.to_json();
+  // Name-sorted counters, only populated bins listed.
+  EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.count\": 2"), std::string::npos);
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"bins\": [{\"lo\": 1, \"count\": 1}]"),
+            std::string::npos);
+
+  MetricsRegistry empty;
+  EXPECT_EQ(empty.to_json(), "{\n \"counters\": {},\n \"histograms\": {}\n}\n");
+}
+
+TEST(MetricsRegistry, AbsorbRunCounters) {
+  util::RunCounters counters;
+  counters.newton_brent_fallbacks = 3;
+  counters.fit_fallbacks = 1;
+  MetricsRegistry m;
+  absorb_run_counters(m, counters);
+  EXPECT_EQ(m.counter("run.newton_brent_fallbacks"), 3);
+  EXPECT_EQ(m.counter("run.fit_fallbacks"), 1);
+  // Zero-valued counters still exist in the export ("no fallbacks" must be
+  // distinguishable from "not wired").
+  EXPECT_NE(m.to_json().find("\"run.scan_fallbacks\": 0"), std::string::npos);
+  absorb_run_counters(m, counters);
+  EXPECT_EQ(m.counter("run.newton_brent_fallbacks"), 6);
+}
+
+TEST(MetricsRegistry, WriteJsonStream) {
+  MetricsRegistry m;
+  m.add("x");
+  std::ostringstream os;
+  m.write_json(os);
+  EXPECT_EQ(os.str(), m.to_json());
+}
+
+}  // namespace
+}  // namespace charlie::obs

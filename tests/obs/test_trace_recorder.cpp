@@ -1,0 +1,176 @@
+#include "obs/trace_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace charlie::obs {
+namespace {
+
+// Every test arms/disarms explicitly; make sure a failing test cannot leak
+// an armed recorder into its neighbors.
+class TraceRecorderTest : public ::testing::Test {
+ protected:
+  void TearDown() override { TraceRecorder::stop(); }
+};
+
+std::map<std::string, int> count_by_name(
+    const TraceRecorder::Snapshot& snapshot) {
+  std::map<std::string, int> counts;
+  for (const TraceEvent& event : snapshot.events) ++counts[event.name];
+  return counts;
+}
+
+TEST_F(TraceRecorderTest, DisarmedRecordsNothing) {
+  EXPECT_FALSE(TraceRecorder::armed());
+  { CHARLIE_OBS_SPAN("test.span"); }
+  CHARLIE_OBS_INSTANT("test.instant");
+  TraceRecorder::start();
+  TraceRecorder::stop();
+  const auto snapshot = TraceRecorder::collect();
+  EXPECT_TRUE(snapshot.events.empty());
+  EXPECT_EQ(snapshot.n_dropped, 0u);
+}
+
+TEST_F(TraceRecorderTest, RecordsSpansAndInstants) {
+  TraceRecorder::start();
+  EXPECT_TRUE(TraceRecorder::armed());
+  {
+    CHARLIE_OBS_SPAN("test.outer", "k", 7);
+    { CHARLIE_OBS_SPAN("test.inner"); }
+    CHARLIE_OBS_INSTANT("test.mark", "i", 3);
+  }
+  TraceRecorder::stop();
+  EXPECT_FALSE(TraceRecorder::armed());
+  const auto snapshot = TraceRecorder::collect();
+  ASSERT_EQ(snapshot.events.size(), 3u);
+  const auto counts = count_by_name(snapshot);
+  EXPECT_EQ(counts.at("test.outer"), 1);
+  EXPECT_EQ(counts.at("test.inner"), 1);
+  EXPECT_EQ(counts.at("test.mark"), 1);
+  for (const TraceEvent& event : snapshot.events) {
+    if (std::string(event.name) == "test.mark") {
+      EXPECT_EQ(event.phase, 'i');
+      EXPECT_EQ(event.dur_ns, -1);
+      EXPECT_EQ(event.v0, 3);
+    } else {
+      EXPECT_EQ(event.phase, 'X');
+      EXPECT_GE(event.dur_ns, 0);
+    }
+    if (std::string(event.name) == "test.outer") {
+      ASSERT_NE(event.k0, nullptr);
+      EXPECT_STREQ(event.k0, "k");
+      EXPECT_EQ(event.v0, 7);
+    }
+  }
+}
+
+TEST_F(TraceRecorderTest, LabelIsCopiedAndTruncated) {
+  TraceRecorder::start();
+  {
+    ScopedSpan span("test.labeled");
+    span.label("NOR2");
+  }
+  {
+    ScopedSpan span("test.labeled");
+    span.label("a-very-long-label-that-exceeds-the-fixed-field");
+  }
+  TraceRecorder::stop();
+  const auto snapshot = TraceRecorder::collect();
+  ASSERT_EQ(snapshot.events.size(), 2u);
+  EXPECT_EQ(std::string(snapshot.events[0].label), "NOR2");
+  const std::string truncated = snapshot.events[1].label;
+  EXPECT_EQ(truncated.size(), sizeof(TraceEvent{}.label) - 1);
+  EXPECT_EQ(truncated,
+            std::string("a-very-long-label-that-exceeds-the-fixed-field")
+                .substr(0, truncated.size()));
+}
+
+TEST_F(TraceRecorderTest, RingOverflowCountsDrops) {
+  TraceRecorder::start(/*capacity_per_thread=*/8);
+  for (int i = 0; i < 20; ++i) CHARLIE_OBS_INSTANT("test.flood");
+  TraceRecorder::stop();
+  const auto snapshot = TraceRecorder::collect();
+  EXPECT_EQ(snapshot.events.size(), 8u);
+  EXPECT_EQ(snapshot.n_dropped, 12u);
+  // The ring keeps the newest events, in record order.
+  for (std::size_t i = 1; i < snapshot.events.size(); ++i) {
+    EXPECT_GE(snapshot.events[i].t_start_ns,
+              snapshot.events[i - 1].t_start_ns);
+  }
+}
+
+TEST_F(TraceRecorderTest, StartClearsPreviousEvents) {
+  TraceRecorder::start();
+  CHARLIE_OBS_INSTANT("test.first");
+  TraceRecorder::stop();
+  TraceRecorder::start();
+  CHARLIE_OBS_INSTANT("test.second");
+  TraceRecorder::stop();
+  const auto snapshot = TraceRecorder::collect();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_STREQ(snapshot.events[0].name, "test.second");
+}
+
+TEST_F(TraceRecorderTest, MultiThreadedRecordingGetsDistinctTids) {
+  TraceRecorder::start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 5; ++i) CHARLIE_OBS_INSTANT("test.worker");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  TraceRecorder::stop();
+  const auto snapshot = TraceRecorder::collect();
+  EXPECT_EQ(snapshot.events.size(), 15u);
+  std::map<std::uint32_t, int> per_tid;
+  for (const TraceEvent& event : snapshot.events) ++per_tid[event.tid];
+  EXPECT_EQ(per_tid.size(), 3u);
+  for (const auto& [tid, n] : per_tid) EXPECT_EQ(n, 5);
+}
+
+TEST_F(TraceRecorderTest, PoolChunksAreTracedWhenArmed) {
+  util::ThreadPool pool(2);
+  TraceRecorder::start();
+  pool.parallel_for(64, 8, [](std::size_t, std::size_t) {});
+  TraceRecorder::stop();
+  const auto snapshot = TraceRecorder::collect();
+  const auto counts = count_by_name(snapshot);
+  // 64 items at grain 8 = exactly 8 claimed chunks, whoever claimed them.
+  EXPECT_EQ(counts.at("pool.chunk"), 8);
+  // Disarmed again: the observer is uninstalled, nothing records.
+  pool.parallel_for(16, 8, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(TraceRecorder::collect().events.size(), snapshot.events.size());
+}
+
+TEST_F(TraceRecorderTest, ChromeTraceJsonShape) {
+  TraceRecorder::start();
+  {
+    ScopedSpan span("test.span", "k0", 1, "k1", 2);
+    span.label("lbl");
+  }
+  CHARLIE_OBS_INSTANT("test.instant");
+  TraceRecorder::stop();
+  std::ostringstream os;
+  write_chrome_trace(TraceRecorder::collect(), os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"k0\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"k1\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"lbl\""), std::string::npos);
+  EXPECT_NE(json.find("\"n_dropped\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace charlie::obs

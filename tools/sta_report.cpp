@@ -15,6 +15,13 @@
 //   --sigma-vdd/--sigma-vth/--sigma-drive
 //                     process sigmas (enable corners and SSTA)
 //   --all-nets        print the full per-net slack table, worst first
+//   --trace-out FILE  arm the execution tracer around the analysis and
+//                     write Chrome trace-event JSON (Perfetto-loadable)
+//   --metrics-out FILE
+//                     write the report's obs::MetricsRegistry as JSON
+//   --vcd-out FILE    additionally run one seeded event-engine simulation
+//                     of the netlist and dump its input/output waveforms as
+//                     VCD (GTKWave-loadable; docs/observability.md)
 //
 // Exit status: 0 when the design meets the deadline at nominal and at every
 // sampled corner, 1 on negative slack (or bad arguments) -- so CI can gate
@@ -28,10 +35,16 @@
 
 #include "cell/cell_library.hpp"
 #include "cell/netlist.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+#include "sim/circuit_builder.hpp"
 #include "sta/report.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
+#include "waveform/generator.hpp"
+#include "waveform/vcd.hpp"
 
 using namespace charlie;
 
@@ -65,6 +78,9 @@ int main(int argc, char** argv) {
     options.variation.vth_sigma = cli.get_double("--sigma-vth", 0.0);
     options.variation.drive_sigma = cli.get_double("--sigma-drive", 0.0);
     const bool all_nets = cli.has_flag("--all-nets");
+    const std::string trace_out = cli.get_string("--trace-out", "");
+    const std::string metrics_out = cli.get_string("--metrics-out", "");
+    const std::string vcd_out = cli.get_string("--vcd-out", "");
     cli.finish();
     if (netlist_path.empty()) {
       throw ConfigError("--netlist is required");
@@ -73,7 +89,70 @@ int main(int argc, char** argv) {
     const cell::NetlistDesc desc = cell::read_netlist_file(netlist_path);
     const auto library = std::make_shared<const cell::CellLibrary>(
         cell::CellLibrary::reference());
+    if (!trace_out.empty()) obs::TraceRecorder::start();
     const sta::Report report = sta::analyze(desc, library, options);
+
+    // One seeded event-engine run of the same netlist, dumped as VCD: the
+    // waveforms that realize (one sample of) the delays the report bounds.
+    if (!vcd_out.empty()) {
+      const sim::CircuitBuilder builder(library);
+      const auto circuit = builder.build(desc);
+      waveform::TraceConfig trace_config;
+      trace_config.mu = 150e-12;
+      trace_config.sigma = 60e-12;
+      trace_config.n_transitions = 64;
+      util::Rng rng(options.base_seed);
+      const auto stimuli = waveform::generate_traces(
+          trace_config, circuit->n_inputs(), rng);
+      double t_last = trace_config.t_start;
+      for (const auto& trace : stimuli) {
+        if (!trace.empty()) {
+          t_last = std::max(t_last, trace.transitions().back());
+        }
+      }
+      const sim::Circuit::SimResult sim_result =
+          circuit->simulate(stimuli, 0.0, t_last + 1e-9);
+      std::vector<waveform::VcdDigitalSignal> signals;
+      for (std::size_t i = 0; i < circuit->n_inputs(); ++i) {
+        const sim::Circuit::NetId id = circuit->input_net(i);
+        signals.push_back({circuit->net_name(id), &sim_result.trace(id)});
+      }
+      std::vector<std::string> out_nets = desc.outputs;
+      if (out_nets.empty() && !desc.instances.empty()) {
+        out_nets.push_back(desc.instances.back().output);
+      }
+      for (const std::string& net : out_nets) {
+        signals.push_back({net, &sim_result.trace(circuit->find_net(net))});
+      }
+      waveform::write_vcd(vcd_out, signals);
+      std::printf("vcd              : %zu signals -> %s\n", signals.size(),
+                  vcd_out.c_str());
+    }
+
+    if (!trace_out.empty()) {
+      obs::TraceRecorder::stop();
+      const auto snapshot = obs::TraceRecorder::collect();
+      obs::write_chrome_trace(snapshot, trace_out);
+      std::printf("trace            : %zu events -> %s\n",
+                  snapshot.events.size(), trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      obs::MetricsRegistry metrics;
+      metrics.add("sta.endpoints",
+                  static_cast<long long>(report.endpoints.size()));
+      metrics.add("sta.paths", static_cast<long long>(report.paths.size()));
+      metrics.add("sta.corners",
+                  static_cast<long long>(report.corners.size()));
+      for (const sta::NetTiming& t : report.nominal.nets) {
+        metrics.observe("sta.arrival",
+                        std::max(t.arrival_rise, t.arrival_fall));
+      }
+      for (const sta::CornerSummary& corner : report.corners) {
+        metrics.observe("sta.corner_delay", corner.critical_delay);
+      }
+      metrics.write_json(metrics_out);
+      std::printf("metrics          : %s\n", metrics_out.c_str());
+    }
 
     std::printf("netlist          : %s (%zu gates, %zu wires, %zu inputs, "
                 "%zu outputs)\n",
